@@ -1,0 +1,59 @@
+// Shared plumbing for the figure-reproduction benches: flag parsing and
+// dual table/CSV emission.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gridsec/util/table.hpp"
+#include "gridsec/util/thread_pool.hpp"
+
+namespace gridsec::bench {
+
+struct BenchArgs {
+  int trials = 20;
+  std::uint64_t seed = 2015;
+  bool csv_only = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&a](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--trials=")) {
+      args.trials = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      args.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--threads=")) {
+      args.threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (a == "--csv") {
+      args.csv_only = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: %s [--trials=N] [--seed=S] [--threads=T] [--csv]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void emit(const Table& table, const BenchArgs& args,
+                 const char* title) {
+  if (!args.csv_only) {
+    std::cout << "== " << title << " ==\n";
+    table.print(std::cout);
+    std::cout << "\n# CSV\n";
+  }
+  table.print_csv(std::cout);
+}
+
+}  // namespace gridsec::bench

@@ -1,0 +1,52 @@
+// Extension experiment: contagion approximation vs physical-flow impact.
+//
+// The paper's opening argument: interdependence in energy CPS should be
+// "measured on the physical side ... rather than approximated via
+// contagion." This bench quantifies it — the contagion baseline's expected
+// damage ranking is correlated against the true economic outage impact on
+// the western-US system, across cascade transmission probabilities.
+#include "bench_common.hpp"
+#include "gridsec/cps/contagion.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/sim/western_us.hpp"
+#include "gridsec/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  auto m = sim::build_western_us();
+
+  auto base = flow::solve_social_welfare(m.network);
+  if (!base.optimal()) {
+    std::fprintf(stderr, "base failed\n");
+    return 1;
+  }
+  const int ne = m.network.num_edges();
+  std::vector<double> impact(static_cast<std::size_t>(ne), 0.0);
+  for (int e = 0; e < ne; ++e) {
+    flow::Network hit = m.network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    if (sol.optimal()) {
+      impact[static_cast<std::size_t>(e)] = base.welfare - sol.welfare;
+    }
+  }
+
+  Table t({"transmission_prob", "spearman_vs_impact", "pearson_vs_impact"});
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    cps::ContagionModel model;
+    model.transmission_prob = p;
+    auto damage = cps::contagion_expected_damage(m.network, model);
+    t.add_numeric_row({p, spearman_correlation(damage, impact),
+                       correlation(damage, impact)},
+                      3);
+  }
+  bench::emit(t, args,
+              "Extension: contagion-predicted damage vs true outage impact");
+  if (!args.csv_only) {
+    std::printf(
+        "\nLow correlations support the paper's thesis: contagion models\n"
+        "miss which assets actually matter economically.\n");
+  }
+  return 0;
+}

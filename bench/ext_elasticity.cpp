@@ -1,0 +1,102 @@
+// Extension experiment: demand elasticity vs the attack economy.
+//
+// The paper fixes consumer prices; real demand curtails its lowest-value
+// usage first. This bench rebuilds the western-US system with each
+// electric consumer's flat price replaced by an N-tier linear demand curve
+// of the same peak willingness-to-pay and quantity, then measures how the
+// attack economy shrinks: total gains/losses (Experiment 1's quantities)
+// and the best single-asset attack value, as elasticity granularity grows.
+// 1 tier == the paper's fixed-price model.
+#include "bench_common.hpp"
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/flow/elastic.hpp"
+#include "gridsec/sim/experiments.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace {
+
+using namespace gridsec;
+
+// Rebuilds the western model with electric demand split into `tiers`
+// price tiers (tiers == 1 keeps the original flat-price edges).
+flow::Network with_elastic_loads(int tiers) {
+  auto m = sim::build_western_us();
+  if (tiers <= 1) return m.network;
+  flow::Network out;
+  // Copy hubs first (ids must match for edge re-creation).
+  std::vector<flow::NodeId> node_map(
+      static_cast<std::size_t>(m.network.num_nodes()), -1);
+  for (int n = 0; n < m.network.num_nodes(); ++n) {
+    if (m.network.node(n).kind == flow::NodeKind::kHub) {
+      node_map[static_cast<std::size_t>(n)] =
+          out.add_hub(m.network.node(n).name);
+    }
+  }
+  for (int e = 0; e < m.network.num_edges(); ++e) {
+    const auto& edge = m.network.edge(e);
+    switch (edge.kind) {
+      case flow::EdgeKind::kSupply:
+        out.add_supply(edge.name,
+                       node_map[static_cast<std::size_t>(edge.to)],
+                       edge.capacity, edge.cost, edge.loss);
+        break;
+      case flow::EdgeKind::kDemand: {
+        const flow::NodeId hub =
+            node_map[static_cast<std::size_t>(edge.from)];
+        if (edge.name.find(".elec.load") != std::string::npos) {
+          // Peak willingness 1.6x the flat price, same total quantity.
+          auto curve = flow::linear_demand_curve(-edge.cost * 1.6,
+                                                 edge.capacity, tiers);
+          flow::add_elastic_demand(out, edge.name, hub, curve);
+        } else {
+          out.add_demand(edge.name, hub, edge.capacity, -edge.cost,
+                         edge.loss);
+        }
+        break;
+      }
+      case flow::EdgeKind::kTransmission:
+      case flow::EdgeKind::kConversion:
+        out.add_edge(edge.name, edge.kind,
+                     node_map[static_cast<std::size_t>(edge.from)],
+                     node_map[static_cast<std::size_t>(edge.to)],
+                     edge.capacity, edge.cost, edge.loss);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  ThreadPool pool(args.threads);
+
+  Table t({"demand_tiers", "assets", "total_gain", "total_|loss|",
+           "best_single_attack"});
+  for (int tiers : {1, 2, 4, 8}) {
+    flow::Network net = with_elastic_loads(tiers);
+    sim::ExperimentOptions opt;
+    opt.trials = args.trials;
+    opt.seed = args.seed;
+    opt.pool = &pool;
+    auto gl = sim::experiment_gain_loss(net, {6}, opt);
+
+    Rng rng(args.seed);
+    auto own = cps::Ownership::random(net.num_edges(), 6, rng);
+    auto im = cps::compute_impact_matrix(net, own);
+    double best = 0.0;
+    if (im.is_ok()) {
+      core::AdversaryConfig cfg;
+      cfg.max_targets = 1;
+      best = core::StrategicAdversary(cfg).plan(im->matrix)
+                 .anticipated_return;
+    }
+    t.add_numeric_row({static_cast<double>(tiers),
+                       static_cast<double>(net.num_edges()),
+                       gl[0].mean_gain, -gl[0].mean_loss, best},
+                      1);
+  }
+  bench::emit(t, args, "Extension: demand elasticity vs attack economy");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension experiment (§II-E4/§II-F4): defense-in-depth investment.
+//
+// Actors invest their budgets in security *layers* on their own assets
+// (each layer halves the attack success probability and raises the attack
+// cost). The strategic adversary then plans against the hardened posture.
+// Reported per budget level: total layers bought, the SA's expected return,
+// and the number of targets still worth attacking — the diminishing-returns
+// curve of layered hardening.
+#include "bench_common.hpp"
+#include "gridsec/core/defender.hpp"
+#include "gridsec/cps/security.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  auto m = sim::build_western_us();
+  Rng rng(args.seed);
+  const int n_actors = 6;
+  auto own = cps::Ownership::random(m.network.num_edges(), n_actors, rng);
+  auto im = cps::compute_impact_matrix(m.network, own);
+  if (!im.is_ok()) {
+    std::fprintf(stderr, "impact failed\n");
+    return 1;
+  }
+
+  // Attack probabilities from the SA's own preferences (deterministic view).
+  core::AdversaryConfig probe;
+  probe.max_targets = 6;
+  Rng pa_rng(args.seed + 1);
+  auto pa = core::estimate_attack_probabilities(m.network, own, probe, {0.0},
+                                                1, pa_rng);
+  if (!pa.is_ok()) {
+    std::fprintf(stderr, "pa failed\n");
+    return 1;
+  }
+
+  cps::SecurityModel model;
+  model.base_success_prob = 0.9;
+  model.success_decay_per_layer = 0.5;
+  model.base_attack_cost = 100.0;
+  model.attack_cost_per_layer = 500.0;
+
+  Table t({"budget_per_actor", "layers_bought", "sa_expected_return",
+           "sa_targets"});
+  for (double budget : {0.0, 1000.0, 3000.0, 6000.0, 12000.0}) {
+    cps::SecurityPosture posture(m.network.num_edges(), model);
+    cps::LayeredDefenseConfig cfg;
+    cfg.layer_cost = 1000.0;
+    cfg.max_layers_per_target = 3;
+    cfg.budget.assign(static_cast<std::size_t>(n_actors), budget);
+    auto plan = cps::defend_layered(im->matrix, own, *pa, posture, cfg);
+    if (!plan.optimal()) {
+      std::fprintf(stderr, "layered defense failed\n");
+      return 1;
+    }
+    for (int e = 0; e < m.network.num_edges(); ++e) {
+      posture.set_layers(e, plan.added_layers[static_cast<std::size_t>(e)]);
+    }
+    core::AdversaryConfig hardened;
+    hardened.max_targets = 6;
+    hardened.success_prob = posture.success_prob_vector();
+    hardened.attack_cost = posture.attack_cost_vector();
+    core::StrategicAdversary sa(hardened);
+    auto attack = sa.plan(im->matrix);
+    t.add_numeric_row({budget, static_cast<double>(plan.total_layers()),
+                       attack.anticipated_return,
+                       static_cast<double>(attack.targets.size())},
+                      1);
+  }
+  bench::emit(t, args,
+              "Extension: layered hardening vs SA expected return");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension experiment: repeated rounds with defender learning.
+//
+// A badly-informed defender (heavy knowledge noise) faces a well-informed
+// stationary adversary over many rounds, blending observed attack
+// frequencies into its Pa beliefs. Reported: per-round defender losses with
+// learning on vs off (paired ownership/noise draws) — the value of
+// augmenting the paper's model-based Pa with operational observations.
+#include "bench_common.hpp"
+#include "gridsec/core/repeated_game.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  auto m = sim::build_western_us();
+  const int n_actors = 6;
+  const int rounds = 8;
+
+  const auto run = [&](double learning_rate, std::uint64_t seed) {
+    std::vector<double> losses(static_cast<std::size_t>(rounds), 0.0);
+    const int trials = std::max(1, args.trials / 2);
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(seed);
+      Rng trial_rng = rng.derive_stream(static_cast<std::uint64_t>(trial));
+      auto own =
+          cps::Ownership::random(m.network.num_edges(), n_actors, trial_rng);
+      core::RepeatedGameConfig cfg;
+      cfg.rounds = rounds;
+      cfg.learning_rate = learning_rate;
+      cfg.game.adversary.max_targets = 2;
+      cfg.game.collaborative = true;
+      cfg.game.defender.defense_cost.assign(
+          static_cast<std::size_t>(m.network.num_edges()), 2000.0);
+      cfg.game.defender.budget.assign(static_cast<std::size_t>(n_actors),
+                                      12.0 * 2000.0 / n_actors);
+      cfg.game.defender_noise.sigma = 0.5;  // badly informed
+      cfg.game.speculated_adversary_noise.sigma = 0.2;
+      cfg.game.pa_samples = 3;
+      auto res = core::play_repeated_game(m.network, own, cfg, trial_rng);
+      if (!res.is_ok()) continue;
+      for (int r = 0; r < rounds; ++r) {
+        losses[static_cast<std::size_t>(r)] +=
+            res->rounds[static_cast<std::size_t>(r)].defender_losses /
+            trials;
+      }
+    }
+    return losses;
+  };
+
+  auto learning = run(0.5, args.seed);
+  auto frozen = run(0.0, args.seed);
+
+  Table t({"round", "losses_no_learning", "losses_learning",
+           "learning_benefit"});
+  for (int r = 0; r < rounds; ++r) {
+    const auto rs = static_cast<std::size_t>(r);
+    t.add_numeric_row({static_cast<double>(r + 1), frozen[rs], learning[rs],
+                       learning[rs] - frozen[rs]},
+                      0);
+  }
+  bench::emit(t, args, "Extension: defender learning across repeated attacks");
+  return 0;
+}

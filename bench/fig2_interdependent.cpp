@@ -1,0 +1,33 @@
+// Figure 2 (Experiment 1): total gain and loss across actors vs. the number
+// of actors. Expected shape: both |gain| and |loss| grow with the actor
+// count and saturate near the number of competition points (~12 hubs);
+// gain + loss (the system impact) stays constant.
+#include "bench_common.hpp"
+#include "gridsec/sim/experiments.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  ThreadPool pool(args.threads);
+  auto m = sim::build_western_us();
+
+  sim::ExperimentOptions opt;
+  opt.trials = args.trials;
+  opt.seed = args.seed;
+  opt.pool = &pool;
+
+  const std::vector<int> actor_counts{1, 2, 3, 4, 6, 8, 12, 16, 24};
+  auto points = sim::experiment_gain_loss(m.network, actor_counts, opt);
+
+  Table t({"actors", "total_gain", "total_|loss|", "gain+loss(net)",
+           "se_gain", "se_loss"});
+  for (const auto& p : points) {
+    t.add_numeric_row({static_cast<double>(p.actors), p.mean_gain,
+                       -p.mean_loss, p.mean_net, p.se_gain, p.se_loss},
+                      1);
+  }
+  bench::emit(t, args,
+              "Figure 2: gain/loss vs actor count (western US model)");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//  * LMP (dual-based) vs perturbation (probe-based) profit allocation;
+//  * SA solvers: exact MILP vs exhaustive enumeration vs greedy;
+//  * impact-matrix kernel cost as actor count varies.
+#include <benchmark/benchmark.h>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/core/partition.hpp"
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace {
+
+using namespace gridsec;
+
+void BM_AllocatorLmp(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  flow::AllocationOptions opt;
+  opt.kind = flow::AllocatorKind::kLmp;
+  for (auto _ : state) {
+    auto res = flow::allocate_profits(m.network, {}, 0, opt);
+    benchmark::DoNotOptimize(res.welfare);
+  }
+}
+BENCHMARK(BM_AllocatorLmp);
+
+void BM_AllocatorPerturbation(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  flow::AllocationOptions opt;
+  opt.kind = flow::AllocatorKind::kPerturbation;
+  for (auto _ : state) {
+    auto res = flow::allocate_profits(m.network, {}, 0, opt);
+    benchmark::DoNotOptimize(res.welfare);
+  }
+}
+BENCHMARK(BM_AllocatorPerturbation);
+
+void BM_ImpactMatrix(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  Rng rng(1);
+  auto own = cps::Ownership::random(m.network.num_edges(),
+                                    static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto im = cps::compute_impact_matrix(m.network, own);
+    benchmark::DoNotOptimize(im->base_welfare);
+  }
+}
+BENCHMARK(BM_ImpactMatrix)->Arg(2)->Arg(6)->Arg(12);
+
+// SA solver comparison on a pruned 6-actor instance. Enumeration is capped
+// at 3 targets to stay tractable; MILP and greedy use the same cap so the
+// comparison is apples-to-apples.
+struct SaFixture {
+  cps::ImpactMatrix im{1, 1};
+  SaFixture() {
+    auto m = sim::build_western_us();
+    Rng rng(3);
+    auto own = cps::Ownership::random(m.network.num_edges(), 6, rng);
+    auto res = cps::compute_impact_matrix(m.network, own);
+    im = res->matrix;
+  }
+};
+
+SaFixture& sa_fixture() {
+  static SaFixture f;
+  return f;
+}
+
+core::AdversaryConfig capped_config() {
+  core::AdversaryConfig cfg;
+  cfg.max_targets = 3;
+  return cfg;
+}
+
+void BM_SaMilp(benchmark::State& state) {
+  core::StrategicAdversary sa(capped_config());
+  for (auto _ : state) {
+    auto plan = sa.plan(sa_fixture().im);
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_SaMilp);
+
+void BM_SaEnumerate(benchmark::State& state) {
+  core::StrategicAdversary sa(capped_config());
+  for (auto _ : state) {
+    auto plan = sa.plan_enumerate(sa_fixture().im);
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_SaEnumerate);
+
+void BM_SaGreedy(benchmark::State& state) {
+  core::StrategicAdversary sa(capped_config());
+  for (auto _ : state) {
+    auto plan = sa.plan_greedy(sa_fixture().im);
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_SaGreedy);
+
+void BM_SaMilpFormulation(benchmark::State& state) {
+  core::StrategicAdversary sa(capped_config());
+  for (auto _ : state) {
+    auto plan = sa.plan_milp(sa_fixture().im);
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_SaMilpFormulation);
+
+void BM_SaPartitioned(benchmark::State& state) {
+  for (auto _ : state) {
+    auto plan = core::plan_partitioned(sa_fixture().im, capped_config());
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_SaPartitioned);
+
+// Value of strategic targeting: report the strategic/random return ratio
+// as a counter alongside the random baseline's runtime.
+void BM_SaRandomBaseline(benchmark::State& state) {
+  core::StrategicAdversary sa(capped_config());
+  const double strategic = sa.plan(sa_fixture().im).anticipated_return;
+  Rng rng(5);
+  double random_mean = 0.0;
+  int samples = 0;
+  for (auto _ : state) {
+    auto plan = core::random_attack_plan(sa_fixture().im, capped_config(),
+                                         rng);
+    random_mean += plan.anticipated_return;
+    ++samples;
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+  if (samples > 0 && random_mean != 0.0) {
+    state.counters["strategic_over_random"] =
+        strategic / (random_mean / samples);
+  }
+}
+BENCHMARK(BM_SaRandomBaseline);
+
+// Exactness-preserving skip of zero-flow targets in the impact kernel.
+void BM_ImpactSkipUnused(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  Rng rng(1);
+  auto own = cps::Ownership::random(m.network.num_edges(), 6, rng);
+  cps::ImpactOptions opt;
+  opt.skip_unused_targets = state.range(0) != 0;
+  for (auto _ : state) {
+    auto im = cps::compute_impact_matrix(m.network, own, opt);
+    benchmark::DoNotOptimize(im->base_welfare);
+  }
+  state.SetLabel(opt.skip_unused_targets ? "skip_on" : "skip_off");
+}
+BENCHMARK(BM_ImpactSkipUnused)->Arg(0)->Arg(1);
+
+// MILP diving heuristic on/off (adversary MILP formulation as workload).
+void BM_MilpDiving(benchmark::State& state) {
+  lp::BranchAndBoundOptions opts;
+  opts.diving_heuristic = state.range(0) != 0;
+  Rng rng(11);
+  lp::Problem p(lp::Objective::kMaximize);
+  lp::LinearExpr weights;
+  for (int i = 0; i < 30; ++i) {
+    weights.add(p.add_binary("b", rng.uniform(1.0, 10.0)),
+                rng.uniform(0.5, 5.0));
+  }
+  p.add_constraint("w", std::move(weights), lp::Sense::kLessEqual, 25.0);
+  for (auto _ : state) {
+    lp::BranchAndBoundSolver solver(opts);
+    auto sol = solver.solve(p);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.SetLabel(opts.diving_heuristic ? "diving_on" : "diving_off");
+}
+BENCHMARK(BM_MilpDiving)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

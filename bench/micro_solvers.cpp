@@ -1,0 +1,74 @@
+// Solver micro-benchmarks: simplex on social-welfare LPs of growing size,
+// MILP knapsacks, and the strategic-adversary MILP.
+#include <benchmark/benchmark.h>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/lp/milp.hpp"
+#include "gridsec/lp/simplex.hpp"
+#include "gridsec/sim/scenario.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace {
+
+using namespace gridsec;
+
+void BM_SimplexWesternUs(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  for (auto _ : state) {
+    auto sol = flow::solve_social_welfare(m.network);
+    benchmark::DoNotOptimize(sol.welfare);
+  }
+}
+BENCHMARK(BM_SimplexWesternUs);
+
+void BM_SimplexRandomGrid(benchmark::State& state) {
+  Rng rng(42);
+  sim::RandomGridOptions opt;
+  opt.hubs = static_cast<int>(state.range(0));
+  auto net = sim::make_random_grid(opt, rng);
+  for (auto _ : state) {
+    auto sol = flow::solve_social_welfare(net);
+    benchmark::DoNotOptimize(sol.welfare);
+  }
+  state.SetLabel(std::to_string(net.num_edges()) + " edges");
+}
+BENCHMARK(BM_SimplexRandomGrid)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::Problem p(lp::Objective::kMaximize);
+  lp::LinearExpr weights;
+  for (int i = 0; i < n; ++i) {
+    weights.add(p.add_binary("b", rng.uniform(1.0, 10.0)),
+                rng.uniform(0.5, 5.0));
+  }
+  p.add_constraint("w", std::move(weights), lp::Sense::kLessEqual,
+                   0.3 * 2.75 * n);
+  for (auto _ : state) {
+    auto sol = lp::solve_milp(p);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_AdversaryMilpWesternUs(benchmark::State& state) {
+  auto m = sim::build_western_us();
+  Rng rng(1);
+  auto own = cps::Ownership::random(m.network.num_edges(),
+                                    static_cast<int>(state.range(0)), rng);
+  auto im = cps::compute_impact_matrix(m.network, own);
+  core::AdversaryConfig cfg;
+  cfg.max_targets = 6;
+  core::StrategicAdversary sa(cfg);
+  for (auto _ : state) {
+    auto plan = sa.plan(im->matrix);
+    benchmark::DoNotOptimize(plan.anticipated_return);
+  }
+}
+BENCHMARK(BM_AdversaryMilpWesternUs)->Arg(2)->Arg(6)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

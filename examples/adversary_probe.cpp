@@ -1,0 +1,57 @@
+// Deception as defense: how the strategic adversary's realized profit
+// decays with its knowledge noise while its *anticipated* profit does not —
+// the overconfidence gap of the paper's Figure 4, as a single-scenario
+// walkthrough you can rerun with different seeds and actor counts.
+//
+// Run: ./build/examples/adversary_probe [actors] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const int n_actors = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  auto m = sim::build_western_us();
+  Rng rng(seed);
+  auto own = cps::Ownership::random(m.network.num_edges(), n_actors, rng);
+  auto truth = cps::compute_impact_matrix(m.network, own);
+  if (!truth.is_ok()) {
+    std::printf("impact failed: %s\n", truth.status().to_string().c_str());
+    return 1;
+  }
+
+  core::AdversaryConfig cfg;
+  cfg.max_targets = 6;
+  core::StrategicAdversary sa(cfg);
+
+  std::printf("%d actors; sweeping the SA's knowledge noise\n\n", n_actors);
+  std::printf("%8s %14s %14s %14s\n", "sigma", "anticipated", "observed",
+              "overconfidence");
+  for (double sigma : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    cps::NoiseSpec noise;
+    noise.sigma = sigma;
+    // Average a few noise realizations at this knowledge level.
+    double anticipated = 0.0, observed = 0.0;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      flow::Network view = cps::perturb_knowledge(m.network, noise, rng);
+      auto believed = cps::compute_impact_matrix(view, own);
+      if (!believed.is_ok()) return 1;
+      auto plan = sa.plan(believed->matrix);
+      anticipated += plan.anticipated_return / reps;
+      observed += core::realized_return(truth->matrix, plan, cfg) / reps;
+    }
+    std::printf("%8.2f %14.0f %14.0f %14.0f\n", sigma, anticipated, observed,
+                anticipated - observed);
+  }
+  std::printf(
+      "\nThe widening gap is the paper's deception-defense insight: an\n"
+      "attacker fed bad data keeps expecting full returns but realizes\n"
+      "far less.\n");
+  return 0;
+}

@@ -1,0 +1,275 @@
+// gridsec_cli — drive the pipeline from a network file.
+//
+//   gridsec_cli dump        <file>             solve + print dispatch/LMPs
+//   gridsec_cli impact      <file>             impact matrix IM[a,t]
+//   gridsec_cli attack      <file> [options]   strategic-adversary plan
+//   gridsec_cli defend      <file> [options]   attack + defense game
+//   gridsec_cli rents       <file>             capacity rents (paper probe)
+//   gridsec_cli stackelberg <file> [options]   leader-follower defense
+//
+// Common options:
+//   --actors=N     random 1/N ownership (default 4; ignored when the file
+//                  carries `owner` lines)
+//   --seed=S       RNG seed (default 1)
+//   --targets=K    adversary cardinality cap (default 6)
+//   --collab       collaborative defense (defend)
+//   --cost=C       per-asset defense cost (defend; default 2000)
+//   --budget=B     system defense budget in assets (defend; default 12)
+//
+// Network file format: see include/gridsec/flow/io.hpp.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gridsec/core/game.hpp"
+#include "gridsec/core/stackelberg.hpp"
+#include "gridsec/flow/io.hpp"
+#include "gridsec/flow/marginal_cost.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/util/table.hpp"
+
+namespace {
+
+using namespace gridsec;
+
+struct CliArgs {
+  std::string command;
+  std::string file;
+  int actors = 4;
+  std::uint64_t seed = 1;
+  int targets = 6;
+  bool collab = false;
+  double cost = 2000.0;
+  double budget_assets = 12.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gridsec_cli "
+               "{dump|impact|attack|defend|rents|stackelberg} <file> "
+               "[--actors=N] [--seed=S] [--targets=K] [--collab] "
+               "[--cost=C] [--budget=B]\n");
+  return 2;
+}
+
+cps::Ownership load_ownership(const flow::ParsedNetwork& parsed,
+                              const CliArgs& args) {
+  if (!parsed.owners.empty()) {
+    int max_actor = 0;
+    std::vector<int> owners = parsed.owners;
+    for (int& o : owners) {
+      if (o < 0) o = 0;  // unowned assets default to actor 0
+      max_actor = std::max(max_actor, o);
+    }
+    return cps::Ownership(std::move(owners), max_actor + 1);
+  }
+  Rng rng(args.seed);
+  return cps::Ownership::random(parsed.network.num_edges(), args.actors, rng);
+}
+
+int cmd_dump(const flow::ParsedNetwork& parsed) {
+  auto sol = flow::solve_social_welfare(parsed.network);
+  if (!sol.optimal()) {
+    std::fprintf(stderr, "model failed to solve: %s\n",
+                 std::string(lp::to_string(sol.status)).c_str());
+    return 1;
+  }
+  Table t({"edge", "capacity", "cost", "loss", "flow"});
+  for (int e = 0; e < parsed.network.num_edges(); ++e) {
+    const auto& edge = parsed.network.edge(e);
+    t.add_row({edge.name, format_double(edge.capacity, 2),
+               format_double(edge.cost, 2), format_double(edge.loss, 3),
+               format_double(sol.flow[static_cast<std::size_t>(e)], 2)});
+  }
+  t.print(std::cout);
+  std::printf("\nwelfare: %.2f\n", sol.welfare);
+  return 0;
+}
+
+int cmd_impact(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  auto own = load_ownership(parsed, args);
+  auto im = cps::compute_impact_matrix(parsed.network, own);
+  if (!im.is_ok()) {
+    std::fprintf(stderr, "impact failed: %s\n",
+                 im.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::string> headers{"target", "owner", "system"};
+  for (int a = 0; a < own.num_actors(); ++a) {
+    headers.push_back("actor" + std::to_string(a));
+  }
+  Table t(std::move(headers));
+  for (int e = 0; e < parsed.network.num_edges(); ++e) {
+    std::vector<std::string> row{parsed.network.edge(e).name,
+                                 std::to_string(own.owner(e)),
+                                 format_double(im->matrix.system_impact(e), 1)};
+    for (int a = 0; a < own.num_actors(); ++a) {
+      row.push_back(format_double(im->matrix.at(a, e), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_attack(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  auto own = load_ownership(parsed, args);
+  auto im = cps::compute_impact_matrix(parsed.network, own);
+  if (!im.is_ok()) {
+    std::fprintf(stderr, "impact failed: %s\n",
+                 im.status().to_string().c_str());
+    return 1;
+  }
+  core::AdversaryConfig cfg;
+  cfg.max_targets = args.targets;
+  core::StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im->matrix);
+  std::printf("status: %s\n", std::string(lp::to_string(plan.status)).c_str());
+  std::printf("anticipated return: %.2f\n", plan.anticipated_return);
+  std::printf("targets:");
+  for (int t : plan.targets) {
+    std::printf(" %s", parsed.network.edge(t).name.c_str());
+  }
+  std::printf("\nactor positions:");
+  for (int a : plan.actors) std::printf(" %d", a);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_defend(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  auto own = load_ownership(parsed, args);
+  core::GameConfig game;
+  game.adversary.max_targets = args.targets;
+  game.collaborative = args.collab;
+  game.defender.defense_cost.assign(
+      static_cast<std::size_t>(parsed.network.num_edges()), args.cost);
+  game.defender.budget.assign(
+      static_cast<std::size_t>(own.num_actors()),
+      args.budget_assets * args.cost / own.num_actors());
+  Rng rng(args.seed);
+  auto outcome = core::play_defense_game(parsed.network, own, game, rng);
+  if (!outcome.is_ok()) {
+    std::fprintf(stderr, "game failed: %s\n",
+                 outcome.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("attack:");
+  for (int t : outcome->attack.targets) {
+    std::printf(" %s", parsed.network.edge(t).name.c_str());
+  }
+  std::printf("\ndefended:");
+  for (int t = 0; t < parsed.network.num_edges(); ++t) {
+    if (outcome->defense.defended[static_cast<std::size_t>(t)]) {
+      std::printf(" %s", parsed.network.edge(t).name.c_str());
+    }
+  }
+  std::printf("\nadversary gain undefended: %.2f\n",
+              outcome->adversary_gain_undefended);
+  std::printf("adversary gain defended:   %.2f\n",
+              outcome->adversary_gain_defended);
+  std::printf("defense effectiveness:     %.2f\n",
+              outcome->defense_effectiveness);
+  return 0;
+}
+
+int cmd_rents(const flow::ParsedNetwork& parsed) {
+  auto base = flow::solve_social_welfare(parsed.network);
+  if (!base.optimal()) {
+    std::fprintf(stderr, "model failed to solve\n");
+    return 1;
+  }
+  auto rents = flow::probe_capacity_rents(parsed.network, base);
+  if (!rents.is_ok()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 rents.status().to_string().c_str());
+    return 1;
+  }
+  Table t({"edge", "flow", "saturated", "marginal_value_per_unit"});
+  for (int e = 0; e < parsed.network.num_edges(); ++e) {
+    const auto es = static_cast<std::size_t>(e);
+    t.add_row({parsed.network.edge(e).name,
+               format_double(base.flow[es], 2),
+               (*rents)[es].saturated ? "yes" : "no",
+               format_double((*rents)[es].marginal_value, 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  auto own = load_ownership(parsed, args);
+  auto im = cps::compute_impact_matrix(parsed.network, own);
+  if (!im.is_ok()) {
+    std::fprintf(stderr, "impact failed: %s\n",
+                 im.status().to_string().c_str());
+    return 1;
+  }
+  core::StackelbergConfig cfg;
+  cfg.adversary.max_targets = args.targets;
+  cfg.defense_cost = 1.0;
+  cfg.budget = args.budget_assets;
+  auto plan = core::stackelberg_defense(im->matrix, cfg);
+  std::printf("undefended follower value: %.2f\n", plan.undefended_return);
+  std::printf("defended:");
+  for (int t = 0; t < parsed.network.num_edges(); ++t) {
+    if (plan.defended[static_cast<std::size_t>(t)]) {
+      std::printf(" %s", parsed.network.edge(t).name.c_str());
+    }
+  }
+  std::printf("\nfollower best response:");
+  for (int t : plan.follower_response.targets) {
+    std::printf(" %s", parsed.network.edge(t).name.c_str());
+  }
+  std::printf("\nremaining follower value:  %.2f (%d defenses, spend %.1f)\n",
+              plan.follower_return, plan.rounds, plan.spending);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  CliArgs args;
+  args.command = argv[1];
+  args.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&a](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--actors=")) {
+      args.actors = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--targets=")) {
+      args.targets = std::atoi(v);
+    } else if (const char* v = value("--cost=")) {
+      args.cost = std::atof(v);
+    } else if (const char* v = value("--budget=")) {
+      args.budget_assets = std::atof(v);
+    } else if (a == "--collab") {
+      args.collab = true;
+    } else {
+      return usage();
+    }
+  }
+
+  auto parsed = gridsec::flow::read_network_file(args.file);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", args.file.c_str(),
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  if (args.command == "dump") return cmd_dump(*parsed);
+  if (args.command == "impact") return cmd_impact(*parsed, args);
+  if (args.command == "attack") return cmd_attack(*parsed, args);
+  if (args.command == "defend") return cmd_defend(*parsed, args);
+  if (args.command == "rents") return cmd_rents(*parsed);
+  if (args.command == "stackelberg") return cmd_stackelberg(*parsed, args);
+  return usage();
+}

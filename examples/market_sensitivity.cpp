@@ -1,0 +1,68 @@
+// Post-optimal sensitivity analysis of the western-US energy market: how
+// robust are the current prices and dispatch to data changes?
+//
+// Uses the LP ranging machinery (lp::analyze_sensitivity) on the social-
+// welfare program: objective ranging tells how far a generator's cost can
+// drift before the dispatch changes; rhs ranging on a hub's conservation
+// row tells how much net injection the current price regime tolerates.
+//
+// Run: ./build/examples/market_sensitivity
+#include <cmath>
+#include <cstdio>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/lp/simplex.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+int main() {
+  using namespace gridsec;
+  auto m = sim::build_western_us();
+  lp::Problem p = flow::build_social_welfare_lp(m.network);
+  auto report = lp::analyze_sensitivity(p);
+  if (report.solution.status != lp::SolveStatus::kOptimal) {
+    std::printf("solve failed\n");
+    return 1;
+  }
+  std::printf("welfare: %.0f\n\n", -report.solution.objective);
+
+  std::printf("dispatch-stability of generator costs (supply edges):\n");
+  std::printf("%-22s %10s %12s %12s\n", "asset", "cost", "stable_from",
+              "stable_to");
+  int shown = 0;
+  for (int e = 0; e < m.network.num_edges() && shown < 12; ++e) {
+    const auto& edge = m.network.edge(e);
+    if (edge.kind != flow::EdgeKind::kSupply) continue;
+    const auto& r = report.objective_range[static_cast<std::size_t>(e)];
+    std::printf("%-22s %10.2f %12.2f %12.2f\n", edge.name.c_str(), edge.cost,
+                std::isfinite(r.lo) ? r.lo : -999.0,
+                std::isfinite(r.hi) ? r.hi : 999.0);
+    ++shown;
+  }
+
+  std::printf(
+      "\ninjection tolerance of hub prices (rhs ranging of conservation):\n");
+  std::printf("%-12s %10s %14s %14s\n", "hub", "LMP", "withdraw_room",
+              "inject_room");
+  auto sw = flow::solve_social_welfare(m.network);
+  int row = 0;
+  for (int n = 0; n < m.network.num_nodes(); ++n) {
+    if (m.network.node(n).kind != flow::NodeKind::kHub) continue;
+    if (m.network.out_edges(n).empty() && m.network.in_edges(n).empty()) {
+      continue;
+    }
+    const auto& r = report.rhs_range[static_cast<std::size_t>(row)];
+    // rhs = outflow - inflow: raising it = net withdrawal, lowering it =
+    // net injection. The range tells how much of each the basis survives.
+    std::printf("%-12s %10.2f %14.2f %14.2f\n",
+                m.network.node(n).name.c_str(),
+                sw.node_price[static_cast<std::size_t>(n)],
+                std::isfinite(r.hi) ? r.hi : 999.0,
+                std::isfinite(r.lo) ? -r.lo : 999.0);
+    ++row;
+  }
+  std::printf(
+      "\nreading: a hub with tiny rooms sits on a dispatch breakpoint — its\n"
+      "LMP flips with the smallest perturbation; an attacker needs almost\n"
+      "no capacity change there to move prices.\n");
+  return 0;
+}

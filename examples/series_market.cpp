@@ -1,0 +1,57 @@
+// Competitors in series (§II-D2): why marginal-cost pricing cannot split a
+// chain's profit, and how the paper's negotiation procedure divides it
+// roughly 1/N — demonstrated on a pipeline chain built with the library.
+//
+// Run: ./build/examples/series_market [actors_in_chain]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gridsec/flow/allocation.hpp"
+#include "gridsec/flow/series.hpp"
+#include "gridsec/sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  // Producer (cost 10) -> n transport segments -> consumer (price 40).
+  flow::Network net = sim::make_chain(n, /*supply_cost=*/10.0,
+                                      /*price=*/40.0, /*capacity=*/50.0,
+                                      /*segment_cost=*/1.0);
+  // Segment i belongs to actor i; producer/consumer sides to actor n.
+  std::vector<int> owners(static_cast<std::size_t>(net.num_edges()), n);
+  for (int i = 0; i < n; ++i) {
+    owners[static_cast<std::size_t>(1 + i)] = i;  // edge 0 is the supply
+  }
+
+  auto alloc = flow::allocate_profits(net, owners, n + 1);
+  std::printf("chain welfare: %.1f\n", alloc.welfare);
+  std::printf("LMP allocation of the transporters:\n");
+  for (int i = 0; i < n; ++i) {
+    std::printf("  actor %d: %8.1f\n", i,
+                alloc.actor_profit[static_cast<std::size_t>(i)]);
+  }
+  std::printf(
+      "(duals hand the whole margin to one point of the degenerate chain)\n");
+
+  std::vector<int> chain_actors;
+  auto chain = flow::extract_series_chain(net, owners, &chain_actors);
+  if (!chain.is_ok()) {
+    std::printf("chain extraction failed: %s\n",
+                chain.status().to_string().c_str());
+    return 1;
+  }
+  auto shares = flow::negotiate_series_profits(*chain);
+  std::printf(
+      "\nnegotiated split (margin %.1f/unit, flow %.0f, %d iterations):\n",
+      shares.chain_margin, chain->flow, shares.iterations);
+  for (std::size_t i = 0; i < shares.actor_profit.size(); ++i) {
+    std::printf("  actor %d: %8.1f  (markup %.2f/unit)\n",
+                chain_actors[i], shares.actor_profit[i], shares.markup[i]);
+  }
+  std::printf("\neach of the %d actors ends up with ~1/%d of the margin —\n"
+              "the paper's stated outcome for competitors in series.\n",
+              n, n);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// The strategic adversary (§II-E): selects a set of targets to attack and a
+// set of actors whose profit swings she monetizes, maximizing expected
+// return under an attack budget (Eqs 8-11).
+//
+// Given a target set T, the optimal actor set is analytic: include actor j
+// iff its aggregate swing Σ_{i∈T} IM[j,i]·Ps(i) is positive. The objective
+// therefore collapses to
+//   f(T) = Σ_j max(0, Σ_{i∈T} v_ij) − Σ_{i∈T} Catk(i),   v_ij = IM[j,i]·Ps(i)
+// and plan() solves max f(T) by a specialized exact branch-and-bound over
+// targets: candidates are sorted by their standalone worth
+// w_i = Σ_j max(0, v_ij) − Catk(i) (targets with w_i ≤ 0 can never help —
+// max(0, a+b) ≤ max(0,a) + max(0,b) bounds their marginal contribution by
+// w_i), and the same subadditivity gives the pruning bound
+//   f(S) ≤ f(T) + Σ of the top (K−|T|) positive w_i still available.
+// A node budget guards pathological dense instances; on exhaustion the
+// incumbent (never worse than greedy) is returned with kIterationLimit.
+//
+// Alternative solvers for validation and ablation: plan_milp() — the Eq 8-11
+// program linearized with per-actor gates u_j ≤ B_j·A_j,
+// u_j ≤ Σ_i v_ij·T_i + M_j(1−A_j) and binary A (exact but slower on dense
+// matrices); plan_enumerate() — exhaustive subsets; plan_greedy() — the
+// marginal-gain heuristic.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/lp/milp.hpp"
+
+namespace gridsec::core {
+
+struct AdversaryConfig {
+  /// Expected cost to attack each target, Catk(t). Empty = all zero.
+  std::vector<double> attack_cost;
+  /// Probability an attack on t succeeds, Ps(t). Empty = all one.
+  std::vector<double> success_prob;
+  /// Attack budget MA (Eq 11).
+  double budget = lp::kInfinity;
+  /// Optional cardinality cap on |T| (the paper's experiments use 6 with
+  /// uniform costs). Negative = unlimited.
+  int max_targets = -1;
+  /// Search-node budget for plan(); exhausted => kIterationLimit with the
+  /// best incumbent found (still a valid, feasible attack).
+  long max_nodes = 5'000'000;
+};
+
+struct AttackPlan {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  std::vector<int> targets;  // T: asset ids the SA disrupts
+  std::vector<int> actors;   // A: actors whose positions the SA takes
+  /// Expected return anticipated by the SA on the impact matrix it was
+  /// given (Eq 8's objective value).
+  double anticipated_return = 0.0;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+  [[nodiscard]] bool attacks(int target) const;
+};
+
+class StrategicAdversary {
+ public:
+  explicit StrategicAdversary(AdversaryConfig config = {})
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] const AdversaryConfig& config() const { return config_; }
+
+  /// Exact plan via the specialized branch-and-bound (see file comment).
+  /// `im` is the SA's view of the system — pass a noise-perturbed matrix to
+  /// model limited knowledge (§II-D4). status == kIterationLimit means the
+  /// node budget ran out; the returned plan is feasible but not proven
+  /// optimal.
+  [[nodiscard]] AttackPlan plan(const cps::ImpactMatrix& im) const;
+
+  /// Exact plan via the linearized Eq 8-11 MILP; slower on dense matrices,
+  /// kept for cross-validation and the solver-ablation bench.
+  [[nodiscard]] AttackPlan plan_milp(const cps::ImpactMatrix& im) const;
+
+  /// Exact plan via exhaustive subset enumeration. Exponential; intended
+  /// for validation on systems with ~<= 20 candidate targets (targets with
+  /// no positive impact on any actor are pruned first).
+  [[nodiscard]] AttackPlan plan_enumerate(const cps::ImpactMatrix& im) const;
+
+  /// Greedy heuristic: repeatedly add the target with the best marginal
+  /// return. Fast; can be suboptimal when gains interact through A.
+  [[nodiscard]] AttackPlan plan_greedy(const cps::ImpactMatrix& im) const;
+
+ private:
+  /// Objective value of a fixed target set with optimally chosen actors.
+  [[nodiscard]] double evaluate_target_set(
+      const cps::ImpactMatrix& im, const std::vector<int>& targets,
+      std::vector<int>* best_actors) const;
+
+  AdversaryConfig config_;
+};
+
+/// Baseline non-strategic attacker: draws up to max_targets targets
+/// uniformly at random (respecting the budget), then takes actor positions
+/// optimally for that set. The gap to StrategicAdversary::plan quantifies
+/// the value of strategic target selection (see micro_ablation).
+AttackPlan random_attack_plan(const cps::ImpactMatrix& im,
+                              const AdversaryConfig& config, Rng& rng);
+
+/// The return the SA actually realizes when the plan (chosen on a possibly
+/// noisy view) is executed against the ground truth. Uses the paper's
+/// linear-additivity approximation: Σ_{i∈T} (−Catk(i) + Σ_{j∈A}
+/// IM_truth[j,i]·Ps(i)).
+double realized_return(const cps::ImpactMatrix& truth,
+                       const AttackPlan& plan, const AdversaryConfig& config);
+
+/// Non-additive variant: applies all attacks in the plan to the ground
+/// truth network at once, re-solves, and credits the SA with the joint
+/// profit swing of its actor set (minus attack costs). Quantifies the
+/// sub/supermodularity the paper's linear approximation ignores.
+StatusOr<double> realized_return_joint(const flow::Network& truth_net,
+                                       const cps::Ownership& ownership,
+                                       const AttackPlan& plan,
+                                       const AdversaryConfig& config,
+                                       const cps::ImpactOptions& options = {});
+
+}  // namespace gridsec::core

@@ -1,0 +1,70 @@
+// Deception as a defense (the paper's Figure-4 discussion).
+//
+// "This suggests a viable defense policy — deception, specifically, making
+// the attacker think that he knows the protected system better than he
+// does in practice. Then, the attacker may be willing to expend greater
+// resources only to realize after launching the attack that he obtained
+// diminished returns."
+//
+// This module operationalizes that: the defenders publish falsified values
+// for selected asset parameters (capacity inflation/deflation of specific
+// edges). The adversary plans on the falsified view with full confidence;
+// the plan is then realized against the truth. evaluate_deception scores a
+// misreport set by the SA's realized return (lower is better for the
+// defenders) and the defenders' realized losses; greedy_deception_plan
+// picks the k most effective single-edge misreports.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/cps/ownership.hpp"
+
+namespace gridsec::core {
+
+struct Misreport {
+  flow::EdgeId edge = -1;
+  /// Published capacity = true capacity · factor (e.g. 0.5 hides half the
+  /// line; 2.0 overstates it).
+  double capacity_factor = 1.0;
+};
+
+struct DeceptionOutcome {
+  AttackPlan attack;          // what the deceived SA chooses
+  double anticipated = 0.0;   // SA's expectation on the falsified view
+  double realized = 0.0;      // SA's actual return on the truth
+  double defender_losses = 0.0;  // Σ negative actor impacts, realized
+};
+
+/// Evaluates one misreport set: the SA plans on truth ⊕ misreports and is
+/// scored on truth.
+StatusOr<DeceptionOutcome> evaluate_deception(
+    const flow::Network& truth, const cps::Ownership& ownership,
+    std::span<const Misreport> misreports, const AdversaryConfig& adversary,
+    const cps::ImpactOptions& impact_options = {});
+
+struct DeceptionPlanOptions {
+  /// How many edges may be misreported.
+  int max_misreports = 3;
+  /// Candidate publication factors tried per edge.
+  std::vector<double> factors{0.25, 4.0};
+  AdversaryConfig adversary;
+  cps::ImpactOptions impact;
+};
+
+struct DeceptionPlan {
+  std::vector<Misreport> misreports;
+  DeceptionOutcome baseline;  // SA against the honest system
+  DeceptionOutcome deceived;  // SA against the final misreported view
+};
+
+/// Greedy construction: repeatedly add the single-edge misreport that most
+/// reduces the defenders' realized losses; stops when no candidate improves
+/// or the budget is reached. O(max_misreports · edges · factors) SA solves —
+/// intended for the ~60-asset scenario scale.
+StatusOr<DeceptionPlan> greedy_deception_plan(
+    const flow::Network& truth, const cps::Ownership& ownership,
+    const DeceptionPlanOptions& options);
+
+}  // namespace gridsec::core

@@ -1,0 +1,97 @@
+// Defensive investment optimization (§II-F).
+//
+// Every actor is a defender that trades the cost of protecting an asset
+// against the expected loss if it is attacked:
+//   individual  (Eqs 12-14): each actor solves a 0/1 knapsack over its own
+//                assets with its own budget MD(a);
+//   collaborative (Eqs 15-18): actors that are *all hurt* by a target
+//                (the valid cooperating-defender set CD(t)) share its
+//                defense cost proportionally to their impacts, and a joint
+//                optimization picks the defended set under per-actor
+//                budget constraints on the shares.
+//
+// Attack probabilities Pa come from the defender's own model of the
+// strategic adversary: estimate_attack_probabilities runs the SA
+// optimization on the defender's (noisy) view repeatedly, each time with a
+// fresh speculation of the adversary's knowledge noise, and reports the
+// empirical attack frequency per target (§II-F2).
+#pragma once
+
+#include <vector>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/cps/ownership.hpp"
+#include "gridsec/cps/perturbation.hpp"
+
+namespace gridsec::core {
+
+struct DefenderConfig {
+  /// Cost of defending each target, Cd(t). Required (sized to targets).
+  std::vector<double> defense_cost;
+  /// Defense budget MD(a) per actor. Required (sized to actors).
+  std::vector<double> budget;
+  /// Probability an attack on t succeeds, Ps(t) — the paper's decision
+  /// rule is "defend when Ps·Pa·I > Cd". Empty = all one.
+  std::vector<double> success_prob;
+};
+
+struct DefensePlan {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  std::vector<bool> defended;  // D(t) per target
+  /// Eq 12 / Eq 16 objective value at the optimum.
+  double objective = 0.0;
+  /// Total defense spending per actor (their cost shares).
+  std::vector<double> spending;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+  [[nodiscard]] int num_defended() const;
+};
+
+/// Individual defense (Eqs 12-14): each actor independently protects its own
+/// assets. `pa[t]` is the (shared) estimated attack probability; `im` is the
+/// impact matrix *as the defender sees it* (pass a noisy one for §II-F2).
+DefensePlan defend_individual(const cps::ImpactMatrix& im,
+                              const cps::Ownership& ownership,
+                              const std::vector<double>& pa,
+                              const DefenderConfig& config);
+
+/// Per-actor-belief variant: actor a uses pa_per_actor[a] as its attack
+/// probabilities (the paper's Pa(a,t)); combine with a composite impact
+/// matrix whose row a carries actor a's own noisy beliefs to model fully
+/// independent defender information.
+DefensePlan defend_individual(
+    const cps::ImpactMatrix& im, const cps::Ownership& ownership,
+    const std::vector<std::vector<double>>& pa_per_actor,
+    const DefenderConfig& config);
+
+/// Collaborative defense (Eqs 15-18): cost sharing within each target's
+/// cooperating-defender set CD(t) = {a : IM[a,t] < 0}, joint MILP across all
+/// targets with per-actor budgets on the shares. `pa_per_actor[a][t]` lets
+/// each defender hold its own attack-probability belief (Pa(a,t)); pass one
+/// row to share a belief.
+DefensePlan defend_collaborative(
+    const cps::ImpactMatrix& im, const cps::Ownership& ownership,
+    const std::vector<std::vector<double>>& pa_per_actor,
+    const DefenderConfig& config);
+
+/// Convenience overload with a shared Pa vector.
+DefensePlan defend_collaborative(const cps::ImpactMatrix& im,
+                                 const cps::Ownership& ownership,
+                                 const std::vector<double>& pa,
+                                 const DefenderConfig& config);
+
+/// The defender's model of the adversary (§II-F2): runs the SA plan on
+/// `defender_view` repeatedly — each sample re-perturbs the view with the
+/// defender's speculation of the adversary's knowledge noise
+/// (`speculated_noise`) — and returns the per-target empirical attack
+/// frequency. One sample with zero speculated noise reproduces the
+/// deterministic SA prediction.
+StatusOr<std::vector<double>> estimate_attack_probabilities(
+    const flow::Network& defender_view, const cps::Ownership& ownership,
+    const AdversaryConfig& adversary, const cps::NoiseSpec& speculated_noise,
+    int num_samples, Rng& rng, const cps::ImpactOptions& impact_options = {});
+
+}  // namespace gridsec::core

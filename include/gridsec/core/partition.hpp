@@ -1,0 +1,45 @@
+// Divide-and-conquer strategic adversary (§II-E4).
+//
+// "The SA model can become computationally difficult to solve as the
+// system grows in both the number of actors and targets. This problem can
+// be alleviated to some extent by partitioning the system and actors into
+// a divide-and-conquer algorithm."
+//
+// The impact matrix induces a bipartite interaction graph between targets
+// and actors (target t touches actor a iff IM[a,t] != 0). Its connected
+// components are economically independent: no actor spans two components,
+// so the SA objective is additive across them. plan_partitioned solves each
+// component independently for every affordable cardinality 0..K and
+// recombines with a dynamic program over (component, targets-used) — exact
+// under uniform attack costs, and an upper-bounded heuristic otherwise.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/core/adversary.hpp"
+
+namespace gridsec::core {
+
+struct ImpactPartition {
+  /// component_of_target[t] / component_of_actor[a]; -1 for isolated
+  /// entries (targets with all-zero columns never matter to the SA).
+  std::vector<int> component_of_target;
+  std::vector<int> component_of_actor;
+  int num_components = 0;
+
+  [[nodiscard]] std::vector<int> targets_in(int component) const;
+  [[nodiscard]] std::vector<int> actors_in(int component) const;
+};
+
+/// Connected components of the target-actor interaction graph. Entries of
+/// magnitude <= tol count as "no interaction".
+ImpactPartition partition_impact(const cps::ImpactMatrix& im,
+                                 double tol = 1e-9);
+
+/// Divide-and-conquer SA plan: exact (equal to plan()) when attack costs
+/// are uniform and the budget constraint reduces to the cardinality cap.
+/// Requires config.max_targets >= 0.
+AttackPlan plan_partitioned(const cps::ImpactMatrix& im,
+                            const AdversaryConfig& config);
+
+}  // namespace gridsec::core

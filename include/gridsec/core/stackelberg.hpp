@@ -1,0 +1,61 @@
+// Stackelberg defense: leader-follower investment against a re-optimizing
+// adversary.
+//
+// The paper's defenders (§II-F) treat the attack distribution Pa as fixed
+// once estimated. A strategic defender can do better by anticipating that
+// the adversary re-optimizes *after* seeing (or probing) the defense: the
+// defender leads, the SA follows with its best response against the
+// defended system. This module implements the natural greedy leader:
+// repeatedly commit the defense whose addition minimizes the follower's
+// best achievable return, stopping when the budget is exhausted or no
+// addition helps. Exact leader optimization is NP-hard (set cover
+// flavored); the greedy is the standard baseline and is compared against
+// the paper's static defender in the ablation bench.
+//
+// Defense semantics match the game evaluator: a defended target's impact
+// is scaled by (1 − mitigation) in the follower's world.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/cps/ownership.hpp"
+
+namespace gridsec::core {
+
+struct StackelbergConfig {
+  AdversaryConfig adversary;
+  /// Uniform cost to defend one target.
+  double defense_cost = 1.0;
+  /// Total leader budget (across all actors; the Stackelberg leader is the
+  /// coalition of all defenders).
+  double budget = 0.0;
+  /// Effect removed from a defended target.
+  double mitigation = 1.0;
+};
+
+struct StackelbergPlan {
+  std::vector<bool> defended;
+  /// The follower's best response against the final defense.
+  AttackPlan follower_response;
+  double follower_return = 0.0;   // SA's value after defense
+  double undefended_return = 0.0; // SA's value with no defense
+  double spending = 0.0;
+  int rounds = 0;
+};
+
+/// Greedy leader: in each round, evaluates every undefended target's
+/// marginal effect on the follower's optimum and commits the best one.
+/// O(rounds · targets) follower solves — the follower solve is the
+/// combinatorial SA plan, so this is intended for the ~60-asset scale.
+StackelbergPlan stackelberg_defense(const cps::ImpactMatrix& im,
+                                    const StackelbergConfig& config);
+
+/// The follower's optimum against a given defense: impacts of defended
+/// targets are scaled by (1 − mitigation), then the SA plans as usual.
+AttackPlan follower_best_response(const cps::ImpactMatrix& im,
+                                  const std::vector<bool>& defended,
+                                  const AdversaryConfig& adversary,
+                                  double mitigation);
+
+}  // namespace gridsec::core

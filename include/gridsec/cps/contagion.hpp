@@ -1,0 +1,42 @@
+// Contagion-style interdependence baseline.
+//
+// The interdependent-security literature the paper positions against
+// ([24-27]) models risk spreading as contagion on the asset graph: a
+// compromised component degrades its neighbours with some probability,
+// regardless of the underlying physics. The paper's thesis is that for
+// energy CPS the impacts "should be measured on the physical side ...
+// rather than approximated via contagion."
+//
+// This module implements the baseline so the thesis can be tested: an
+// independent-cascade expectation where an attack on asset t fails each
+// other asset e with probability p^d(t,e) (d = hop distance in the asset
+// adjacency graph, assets adjacent when they share a hub), and the
+// predicted damage is the failure-probability-weighted sum of asset sizes.
+// bench/ext_contagion correlates this prediction against the true economic
+// impact.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+
+namespace gridsec::cps {
+
+struct ContagionModel {
+  /// Per-hop transmission probability of the cascade.
+  double transmission_prob = 0.5;
+  /// Contributions below this probability are truncated.
+  double threshold = 1e-4;
+};
+
+/// Hop distances between assets in the shared-hub adjacency graph;
+/// row-major [source * num_edges + target], -1 when unreachable.
+std::vector<int> asset_hop_distances(const flow::Network& net);
+
+/// Expected contagion damage of attacking each asset: Σ_e p^d(t,e)·size(e),
+/// with size(e) = capacity (the contagion literature's component-size
+/// proxy). The attacked asset itself counts with probability 1.
+std::vector<double> contagion_expected_damage(const flow::Network& net,
+                                              const ContagionModel& model);
+
+}  // namespace gridsec::cps

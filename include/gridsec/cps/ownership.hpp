@@ -1,0 +1,50 @@
+// Actor ownership of network assets (§II-B, §III-A3).
+//
+// Every edge of the network is an asset owned by exactly one actor. The
+// paper's experiments draw ownership uniformly: with N actors each asset
+// lands on any particular actor with probability 1/N.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/util/error.hpp"
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::cps {
+
+class Ownership {
+ public:
+  /// owners[e] = actor owning edge e, each in [0, num_actors).
+  Ownership(std::vector<int> owners, int num_actors);
+
+  /// Uniform random assignment: each edge independently picks one of the
+  /// `num_actors` actors (the paper's 1/N model).
+  static Ownership random(int num_edges, int num_actors, Rng& rng);
+
+  /// All edges owned by one actor (the monolithic baseline).
+  static Ownership monolithic(int num_edges);
+
+  [[nodiscard]] int owner(flow::EdgeId e) const {
+    GRIDSEC_ASSERT(e >= 0 && e < static_cast<int>(owners_.size()));
+    return owners_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] int num_actors() const { return num_actors_; }
+  [[nodiscard]] int num_assets() const {
+    return static_cast<int>(owners_.size());
+  }
+  [[nodiscard]] std::span<const int> owners() const { return owners_; }
+
+  /// The asset set T_a of one actor.
+  [[nodiscard]] std::vector<flow::EdgeId> assets_of(int actor) const;
+
+  /// Number of distinct actors that actually own at least one asset.
+  [[nodiscard]] int active_actors() const;
+
+ private:
+  std::vector<int> owners_;
+  int num_actors_;
+};
+
+}  // namespace gridsec::cps

@@ -1,0 +1,66 @@
+// Model perturbations (§II-D3, §II-D4): cyber-attacks on assets and
+// knowledge noise.
+//
+// Attacks change the graph parameters directly — the adversary compromises
+// the control system driving an asset and degrades its physical service.
+// The paper's experiments use the outage attack (capacity -> 0, "crash a
+// PLC"); subtler attacks (loss increase, cost shift, partial capacity) are
+// also supported.
+//
+// Knowledge noise models an observer (attacker or defender) whose picture
+// of the system comes from public sources or reconnaissance: each edge
+// parameter is redrawn from a normal distribution around its true value.
+#pragma once
+
+#include <span>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::cps {
+
+enum class AttackType {
+  kOutage,         // capacity -> 0 (the paper's experimental perturbation)
+  kCapacityScale,  // capacity *= (1 - magnitude)
+  kLossIncrease,   // loss += magnitude (clamped below 1)
+  kCostShift,      // cost += magnitude
+};
+
+struct Attack {
+  flow::EdgeId target = -1;
+  AttackType type = AttackType::kOutage;
+  /// Severity; unused for kOutage. For kCapacityScale this is the fraction
+  /// of capacity destroyed in [0, 1].
+  double magnitude = 1.0;
+};
+
+/// Applies one attack in place.
+void apply_attack(flow::Network& net, const Attack& attack);
+
+/// Returns a copy of `net` with all attacks applied.
+flow::Network attacked_network(const flow::Network& net,
+                               std::span<const Attack> attacks);
+
+enum class NoiseMode {
+  /// x' = N(x, (sigma·x)^2): sigma is a relative knowledge error. Default —
+  /// it keeps one sigma meaningful across capacity/cost/loss scales.
+  kRelative,
+  /// x' = N(x, sigma^2): the paper's literal formulation.
+  kAbsolute,
+};
+
+struct NoiseSpec {
+  double sigma = 0.0;
+  NoiseMode mode = NoiseMode::kRelative;
+  bool perturb_capacity = true;
+  bool perturb_cost = true;
+  bool perturb_loss = true;
+};
+
+/// Returns the observer's noisy view of the network: every selected edge
+/// parameter redrawn around its true value (capacities clamped >= 0,
+/// losses clamped to [0, 0.95]). sigma == 0 returns an exact copy.
+flow::Network perturb_knowledge(const flow::Network& net,
+                                const NoiseSpec& spec, Rng& rng);
+
+}  // namespace gridsec::cps

@@ -1,0 +1,92 @@
+// Layered security postures (§II-E4, §II-F4).
+//
+// The paper motivates Ps(t) and Catk(t) as handles for defense-in-depth:
+// "adding layers of security reduces the probability of successful attack
+// and increases the cost of an attack." This module makes that concrete:
+// each target carries an integer number of security layers; every layer
+// multiplies the success probability by a decay factor and adds to the
+// attack cost. Derived AdversaryConfig parameters feed straight into the
+// StrategicAdversary, and a layered defender invests budget in *layers*
+// (integer MILP) rather than the binary defend/not of Eqs 12-14 —
+// augmenting the traditional dependability model exactly as §II-F4
+// describes.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/cps/ownership.hpp"
+
+namespace gridsec::cps {
+
+struct SecurityModel {
+  /// Ps with zero layers.
+  double base_success_prob = 1.0;
+  /// Multiplicative Ps decay per layer (e.g. 0.5: each layer halves Ps).
+  double success_decay_per_layer = 0.5;
+  /// Catk with zero layers.
+  double base_attack_cost = 0.0;
+  /// Additional attack cost per layer (reconnaissance, exploit re-design).
+  double attack_cost_per_layer = 1.0;
+};
+
+class SecurityPosture {
+ public:
+  SecurityPosture(int num_targets, SecurityModel model);
+
+  [[nodiscard]] int num_targets() const {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] int layers(int target) const;
+  void set_layers(int target, int layers);
+  void add_layer(int target) { set_layers(target, layers(target) + 1); }
+
+  [[nodiscard]] const SecurityModel& model() const { return model_; }
+
+  /// Ps(t) = base · decay^layers(t).
+  [[nodiscard]] double success_prob(int target) const;
+  /// Catk(t) = base + per_layer · layers(t).
+  [[nodiscard]] double attack_cost(int target) const;
+
+  /// Materializes the per-target vectors for an AdversaryConfig.
+  [[nodiscard]] std::vector<double> success_prob_vector() const;
+  [[nodiscard]] std::vector<double> attack_cost_vector() const;
+
+ private:
+  std::vector<int> layers_;
+  SecurityModel model_;
+};
+
+struct LayeredDefenseConfig {
+  /// Cost the *defender* pays per layer added to a target.
+  double layer_cost = 1.0;
+  /// Max layers a defender may stack on one target.
+  int max_layers_per_target = 3;
+  /// Per-actor investment budgets.
+  std::vector<double> budget;
+};
+
+struct LayeredDefensePlan {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  std::vector<int> added_layers;  // per target
+  double objective = 0.0;
+  std::vector<double> spending;   // per actor
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+  [[nodiscard]] int total_layers() const;
+};
+
+/// Each actor invests in layers on its own assets to minimize expected
+/// attack losses: adding k layers to target t changes its expected loss
+/// from Pa(t)·Ps(t)·I(a,t) to Pa(t)·Ps_k(t)·I(a,t) with
+/// Ps_k = Ps·decay^k. The per-actor integer program maximizes
+/// Σ_t (avoided expected loss − layer spending) under the budget.
+LayeredDefensePlan defend_layered(const ImpactMatrix& im,
+                                  const Ownership& ownership,
+                                  const std::vector<double>& pa,
+                                  const SecurityPosture& posture,
+                                  const LayeredDefenseConfig& config);
+
+}  // namespace gridsec::cps

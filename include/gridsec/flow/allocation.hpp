@@ -1,0 +1,76 @@
+// Multi-actor profit division (§II-D2 of the paper).
+//
+// The flows are fixed at the social-welfare optimum (the paper's
+// coalition-proof assumption); only the system profit has to be divided.
+// Competition is priced at the "cost of the alternative" — the marginal
+// cost at each point in the system. Two interchangeable implementations:
+//
+//  * kLmp          — exact: node prices are the hub-conservation duals
+//                    (locational marginal prices) from the LP.
+//  * kPerturbation — paper-faithful: node prices are estimated numerically
+//                    by injecting a small free supply at each hub and
+//                    measuring the utility change (the paper's "reduce the
+//                    capacity ... the reduction in utility is the marginal
+//                    cost" probe, applied at hubs).
+//
+// Given node prices λ (zero at terminals), each edge's competitive profit is
+//   profit(e) = λ_to·f − λ_from·f/(1−loss) − cost·f ,
+// which telescopes so that Σ_e profit(e) = social welfare exactly; actor
+// profit is the sum over owned edges. Degenerate duals (ties between
+// competitors in series) are the case the paper's iterative 1/N-sharing
+// algorithm targets; see series.hpp for that procedure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::flow {
+
+enum class AllocatorKind { kLmp, kPerturbation };
+
+struct AllocationOptions {
+  AllocatorKind kind = AllocatorKind::kLmp;
+  /// Probe size for the perturbation allocator, as a fraction of the mean
+  /// positive flow (floored at an absolute minimum internally).
+  double probe_fraction = 1e-4;
+  SocialWelfareOptions welfare;
+};
+
+struct AllocationResult {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  double welfare = 0.0;
+  std::vector<double> flow;         // delivered flow per edge
+  std::vector<double> node_price;   // λ used for the division
+  std::vector<double> edge_profit;  // competitive profit per edge
+  std::vector<double> actor_profit; // per actor; empty when owners empty
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+/// Divides the social-welfare-optimal profit across edges (and actors when
+/// `owners` is non-empty). `owners[e]` is the owning actor of edge e in
+/// [0, num_actors); pass an empty span for edge-level results only.
+AllocationResult allocate_profits(const Network& net,
+                                  std::span<const int> owners,
+                                  int num_actors,
+                                  const AllocationOptions& options = {});
+
+/// Computes per-edge profits from an existing flow solution and price
+/// vector (shared by both allocators; exposed for tests).
+std::vector<double> edge_profits_from_prices(
+    const Network& net, std::span<const double> flow,
+    std::span<const double> node_price);
+
+/// Numerically estimates hub prices by free-injection probing (the
+/// perturbation allocator's core). Returns one λ per node (0 at terminals).
+/// Exposed for tests and the allocator-ablation bench.
+StatusOr<std::vector<double>> probe_node_prices(
+    const Network& net, const FlowSolution& base, double probe_fraction,
+    const SocialWelfareOptions& options = {});
+
+}  // namespace gridsec::flow

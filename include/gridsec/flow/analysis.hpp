@@ -1,0 +1,37 @@
+// Structural (graph-topological) vulnerability analysis.
+//
+// The paper's related work contrasts pure graph metrics for grid
+// vulnerability ([32]: electrical betweenness) with flow-based analysis and
+// cites the critique that topology alone is a poor proxy ([33], Hines et
+// al.). This module provides the topological side so the two can be
+// compared quantitatively against gridsec's economic impact ranking (see
+// bench/ext_topology_vs_impact):
+//
+//  * source-sink shortest-path betweenness per edge — the fraction of
+//    shortest source→sink routes crossing each asset (directed, unweighted);
+//  * connectivity / reachability of consumers from producers;
+//  * max deliverable energy per demand edge (LP-based deliverability).
+#pragma once
+
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::flow {
+
+/// For every edge: Σ over (source terminal, sink terminal) pairs of the
+/// fraction of shortest directed paths that use the edge. Unweighted hops;
+/// supply/demand edges participate as the path's first/last hop.
+std::vector<double> source_sink_betweenness(const Network& net);
+
+/// True iff every sink terminal is reachable (directed) from at least one
+/// source terminal.
+bool all_consumers_reachable(const Network& net);
+
+/// Max energy deliverable to one demand edge, ignoring prices: maximizes
+/// that edge's delivered flow subject to capacities and lossy conservation
+/// (all other demand edges closed). Status mirrors the LP solve.
+StatusOr<double> max_deliverable(const Network& net, EdgeId demand_edge);
+
+}  // namespace gridsec::flow

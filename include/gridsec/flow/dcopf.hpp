@@ -1,0 +1,108 @@
+// DC optimal power flow: dispatch under phase-angle physics.
+//
+// The paper's impact model deliberately ignores "low level mechanics such
+// as voltages and phase angles", citing D-FACTS devices that let operators
+// steer flows. This module supplies the physics it abstracts away — the
+// standard DC (B-θ) linearization where a line's flow is forced to
+// f = B·(θ_from − θ_to) — so the abstraction can be tested: a transport
+// model routes freely around congestion, while Kirchhoff's laws push
+// parallel ("loop") flows that can congest lines a router would avoid.
+//
+// The LP: minimize generation cost − served-load value over
+//   generator outputs g ∈ [0, cap], served loads d ∈ [0, demand],
+//   free bus angles θ (slack bus pinned at 0),
+//   line flows f ∈ [−cap, cap] tied by f − B·θ_from + B·θ_to = 0,
+//   nodal balance  Σgen − Σload = Σ f_out − Σ f_in  per bus.
+// Bus LMPs are the balance-row duals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gridsec/lp/problem.hpp"
+#include "gridsec/util/error.hpp"
+
+namespace gridsec::flow {
+
+struct DcLine {
+  std::string name;
+  int from = -1;
+  int to = -1;
+  double susceptance = 1.0;  // per-unit B
+  double capacity = 0.0;     // thermal limit |f| <= capacity
+};
+
+struct DcGenerator {
+  std::string name;
+  int bus = -1;
+  double capacity = 0.0;
+  double cost = 0.0;  // $/unit
+};
+
+struct DcLoad {
+  std::string name;
+  int bus = -1;
+  double demand = 0.0;
+  double price = 0.0;  // willingness to pay $/unit
+};
+
+class DcNetwork {
+ public:
+  int add_bus(std::string name);
+  int add_line(std::string name, int from, int to, double susceptance,
+               double capacity);
+  int add_generator(std::string name, int bus, double capacity, double cost);
+  int add_load(std::string name, int bus, double demand, double price);
+
+  [[nodiscard]] int num_buses() const {
+    return static_cast<int>(buses_.size());
+  }
+  [[nodiscard]] const std::vector<std::string>& buses() const {
+    return buses_;
+  }
+  [[nodiscard]] const std::vector<DcLine>& lines() const { return lines_; }
+  [[nodiscard]] const std::vector<DcGenerator>& generators() const {
+    return generators_;
+  }
+  [[nodiscard]] const std::vector<DcLoad>& loads() const { return loads_; }
+
+  std::vector<DcLine>& mutable_lines() { return lines_; }
+  std::vector<DcGenerator>& mutable_generators() { return generators_; }
+
+ private:
+  std::vector<std::string> buses_;
+  std::vector<DcLine> lines_;
+  std::vector<DcGenerator> generators_;
+  std::vector<DcLoad> loads_;
+};
+
+struct DcSolution {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  double welfare = 0.0;
+  std::vector<double> theta;      // per bus (radian-like, slack = 0)
+  std::vector<double> line_flow;  // per line, signed (from -> to positive)
+  std::vector<double> generation; // per generator
+  std::vector<double> served;     // per load
+  std::vector<double> bus_price;  // LMP per bus
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+/// Solves the DC-OPF. Bus 0 is the slack (angle reference); the network
+/// must have at least one bus.
+///
+/// Outage modelling: remove the line from the network. Zeroing only the
+/// capacity keeps the susceptance coupling alive and pins
+/// θ_from == θ_to — a *different* (and usually more damaging) constraint
+/// than losing the line.
+DcSolution solve_dc_opf(const DcNetwork& net);
+
+/// Transport relaxation of the same data: identical LP without the angle
+/// coupling (flows limited only by line capacity) — the paper's §II-D1
+/// modelling choice. The welfare gap to solve_dc_opf quantifies what the
+/// abstraction gives away (it is always >= 0).
+DcSolution solve_transport_relaxation(const DcNetwork& net);
+
+}  // namespace gridsec::flow

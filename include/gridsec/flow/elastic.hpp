@@ -1,0 +1,41 @@
+// Elastic demand: piecewise-linear willingness-to-pay.
+//
+// The paper fixes per-unit consumer prices ("for the sake of simplicity in
+// algorithmic convergence"). Real loads substitute and curtail: the first
+// megawatts are worth far more than the last. This extension models a
+// consumer as a stack of price tiers — each tier one demand edge with its
+// own quantity and price — which keeps the problem an LP while giving a
+// downward-sloping demand curve. Attack impacts soften accordingly: when
+// supply is cut, the market sheds the *cheapest* tiers first, so the
+// welfare loss per lost megawatt starts low instead of at the full retail
+// price (see bench/ext_elasticity).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+
+namespace gridsec::flow {
+
+struct DemandTier {
+  double quantity = 0.0;  // tier width (delivered units)
+  double price = 0.0;     // willingness to pay in this tier
+};
+
+/// Adds one demand edge per tier at `hub`, named "<name>.t<i>". Tiers
+/// should be passed highest-price first (the order does not affect the
+/// optimum, only the naming). Returns the created edge ids.
+std::vector<EdgeId> add_elastic_demand(Network& net, const std::string& name,
+                                       NodeId hub,
+                                       std::span<const DemandTier> tiers);
+
+/// Builds a tier stack approximating a linear demand curve that starts at
+/// `max_price` and hits zero at `max_quantity`, using `num_tiers` equal
+/// quantity steps priced at the curve's midpoint of each step.
+std::vector<DemandTier> linear_demand_curve(double max_price,
+                                            double max_quantity,
+                                            int num_tiers);
+
+}  // namespace gridsec::flow

@@ -1,0 +1,50 @@
+// Text serialization for networks and ownership maps.
+//
+// A line-oriented format, one declaration per line, '#' comments:
+//
+//   hub    <name>
+//   supply <name> <hub> <capacity> <unit_cost> [loss]
+//   demand <name> <hub> <capacity> <unit_price> [loss]
+//   edge   <name> <from_hub> <to_hub> <capacity> <cost> [loss]
+//   conv   <name> <from_hub> <to_hub> <capacity> <cost> [loss]
+//   owner  <edge_name> <actor_index>
+//
+// Hubs are referenced by name; supply/demand terminals are implicit (the
+// helpers create them). Written files round-trip: parse(write(net)) == net
+// up to terminal naming.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/util/error.hpp"
+
+namespace gridsec::flow {
+
+/// Writes `net` (and optionally per-edge owners) in the text format.
+void write_network(std::ostream& os, const Network& net,
+                   std::span<const int> owners = {});
+
+std::string to_text(const Network& net, std::span<const int> owners = {});
+
+struct ParsedNetwork {
+  Network network;
+  /// Per-edge owners; -1 where no `owner` line was given. Empty if the
+  /// file declared no owners at all.
+  std::vector<int> owners;
+};
+
+/// Parses the text format. Returns kInvalidArgument with a line-numbered
+/// message on malformed input.
+StatusOr<ParsedNetwork> parse_network(std::istream& is);
+StatusOr<ParsedNetwork> parse_network_text(const std::string& text);
+
+/// Convenience file wrappers.
+Status write_network_file(const std::string& path, const Network& net,
+                          std::span<const int> owners = {});
+StatusOr<ParsedNetwork> read_network_file(const std::string& path);
+
+}  // namespace gridsec::flow

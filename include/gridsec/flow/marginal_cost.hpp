@@ -1,0 +1,43 @@
+// The paper's literal marginal-cost probe (§II-D2, first listing).
+//
+// "The marginal cost is calculated by fixing the flows for each actor ...
+// and reducing the capacity of each positive-flow edge by one unit. The
+// reduction in utility is the corresponding marginal cost."
+//
+// probe_capacity_rents implements exactly that finite difference per edge.
+// LP duality says what it converges to: for an edge saturated at capacity,
+// the rate of welfare loss per unit of capacity removed equals the negated
+// reduced cost of its flow variable (the capacity shadow price / congestion
+// rent); for an unsaturated edge it is zero while the slack lasts. The test
+// suite verifies both identities, making this module the bridge between the
+// paper's numerical recipe and the dual-based allocator.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::flow {
+
+struct CapacityRent {
+  double marginal_value = 0.0;  // welfare lost per unit of capacity removed
+  bool saturated = false;       // edge was at capacity in the base optimum
+};
+
+struct CapacityProbeOptions {
+  /// Capacity reduction per probe ("one unit" in the paper); relative
+  /// probes scale by each edge's capacity instead.
+  double delta = 1.0;
+  bool relative = false;
+  /// Edges with base flow below this carry no rent and are skipped.
+  double flow_tol = 1e-9;
+  SocialWelfareOptions welfare;
+};
+
+/// One LP re-solve per positive-flow edge. Requires `base` to be the
+/// optimal solution of `net`.
+StatusOr<std::vector<CapacityRent>> probe_capacity_rents(
+    const Network& net, const FlowSolution& base,
+    const CapacityProbeOptions& options = {});
+
+}  // namespace gridsec::flow

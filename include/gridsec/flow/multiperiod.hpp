@@ -1,0 +1,71 @@
+// Time-domain extension of the impact model (§II-D5).
+//
+// The paper evaluates a single demand instance but notes: "A time-domain
+// component can be added to the model by integrating several instances of
+// the utility function to represent varying demands and generating
+// constraints." This module builds that extension:
+//
+//  * a horizon of periods, each scaling the base network's demand (and
+//    optionally supply, e.g. solar availability) and weighted by duration;
+//  * one joint LP over all periods — flow variables per (edge, period),
+//    per-period lossy conservation, plus optional *ramp constraints*
+//    coupling consecutive periods' supply-edge outputs
+//    (|f_t − f_{t−1}| ≤ ramp_limit · capacity), the "time to reach maximum
+//    output" constraint the paper calls out;
+//  * multi-period attack impact: an attack persists for the whole horizon
+//    (the paper's assumption that one instance "extends for the duration
+//    of an attack" generalized to a weighted horizon).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::flow {
+
+struct PeriodSpec {
+  std::string name;
+  double duration_hours = 1.0;  // weight of this period in the objective
+  double demand_scale = 1.0;    // multiplies every demand edge's capacity
+  double supply_scale = 1.0;    // multiplies every supply edge's capacity
+};
+
+struct RampSpec {
+  /// Max change of a supply edge's delivered output between consecutive
+  /// periods, as a fraction of its (scaled) capacity. >=1 disables.
+  double limit_fraction = 1.0;
+};
+
+struct MultiPeriodSolution {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  /// Duration-weighted total welfare over the horizon.
+  double total_welfare = 0.0;
+  /// Per-period welfare (duration-weighted) and flows (per edge).
+  std::vector<double> period_welfare;
+  std::vector<std::vector<double>> period_flow;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+/// Builds the joint LP (exposed for tests).
+lp::Problem build_multi_period_lp(const Network& net,
+                                  std::span<const PeriodSpec> periods,
+                                  const RampSpec& ramp = {});
+
+/// Solves the horizon jointly. With one period of duration 1 and no ramp
+/// limit this equals solve_social_welfare.
+MultiPeriodSolution solve_multi_period(const Network& net,
+                                       std::span<const PeriodSpec> periods,
+                                       const RampSpec& ramp = {},
+                                       const SocialWelfareOptions& opt = {});
+
+/// A typical daily horizon: night / morning / peak / evening with demand
+/// scales (0.6, 0.9, 1.0, 0.85) and durations (8h, 4h, 6h, 6h).
+std::vector<PeriodSpec> daily_periods();
+
+}  // namespace gridsec::flow

@@ -1,0 +1,69 @@
+// The paper's iterative profit-sharing procedure for competitors in series
+// (§II-D2, second listing).
+//
+// When independent actors sit on one supply chain, every one of them sees
+// the same marginal cost at its output: LMP-style pricing is degenerate and
+// cannot say who pockets the chain margin. The paper resolves this by a
+// negotiation loop — each actor grows the markup on its segment until the
+// flow would be perturbed, then backs off until it is restored — and states
+// the outcome: each of the N actors keeps roughly 1/N of the chain profit.
+//
+// negotiate_series_profits implements that loop directly: in each round
+// every actor attempts to raise its markup by the current step; an attempt
+// that would push the delivered price past the consumer's willingness to
+// pay (Σ m_j > M, the "flow perturbed" condition) is rejected — the actor
+// backs off and the step is halved ("reduce cost ... until flow is
+// restored"). Starting from zero markups this lock-step growth terminates
+// at the equal split m_i = M/N to within the convergence tolerance — the
+// paper's stated ~1/N outcome.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/util/error.hpp"
+
+namespace gridsec::flow {
+
+/// A supply chain collapsed to scalars: one producer feeding consecutive
+/// actor-owned segments into one consumer.
+struct SeriesChain {
+  double supply_cost = 0.0;          // producer's per-unit cost
+  std::vector<double> segment_cost;  // per-actor transport cost, in order
+  double consumer_price = 0.0;       // what the final consumer pays
+  double flow = 0.0;                 // committed flow along the chain
+};
+
+struct SeriesShareResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> markup;        // per-actor per-unit margin taken
+  std::vector<double> actor_profit;  // markup · flow
+  double chain_margin = 0.0;         // total per-unit margin M
+};
+
+struct SeriesNegotiationOptions {
+  double tolerance = 0.005;  // the paper's 0.5 % convergence criterion
+  /// Initial markup step, as a fraction of the chain margin.
+  double initial_step_fraction = 0.25;
+  int max_iterations = 100000;
+};
+
+/// Divides the chain margin among the actors. With margin M ≤ 0 everyone
+/// gets zero (the chain is not profitable and carries no discretionary
+/// rent). Deterministic; independent of actor order beyond rounding.
+SeriesShareResult negotiate_series_profits(
+    const SeriesChain& chain, const SeriesNegotiationOptions& options = {});
+
+/// Collapses a pure chain network (exactly one supply edge, one demand
+/// edge, hubs in a line) plus an edge-ownership map into a SeriesChain with
+/// one entry per distinct actor along the chain, ordered from producer to
+/// consumer. Supply/demand edges belong to the producer/consumer side and
+/// contribute their costs to supply_cost / consumer_price. Fails with
+/// kInvalidArgument when the network is not a simple chain.
+StatusOr<SeriesChain> extract_series_chain(const Network& net,
+                                           std::span<const int> owners,
+                                           std::vector<int>* chain_actors);
+
+}  // namespace gridsec::flow

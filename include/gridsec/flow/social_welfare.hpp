@@ -1,0 +1,53 @@
+// Social-welfare optimal flow (paper Eqs 1-7).
+//
+// Builds the LP  min Σ a(u,v)·f(u,v)  over delivered flows with
+//   0 ≤ f ≤ c               (Eq 2; variable bounds)
+//   lossy conservation      (Eq 7; equality row per hub)
+// Supply/demand caps (Eqs 5-6) are the capacity bounds of the supply and
+// demand edges. Consumer revenue enters as negative cost, so the social
+// welfare is the negated optimum: welfare = revenues − costs.
+//
+// The hub-conservation duals are the locational marginal prices (LMPs):
+// node_price[h] is the system cost of delivering one extra unit at hub h.
+#pragma once
+
+#include <vector>
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/lp/problem.hpp"
+#include "gridsec/lp/simplex.hpp"
+
+namespace gridsec::flow {
+
+struct FlowSolution {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  /// Social welfare = revenues − costs (maximized). Eq 1's "Utility" is the
+  /// minimized Σ a·f, i.e. -welfare; we expose the economically intuitive
+  /// sign and keep the mapping Impact = welfare' − welfare consistent.
+  double welfare = 0.0;
+  std::vector<double> flow;        // delivered flow per edge
+  std::vector<double> node_price;  // LMP per node (0 at terminals)
+  /// Reduced cost of each edge's flow variable: for an edge saturated at
+  /// capacity this is -(marginal welfare of one more unit of capacity).
+  std::vector<double> edge_reduced_cost;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+/// Options for the social-welfare solve.
+struct SocialWelfareOptions {
+  lp::SimplexOptions simplex;
+};
+
+/// Builds the Eq 1-7 LP for `net` (exposed for tests and the MILP layers).
+lp::Problem build_social_welfare_lp(const Network& net);
+
+/// Solves the social-welfare problem. status != kOptimal means the network
+/// data is inconsistent (the LP is always feasible at f = 0 for validated
+/// networks, so infeasibility indicates a modelling bug).
+FlowSolution solve_social_welfare(const Network& net,
+                                  const SocialWelfareOptions& options = {});
+
+}  // namespace gridsec::flow

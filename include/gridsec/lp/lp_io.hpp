@@ -1,0 +1,20 @@
+// Debug serialization of a Problem in CPLEX-LP-ish text format, so models
+// can be eyeballed or fed to an external solver for cross-validation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gridsec/lp/problem.hpp"
+
+namespace gridsec::lp {
+
+/// Writes `problem` in LP text format. Variable/constraint names are
+/// sanitized (non-alphanumerics replaced with '_'); unnamed entities get
+/// x<i> / c<i>.
+void write_lp_format(std::ostream& os, const Problem& problem);
+
+/// Convenience: LP format as a string.
+std::string to_lp_format(const Problem& problem);
+
+}  // namespace gridsec::lp

@@ -1,0 +1,67 @@
+// Branch-and-bound MILP solver on top of SimplexSolver.
+//
+// Handles the paper's two mixed-integer programs — strategic-adversary
+// target/actor selection (Eqs 8–11, after McCormick linearization of the
+// T(i)·A(j) products) and the defender knapsack (Eqs 12–14 / 16–18). Both
+// use binary decisions only, but general integer variables are supported.
+//
+// Node selection is best-first on the relaxation bound; branching picks the
+// most fractional integer variable. Exact for the problem sizes here
+// (≤ ~200 binaries with tight budgets).
+#pragma once
+
+#include "gridsec/lp/problem.hpp"
+#include "gridsec/lp/simplex.hpp"
+
+namespace gridsec::lp {
+
+struct BranchAndBoundOptions {
+  SimplexOptions lp_options;
+  double integrality_tol = 1e-6;
+  /// Absolute optimality gap at which search stops.
+  double absolute_gap = 1e-9;
+  long max_nodes = 200000;
+  /// Run LP presolve at the root (bound tightening propagates into every
+  /// node because nodes only shrink bounds further).
+  bool use_presolve = false;
+  /// Before the search, dive once from the root relaxation — repeatedly
+  /// round the most fractional integer and re-solve — to seed an incumbent
+  /// early. Never affects optimality, only pruning speed.
+  bool diving_heuristic = true;
+};
+
+struct BranchAndBoundStats {
+  long nodes_explored = 0;
+  long lp_solves = 0;
+  long incumbent_updates = 0;
+};
+
+class BranchAndBoundSolver {
+ public:
+  explicit BranchAndBoundSolver(BranchAndBoundOptions options = {})
+      : options_(options) {}
+
+  /// Solves `problem` to proven optimality (within absolute_gap).
+  /// Solution::duals is empty (MILP duals are not well defined).
+  /// status == kIterationLimit means the node budget was exhausted; the
+  /// returned incumbent (if any) is feasible but possibly suboptimal.
+  [[nodiscard]] Solution solve(const Problem& problem) const;
+
+  [[nodiscard]] const BranchAndBoundStats& stats() const { return stats_; }
+
+ private:
+  BranchAndBoundOptions options_;
+  mutable BranchAndBoundStats stats_;
+};
+
+/// One-shot MILP solve with default options.
+Solution solve_milp(const Problem& problem);
+
+/// MILP solve followed by an LP re-solve with every integer variable fixed
+/// at its incumbent value — the standard way to recover meaningful duals
+/// and reduced costs for the continuous part of a mixed program. Only
+/// valid interpretation: sensitivities *given* the chosen integer design.
+Solution solve_milp_with_duals(const Problem& problem,
+                               const BranchAndBoundOptions& options = {});
+
+}  // namespace gridsec::lp

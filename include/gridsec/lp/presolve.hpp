@@ -1,0 +1,74 @@
+// LP presolve: cheap reductions applied before the simplex.
+//
+// Reductions (iterated to a fixpoint):
+//   * fixed variables (lower == upper) are substituted into rows;
+//   * empty rows are checked and dropped;
+//   * singleton rows (one variable) become bound tightenings and are
+//     dropped — conflicting bounds prove infeasibility;
+//   * variables that appear in no row are fixed at their objective-optimal
+//     bound (an unbounded improving direction proves unboundedness).
+//
+// Postsolve maps a reduced-problem Solution back to the original variable
+// space. Duals are mapped for surviving rows only; rows removed by
+// presolve report dual 0 (a singleton row that is actually binding can
+// carry a nonzero true dual — callers needing exact duals on such rows
+// should solve without presolve).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gridsec/lp/problem.hpp"
+#include "gridsec/lp/simplex.hpp"
+
+namespace gridsec::lp {
+
+struct PresolveStats {
+  int fixed_variables = 0;
+  int removed_rows = 0;
+  int tightened_bounds = 0;
+  int free_variables_fixed = 0;
+  int passes = 0;
+};
+
+class Presolved {
+ public:
+  /// The reduced problem (valid only when verdict() is kReduced).
+  [[nodiscard]] const Problem& reduced() const { return reduced_; }
+
+  enum class Verdict {
+    kReduced,     // solve reduced(), then postsolve()
+    kSolved,      // presolve fixed everything; postsolve a dummy Solution
+    kInfeasible,  // proven infeasible without the simplex
+    kUnbounded,   // proven unbounded without the simplex
+  };
+  [[nodiscard]] Verdict verdict() const { return verdict_; }
+  [[nodiscard]] const PresolveStats& stats() const { return stats_; }
+
+  /// Maps a solution of reduced() back to the original problem's space.
+  /// For verdict kSolved, pass a default-constructed optimal Solution.
+  [[nodiscard]] Solution postsolve(const Solution& reduced_solution) const;
+
+ private:
+  friend Presolved presolve(const Problem& problem);
+
+  Problem reduced_;
+  const Problem* original_ = nullptr;
+  Verdict verdict_ = Verdict::kReduced;
+  PresolveStats stats_;
+  // Per original variable: fixed value, or the reduced-column index.
+  std::vector<std::optional<double>> fixed_value_;
+  std::vector<int> reduced_column_;   // -1 when fixed
+  std::vector<int> reduced_row_;      // -1 when removed
+  double objective_offset_ = 0.0;
+};
+
+/// Runs presolve on `problem`. The returned object references `problem`
+/// (it must outlive the Presolved instance).
+Presolved presolve(const Problem& problem);
+
+/// Convenience: presolve + simplex + postsolve.
+Solution solve_lp_with_presolve(const Problem& problem,
+                                const SimplexOptions& options = {});
+
+}  // namespace gridsec::lp

@@ -1,0 +1,143 @@
+// Linear / mixed-integer program model builder.
+//
+// A Problem owns variables (with bounds, objective coefficients, optional
+// integrality) and linear constraints (sparse rows with a sense and rhs).
+// It is solver-agnostic data; SimplexSolver and BranchAndBoundSolver consume
+// it. Mirrors the role `linprog`/GLPK model structs played in the paper's
+// MATLAB implementation.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gridsec/util/error.hpp"
+
+namespace gridsec::lp {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+enum class Objective { kMinimize, kMaximize };
+enum class VarType { kContinuous, kBinary, kInteger };
+
+/// One term of a linear expression: coefficient * variable.
+struct Term {
+  int var = -1;
+  double coef = 0.0;
+};
+
+/// Sparse linear expression, built by accumulation.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  LinearExpr& add(int var, double coef) {
+    if (coef != 0.0) terms_.push_back({var, coef});
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<Term> terms_;
+};
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  VarType type = VarType::kContinuous;
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;  // duplicate vars are summed at solve time
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+class Problem {
+ public:
+  explicit Problem(Objective objective = Objective::kMinimize)
+      : objective_(objective) {}
+
+  /// Adds a variable; returns its index. Lower bound must be finite
+  /// (the solvers anchor nonbasic variables at a finite bound).
+  int add_variable(std::string name, double lower, double upper,
+                   double objective_coef,
+                   VarType type = VarType::kContinuous);
+
+  /// Shorthand for a [0,1] binary decision variable.
+  int add_binary(std::string name, double objective_coef);
+
+  /// Adds a constraint; returns its row index.
+  int add_constraint(std::string name, LinearExpr expr, Sense sense,
+                     double rhs);
+
+  /// Re-points an existing variable's objective coefficient.
+  void set_objective_coef(int var, double coef);
+  /// Overwrites an existing variable's bounds.
+  void set_bounds(int var, double lower, double upper);
+  /// Overwrites an existing constraint's rhs.
+  void set_rhs(int row, double rhs);
+
+  [[nodiscard]] Objective objective() const { return objective_; }
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const Variable& variable(int i) const {
+    GRIDSEC_ASSERT(i >= 0 && i < num_variables());
+    return variables_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const Constraint& constraint(int i) const {
+    GRIDSEC_ASSERT(i >= 0 && i < num_constraints());
+    return constraints_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<Variable>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] bool has_integer_variables() const;
+
+  /// Evaluates the objective at a point (no feasibility check).
+  [[nodiscard]] double objective_value(
+      const std::vector<double>& x) const;
+
+  /// Checks primal feasibility of x within `tol`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-6) const;
+
+ private:
+  Objective objective_;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Solver verdicts shared by LP and MILP layers.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+std::string_view to_string(SolveStatus s);
+
+/// A primal (and for LP, dual) solution.
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;          // in the problem's own sense
+  std::vector<double> x;           // primal values, per variable
+  std::vector<double> duals;       // per constraint (LP only; empty for MILP)
+  std::vector<double> reduced_costs;  // per variable (LP only)
+  long iterations = 0;
+
+  [[nodiscard]] bool optimal() const {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+}  // namespace gridsec::lp

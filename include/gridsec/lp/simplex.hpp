@@ -1,0 +1,69 @@
+// Two-phase primal simplex for LPs with bounded variables.
+//
+// Scope: the dense LPs produced by gridsec's 12-hub energy graphs (tens of
+// rows and columns). The implementation favours robustness over speed:
+// the basis matrix is re-factorized from scratch every iteration (O(m^3)),
+// Bland's rule kicks in after a pivot budget to guarantee termination, and
+// variables may be nonbasic at either bound (capacities live in the bounds,
+// not in rows).
+//
+// Duals: Solution::duals[i] is the shadow price of constraint i — the rate
+// of change of the optimal objective (in the problem's own sense) per unit
+// increase of the rhs, valid while the optimal basis persists. These are the
+// locational marginal prices when applied to the social-welfare LP.
+#pragma once
+
+#include "gridsec/lp/problem.hpp"
+
+namespace gridsec::lp {
+
+struct SimplexOptions {
+  double feasibility_tol = 1e-7;   // bound/constraint violation tolerance
+  double optimality_tol = 1e-9;    // reduced-cost threshold
+  long max_iterations = 0;         // 0 = automatic (scales with size)
+  long bland_after = 0;            // 0 = automatic; switch to Bland's rule
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the continuous relaxation of `problem` (integrality markers are
+  /// ignored). Never throws for solver outcomes; the status field reports
+  /// infeasible/unbounded/iteration-limit.
+  [[nodiscard]] Solution solve(const Problem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+/// Convenience wrapper: one-shot solve with default options.
+Solution solve_lp(const Problem& problem);
+
+/// A closed interval; ±infinity for unbounded sides.
+struct SensitivityRange {
+  double lo = -kInfinity;
+  double hi = kInfinity;
+};
+
+/// Post-optimal sensitivity (ranging) information.
+struct SensitivityReport {
+  Solution solution;
+  /// Per variable: the interval its objective coefficient may move through
+  /// (other data fixed) while the current optimal basis stays optimal —
+  /// within it, the optimal point is unchanged. In the problem's own sense.
+  std::vector<SensitivityRange> objective_range;
+  /// Per constraint: the interval its rhs may move through while the
+  /// current basis stays feasible — within it, the objective changes
+  /// linearly at the rate Solution::duals[i].
+  std::vector<SensitivityRange> rhs_range;
+};
+
+/// Solves `problem` and computes classic simplex ranging from the final
+/// basis. When the solve is not optimal, the ranges are empty and
+/// report.solution carries the failure status. Degenerate optima yield
+/// conservative (possibly single-point) ranges.
+SensitivityReport analyze_sensitivity(const Problem& problem,
+                                      const SimplexOptions& options = {});
+
+}  // namespace gridsec::lp

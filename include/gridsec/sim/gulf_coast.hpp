@@ -1,0 +1,23 @@
+// A second interconnected gas-electric scenario: four Gulf-Coast states.
+//
+// Structurally distinct from the western-US model: the region is gas-rich
+// (large in-region production, net exports instead of imports) and its
+// electric fleet leans heavily on gas-fired generation, so the
+// gas→electric interdependency is much tighter — a gas-side attack
+// propagates harder. Used by tests and benches to check that the paper's
+// qualitative results are not artifacts of one topology.
+//
+// Same conventions as western_us: synthetic EIA-magnitude data, 1 %/400 km
+// losses from state centroids, optional challenging-model adjustments.
+#pragma once
+
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::sim {
+
+/// Builds the four-state (TX, LA, OK, NM) Gulf-Coast model. Reuses
+/// WesternUsOptions/WesternUsModel (the shapes are identical; only the
+/// data differs): 8 hubs, 10 long-haul edges, 4 converters.
+WesternUsModel build_gulf_coast(const WesternUsOptions& options = {});
+
+}  // namespace gridsec::sim

@@ -1,0 +1,34 @@
+// Structured ownership models for the state scenarios.
+//
+// The paper draws ownership uniformly (each asset lands on any of the N
+// actors with probability 1/N). Real energy markets are structured:
+// utilities integrate vertically within a territory, or split horizontally
+// by sector (gas companies vs electric companies vs transmission
+// operators). These factories build such ownerships for a WesternUsModel
+// (or Gulf-Coast) so the attack economy can be compared across market
+// structures (bench/ext_ownership).
+#pragma once
+
+#include "gridsec/cps/ownership.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::sim {
+
+/// One vertically-integrated utility per state: every asset touching a
+/// state's hubs (supplies, demands, converters) belongs to that state's
+/// actor; interstate long-haul edges belong to the *origin* state's actor.
+cps::Ownership ownership_by_state(const WesternUsModel& model);
+
+/// Horizontal sector split, 3 actors:
+///   0 — gas (production, imports, pipelines, gas consumers),
+///   1 — electric generation + conversion,
+///   2 — electric transmission + electric consumers.
+cps::Ownership ownership_by_sector(const WesternUsModel& model);
+
+/// Concentrated random ownership: actor k is drawn with weight ~1/(k+1)
+/// (Zipf-like) — a few majors and a fringe. Matches the paper's uniform
+/// model at the limit of equal weights.
+cps::Ownership ownership_concentrated(int num_edges, int num_actors,
+                                      Rng& rng);
+
+}  // namespace gridsec::sim

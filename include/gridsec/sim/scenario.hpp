@@ -1,0 +1,40 @@
+// Parametric scenario generators for tests, property sweeps, and benches.
+#pragma once
+
+#include "gridsec/flow/network.hpp"
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::sim {
+
+/// A producer → N transmission segments → consumer chain. Useful for the
+/// series-competition analyses.
+flow::Network make_chain(int segments, double supply_cost, double price,
+                         double capacity, double segment_cost = 0.0,
+                         double segment_loss = 0.0);
+
+/// One hub, two competing generators (cheap capacity-limited, dear
+/// abundant), one consumer — the competitor-elimination micro-scenario.
+flow::Network make_duopoly(double cheap_capacity = 60.0,
+                           double cheap_cost = 10.0,
+                           double dear_capacity = 100.0,
+                           double dear_cost = 30.0, double demand = 80.0,
+                           double price = 50.0);
+
+struct RandomGridOptions {
+  int hubs = 6;
+  /// Probability that each ordered hub pair gets a transmission edge, on
+  /// top of a guaranteed ring (keeps the graph connected).
+  double extra_edge_prob = 0.2;
+  double supply_cost_min = 5.0, supply_cost_max = 40.0;
+  double price_min = 40.0, price_max = 95.0;
+  double capacity_min = 20.0, capacity_max = 120.0;
+  double line_loss_max = 0.1;
+  /// Fraction of hubs that get a generator / a consumer.
+  double supply_density = 0.8, demand_density = 0.8;
+};
+
+/// A connected random energy network: ring of hubs plus random chords,
+/// generators and consumers scattered per the densities. Always validates.
+flow::Network make_random_grid(const RandomGridOptions& options, Rng& rng);
+
+}  // namespace gridsec::sim

@@ -1,0 +1,116 @@
+// Error-handling primitives shared by all gridsec modules.
+//
+// Expected, recoverable failures (infeasible LP, bad scenario file) travel as
+// Status / StatusOr values; programming errors (contract violations) abort
+// via GRIDSEC_ASSERT so they surface immediately in tests.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gridsec {
+
+/// Coarse classification of a recoverable failure.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNotFound,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode (stable, for logs and tests).
+std::string_view to_string(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status infeasible(std::string msg) {
+    return {ErrorCode::kInfeasible, std::move(msg)};
+  }
+  static Status unbounded(std::string msg) {
+    return {ErrorCode::kUnbounded, std::move(msg)};
+  }
+  static Status iteration_limit(std::string msg) {
+    return {ErrorCode::kIterationLimit, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+}  // namespace detail
+
+}  // namespace gridsec
+
+/// Contract check: aborts with location info when violated. Always on —
+/// the solvers here are small enough that the checks are cheap relative to
+/// the arithmetic they guard.
+#define GRIDSEC_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+#define GRIDSEC_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)

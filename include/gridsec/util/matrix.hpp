@@ -1,0 +1,74 @@
+// Dense row-major matrix of doubles. Sized for the small LPs that arise from
+// 12-hub energy graphs (tens to low hundreds of rows/columns); no BLAS, no
+// expression templates — clarity and cache-friendly loops.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "gridsec/util/error.hpp"
+
+namespace gridsec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major brace construction: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    GRIDSEC_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    GRIDSEC_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    GRIDSEC_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    GRIDSEC_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void swap_rows(std::size_t a, std::size_t b);
+  /// row(dst) += factor * row(src)
+  void add_scaled_row(std::size_t dst, std::size_t src, double factor);
+  void scale_row(std::size_t r, double factor);
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(
+      std::span<const double> x) const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns kInvalidArgument on shape mismatch, kInternal when singular.
+StatusOr<std::vector<double>> solve_linear_system(Matrix a,
+                                                  std::vector<double> b);
+
+/// Dot product (sizes must match).
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gridsec

@@ -1,0 +1,52 @@
+// Streaming and batch statistics used by the Monte-Carlo experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gridsec {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel reduction); Chan et al. update.
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean (0 for n < 2).
+  [[nodiscard]] double std_error() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers.
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100]. xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+/// Pearson correlation coefficient; 0 when either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Average ranks (ties averaged), 1-based.
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Spearman rank correlation (Pearson on the rank transforms).
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys);
+
+}  // namespace gridsec

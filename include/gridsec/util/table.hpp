@@ -1,0 +1,43 @@
+// Aligned console tables and CSV emission for experiment output.
+//
+// Every figure-reproduction bench prints its series twice: once as an
+// aligned human-readable table, once as machine-readable CSV (so the series
+// can be plotted externally).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridsec {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (quotes fields containing , " or newline).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-zero trimming; keeps
+/// table columns visually aligned).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace gridsec

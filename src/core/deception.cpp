@@ -1,0 +1,96 @@
+#include "gridsec/core/deception.hpp"
+
+#include <algorithm>
+
+namespace gridsec::core {
+namespace {
+
+flow::Network apply_misreports(const flow::Network& truth,
+                               std::span<const Misreport> misreports) {
+  flow::Network out = truth;
+  for (const Misreport& m : misreports) {
+    GRIDSEC_ASSERT(m.edge >= 0 && m.edge < out.num_edges());
+    GRIDSEC_ASSERT(m.capacity_factor >= 0.0);
+    out.set_capacity(m.edge, truth.edge(m.edge).capacity * m.capacity_factor);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DeceptionOutcome> evaluate_deception(
+    const flow::Network& truth, const cps::Ownership& ownership,
+    std::span<const Misreport> misreports, const AdversaryConfig& adversary,
+    const cps::ImpactOptions& impact_options) {
+  const flow::Network published = apply_misreports(truth, misreports);
+  auto believed =
+      cps::compute_impact_matrix(published, ownership, impact_options);
+  if (!believed.is_ok()) return believed.status();
+  auto actual = cps::compute_impact_matrix(truth, ownership, impact_options);
+  if (!actual.is_ok()) return actual.status();
+
+  StrategicAdversary sa(adversary);
+  DeceptionOutcome out;
+  out.attack = sa.plan(believed->matrix);
+  if (out.attack.status == lp::SolveStatus::kInfeasible ||
+      out.attack.status == lp::SolveStatus::kUnbounded) {
+    return Status::internal("evaluate_deception: SA plan failed");
+  }
+  out.anticipated = out.attack.anticipated_return;
+  out.realized = realized_return(actual->matrix, out.attack, adversary);
+  for (int t : out.attack.targets) {
+    const double ps =
+        adversary.success_prob.empty()
+            ? 1.0
+            : adversary.success_prob[static_cast<std::size_t>(t)];
+    for (int a = 0; a < actual->matrix.num_actors(); ++a) {
+      out.defender_losses +=
+          std::min(0.0, actual->matrix.at(a, t)) * ps;
+    }
+  }
+  return out;
+}
+
+StatusOr<DeceptionPlan> greedy_deception_plan(
+    const flow::Network& truth, const cps::Ownership& ownership,
+    const DeceptionPlanOptions& options) {
+  DeceptionPlan plan;
+  auto base = evaluate_deception(truth, ownership, {}, options.adversary,
+                                 options.impact);
+  if (!base.is_ok()) return base.status();
+  plan.baseline = *base;
+  plan.deceived = *base;
+
+  std::vector<bool> used(static_cast<std::size_t>(truth.num_edges()), false);
+  for (int round = 0; round < options.max_misreports; ++round) {
+    double best_losses = plan.deceived.defender_losses;
+    Misreport best;
+    DeceptionOutcome best_outcome;
+    bool improved = false;
+    for (int e = 0; e < truth.num_edges(); ++e) {
+      if (used[static_cast<std::size_t>(e)]) continue;
+      for (double factor : options.factors) {
+        std::vector<Misreport> trial = plan.misreports;
+        trial.push_back({e, factor});
+        auto outcome = evaluate_deception(truth, ownership, trial,
+                                          options.adversary, options.impact);
+        if (!outcome.is_ok()) continue;  // a misreport that breaks the LP
+        // Defenders prefer fewer realized losses (losses are <= 0; larger
+        // is better).
+        if (outcome->defender_losses > best_losses + 1e-9) {
+          best_losses = outcome->defender_losses;
+          best = {e, factor};
+          best_outcome = *outcome;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+    plan.misreports.push_back(best);
+    plan.deceived = best_outcome;
+    used[static_cast<std::size_t>(best.edge)] = true;
+  }
+  return plan;
+}
+
+}  // namespace gridsec::core

@@ -1,0 +1,145 @@
+#include "gridsec/core/game.hpp"
+
+#include <algorithm>
+
+namespace gridsec::core {
+
+double GameOutcome::total_loss_undefended() const {
+  double loss = 0.0;
+  for (double v : actor_impact_undefended) loss += std::min(v, 0.0);
+  return loss;
+}
+
+double GameOutcome::total_loss_defended() const {
+  double loss = 0.0;
+  for (double v : actor_impact_defended) loss += std::min(v, 0.0);
+  return loss;
+}
+
+double evaluate_attack_with_defense(const cps::ImpactMatrix& truth,
+                                    const AttackPlan& plan,
+                                    const AdversaryConfig& adversary,
+                                    const std::vector<bool>& defended,
+                                    double mitigation,
+                                    std::vector<double>* actor_impact) {
+  if (actor_impact != nullptr) {
+    actor_impact->assign(static_cast<std::size_t>(truth.num_actors()), 0.0);
+  }
+  double gain = 0.0;
+  for (int t : plan.targets) {
+    const auto ts = static_cast<std::size_t>(t);
+    gain -= adversary.attack_cost.empty() ? 0.0 : adversary.attack_cost[ts];
+    const double ps =
+        adversary.success_prob.empty() ? 1.0 : adversary.success_prob[ts];
+    const double effect =
+        (ts < defended.size() && defended[ts]) ? (1.0 - mitigation) : 1.0;
+    for (int a = 0; a < truth.num_actors(); ++a) {
+      const double impact = truth.at(a, t) * ps * effect;
+      if (actor_impact != nullptr) {
+        (*actor_impact)[static_cast<std::size_t>(a)] += impact;
+      }
+    }
+    for (int a : plan.actors) {
+      gain += truth.at(a, t) * ps * effect;
+    }
+  }
+  return gain;
+}
+
+StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
+                                        const cps::Ownership& ownership,
+                                        const GameConfig& config, Rng& rng) {
+  GameOutcome out;
+
+  if (!config.per_defender_views) {
+    // 1. One shared noisy view and its impact matrix I'.
+    flow::Network defender_view =
+        cps::perturb_knowledge(truth, config.defender_noise, rng);
+    auto defender_im =
+        cps::compute_impact_matrix(defender_view, ownership, config.impact);
+    if (!defender_im.is_ok()) return defender_im.status();
+
+    // 2. Attack-probability estimate via the defender's SA model on I''.
+    auto pa = estimate_attack_probabilities(
+        defender_view, ownership, config.adversary,
+        config.speculated_adversary_noise, config.pa_samples, rng,
+        config.impact);
+    if (!pa.is_ok()) return pa.status();
+    out.pa = std::move(pa.value());
+
+    // 3. Defensive investment on the defender's beliefs.
+    out.defense =
+        config.collaborative
+            ? defend_collaborative(defender_im->matrix, ownership, out.pa,
+                                   config.defender)
+            : defend_individual(defender_im->matrix, ownership, out.pa,
+                                config.defender);
+  } else {
+    // 1-2. Each defender draws its own view, beliefs, and Pa estimate.
+    // Row a of the composite matrix carries actor a's own believed impacts
+    // (the only row the defense optimizations read for actor a).
+    cps::ImpactMatrix composite(ownership.num_actors(), truth.num_edges());
+    std::vector<std::vector<double>> pa_rows;
+    pa_rows.reserve(static_cast<std::size_t>(ownership.num_actors()));
+    for (int a = 0; a < ownership.num_actors(); ++a) {
+      flow::Network view =
+          cps::perturb_knowledge(truth, config.defender_noise, rng);
+      auto im_a = cps::compute_impact_matrix(view, ownership, config.impact);
+      if (!im_a.is_ok()) return im_a.status();
+      for (int t = 0; t < truth.num_edges(); ++t) {
+        composite.set(a, t, im_a->matrix.at(a, t));
+      }
+      auto pa_a = estimate_attack_probabilities(
+          view, ownership, config.adversary,
+          config.speculated_adversary_noise, config.pa_samples, rng,
+          config.impact);
+      if (!pa_a.is_ok()) return pa_a.status();
+      pa_rows.push_back(std::move(pa_a.value()));
+    }
+    // Report the mean belief as the headline Pa.
+    out.pa.assign(static_cast<std::size_t>(truth.num_edges()), 0.0);
+    for (const auto& row : pa_rows) {
+      for (std::size_t t = 0; t < row.size(); ++t) out.pa[t] += row[t];
+    }
+    for (double& v : out.pa) v /= pa_rows.size();
+    out.defense = config.collaborative
+                      ? defend_collaborative(composite, ownership, pa_rows,
+                                             config.defender)
+                      : defend_individual(composite, ownership, pa_rows,
+                                          config.defender);
+  }
+  if (!out.defense.optimal()) {
+    return Status::internal("play_defense_game: defense MILP failed");
+  }
+
+  // 4. The actual adversary plans on its own view.
+  flow::Network adversary_view =
+      cps::perturb_knowledge(truth, config.adversary_noise, rng);
+  auto adversary_im =
+      cps::compute_impact_matrix(adversary_view, ownership, config.impact);
+  if (!adversary_im.is_ok()) return adversary_im.status();
+  StrategicAdversary sa(config.adversary);
+  out.attack = sa.plan(adversary_im->matrix);
+  if (out.attack.status == lp::SolveStatus::kInfeasible ||
+      out.attack.status == lp::SolveStatus::kUnbounded) {
+    return Status::internal("play_defense_game: adversary plan failed");
+  }
+
+  // 5. Realize the attack against the ground truth, with and without the
+  // defense in place.
+  auto truth_im = cps::compute_impact_matrix(truth, ownership, config.impact);
+  if (!truth_im.is_ok()) return truth_im.status();
+  const std::vector<bool> no_defense(
+      static_cast<std::size_t>(truth.num_edges()), false);
+  out.adversary_gain_undefended = evaluate_attack_with_defense(
+      truth_im->matrix, out.attack, config.adversary, no_defense, 0.0,
+      &out.actor_impact_undefended);
+  out.adversary_gain_defended = evaluate_attack_with_defense(
+      truth_im->matrix, out.attack, config.adversary, out.defense.defended,
+      config.mitigation, &out.actor_impact_defended);
+  out.defense_effectiveness =
+      out.adversary_gain_undefended - out.adversary_gain_defended;
+  return out;
+}
+
+}  // namespace gridsec::core

@@ -1,0 +1,245 @@
+#include "gridsec/core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gridsec::core {
+namespace {
+
+/// Union-find over (targets, actors) packed as [0,nt) and [nt, nt+na).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<int> ImpactPartition::targets_in(int component) const {
+  std::vector<int> out;
+  for (std::size_t t = 0; t < component_of_target.size(); ++t) {
+    if (component_of_target[t] == component) {
+      out.push_back(static_cast<int>(t));
+    }
+  }
+  return out;
+}
+
+std::vector<int> ImpactPartition::actors_in(int component) const {
+  std::vector<int> out;
+  for (std::size_t a = 0; a < component_of_actor.size(); ++a) {
+    if (component_of_actor[a] == component) {
+      out.push_back(static_cast<int>(a));
+    }
+  }
+  return out;
+}
+
+ImpactPartition partition_impact(const cps::ImpactMatrix& im, double tol) {
+  const int nt = im.num_targets();
+  const int na = im.num_actors();
+  UnionFind uf(nt + na);
+  std::vector<bool> target_active(static_cast<std::size_t>(nt), false);
+  std::vector<bool> actor_active(static_cast<std::size_t>(na), false);
+  for (int t = 0; t < nt; ++t) {
+    for (int a = 0; a < na; ++a) {
+      if (std::fabs(im.at(a, t)) > tol) {
+        uf.unite(t, nt + a);
+        target_active[static_cast<std::size_t>(t)] = true;
+        actor_active[static_cast<std::size_t>(a)] = true;
+      }
+    }
+  }
+  ImpactPartition out;
+  out.component_of_target.assign(static_cast<std::size_t>(nt), -1);
+  out.component_of_actor.assign(static_cast<std::size_t>(na), -1);
+  std::vector<int> root_to_component;
+  const auto component_id = [&](int root) {
+    for (std::size_t i = 0; i < root_to_component.size(); ++i) {
+      if (root_to_component[i] == root) return static_cast<int>(i);
+    }
+    root_to_component.push_back(root);
+    return static_cast<int>(root_to_component.size() - 1);
+  };
+  for (int t = 0; t < nt; ++t) {
+    if (target_active[static_cast<std::size_t>(t)]) {
+      out.component_of_target[static_cast<std::size_t>(t)] =
+          component_id(uf.find(t));
+    }
+  }
+  for (int a = 0; a < na; ++a) {
+    if (actor_active[static_cast<std::size_t>(a)]) {
+      out.component_of_actor[static_cast<std::size_t>(a)] =
+          component_id(uf.find(nt + a));
+    }
+  }
+  out.num_components = static_cast<int>(root_to_component.size());
+  return out;
+}
+
+AttackPlan plan_partitioned(const cps::ImpactMatrix& im,
+                            const AdversaryConfig& config) {
+  GRIDSEC_ASSERT_MSG(config.max_targets >= 0,
+                     "plan_partitioned needs a cardinality cap");
+  // Exactness relies on per-target costs being uniform (the budget then
+  // collapses into the cardinality cap).
+  double uniform_cost = 0.0;
+  if (!config.attack_cost.empty()) {
+    uniform_cost = config.attack_cost.front();
+    for (double c : config.attack_cost) {
+      GRIDSEC_ASSERT_MSG(std::fabs(c - uniform_cost) < 1e-12,
+                         "plan_partitioned requires uniform attack costs");
+    }
+  }
+  int cap = config.max_targets;
+  if (uniform_cost > 0.0 && std::isfinite(config.budget)) {
+    cap = std::min(cap, static_cast<int>(config.budget / uniform_cost));
+  }
+
+  const ImpactPartition parts = partition_impact(im);
+  // Per component: best value achievable with exactly <= k targets.
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(parts.num_components));
+  std::vector<std::vector<std::vector<int>>> best_targets(
+      static_cast<std::size_t>(parts.num_components));
+
+  for (int c = 0; c < parts.num_components; ++c) {
+    const std::vector<int> targets = parts.targets_in(c);
+    const std::vector<int> actors = parts.actors_in(c);
+    // Build the component's sub-matrix and sub-config.
+    cps::ImpactMatrix sub(static_cast<int>(actors.size()),
+                          static_cast<int>(targets.size()));
+    for (std::size_t a = 0; a < actors.size(); ++a) {
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        sub.set(static_cast<int>(a), static_cast<int>(t),
+                im.at(actors[a], targets[t]));
+      }
+    }
+    AdversaryConfig sub_cfg;
+    sub_cfg.budget = lp::kInfinity;
+    sub_cfg.max_nodes = config.max_nodes;
+    if (!config.attack_cost.empty()) {
+      sub_cfg.attack_cost.resize(targets.size());
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        sub_cfg.attack_cost[t] =
+            config.attack_cost[static_cast<std::size_t>(targets[t])];
+      }
+    }
+    if (!config.success_prob.empty()) {
+      sub_cfg.success_prob.resize(targets.size());
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        sub_cfg.success_prob[t] =
+            config.success_prob[static_cast<std::size_t>(targets[t])];
+      }
+    }
+    const int local_cap =
+        std::min<int>(cap, static_cast<int>(targets.size()));
+    auto& vals = best[static_cast<std::size_t>(c)];
+    auto& tsets = best_targets[static_cast<std::size_t>(c)];
+    vals.resize(static_cast<std::size_t>(local_cap) + 1, 0.0);
+    tsets.resize(static_cast<std::size_t>(local_cap) + 1);
+    for (int k = 1; k <= local_cap; ++k) {
+      sub_cfg.max_targets = k;
+      StrategicAdversary sa(sub_cfg);
+      AttackPlan sub_plan = sa.plan(sub);
+      vals[static_cast<std::size_t>(k)] = sub_plan.anticipated_return;
+      auto& ts = tsets[static_cast<std::size_t>(k)];
+      for (int t : sub_plan.targets) {
+        ts.push_back(targets[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+
+  // DP over components on the shared cardinality cap.
+  // dp[k] = best total with k targets used; choice[c][k] = k used in c.
+  std::vector<double> dp(static_cast<std::size_t>(cap) + 1, 0.0);
+  std::vector<std::vector<int>> choice(
+      static_cast<std::size_t>(parts.num_components),
+      std::vector<int>(static_cast<std::size_t>(cap) + 1, 0));
+  for (int c = 0; c < parts.num_components; ++c) {
+    std::vector<double> next = dp;
+    const auto& vals = best[static_cast<std::size_t>(c)];
+    for (int k = 0; k <= cap; ++k) {
+      for (int use = 1;
+           use < static_cast<int>(vals.size()) && use <= k; ++use) {
+        const double cand =
+            dp[static_cast<std::size_t>(k - use)] +
+            vals[static_cast<std::size_t>(use)];
+        if (cand > next[static_cast<std::size_t>(k)]) {
+          next[static_cast<std::size_t>(k)] = cand;
+          choice[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] =
+              use;
+        }
+      }
+      // Carry forward the per-k choice even when zero is best (default 0).
+    }
+    dp = std::move(next);
+  }
+
+  // dp is monotone in k (using fewer targets is always allowed); take cap.
+  AttackPlan out;
+  out.status = lp::SolveStatus::kOptimal;
+  int k = cap;
+  // Identify the best k (dp should be monotone, but guard numerically).
+  for (int kk = 0; kk <= cap; ++kk) {
+    if (dp[static_cast<std::size_t>(kk)] >
+        dp[static_cast<std::size_t>(k)] + 1e-12) {
+      k = kk;
+    }
+  }
+  for (int c = parts.num_components - 1; c >= 0; --c) {
+    const int use =
+        choice[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+    if (use > 0) {
+      const auto& ts =
+          best_targets[static_cast<std::size_t>(c)][static_cast<std::size_t>(
+              use)];
+      out.targets.insert(out.targets.end(), ts.begin(), ts.end());
+      k -= use;
+    }
+  }
+  std::sort(out.targets.begin(), out.targets.end());
+
+  // Recover actors and the exact combined value from the full matrix.
+  out.anticipated_return = 0.0;
+  for (int t : out.targets) {
+    out.anticipated_return -=
+        config.attack_cost.empty()
+            ? 0.0
+            : config.attack_cost[static_cast<std::size_t>(t)];
+  }
+  for (int a = 0; a < im.num_actors(); ++a) {
+    double swing = 0.0;
+    for (int t : out.targets) {
+      const double ps =
+          config.success_prob.empty()
+              ? 1.0
+              : config.success_prob[static_cast<std::size_t>(t)];
+      swing += im.at(a, t) * ps;
+    }
+    if (swing > 1e-9) {
+      out.anticipated_return += swing;
+      out.actors.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace gridsec::core

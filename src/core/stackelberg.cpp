@@ -1,0 +1,65 @@
+#include "gridsec/core/stackelberg.hpp"
+
+namespace gridsec::core {
+
+AttackPlan follower_best_response(const cps::ImpactMatrix& im,
+                                  const std::vector<bool>& defended,
+                                  const AdversaryConfig& adversary,
+                                  double mitigation) {
+  GRIDSEC_ASSERT(defended.size() ==
+                 static_cast<std::size_t>(im.num_targets()));
+  cps::ImpactMatrix scaled = im;
+  for (int t = 0; t < im.num_targets(); ++t) {
+    if (!defended[static_cast<std::size_t>(t)]) continue;
+    for (int a = 0; a < im.num_actors(); ++a) {
+      scaled.set(a, t, im.at(a, t) * (1.0 - mitigation));
+    }
+  }
+  StrategicAdversary sa(adversary);
+  return sa.plan(scaled);
+}
+
+StackelbergPlan stackelberg_defense(const cps::ImpactMatrix& im,
+                                    const StackelbergConfig& config) {
+  const int nt = im.num_targets();
+  StackelbergPlan out;
+  out.defended.assign(static_cast<std::size_t>(nt), false);
+
+  AttackPlan base = follower_best_response(im, out.defended,
+                                           config.adversary,
+                                           config.mitigation);
+  out.undefended_return = base.anticipated_return;
+  out.follower_response = base;
+  out.follower_return = base.anticipated_return;
+
+  while (out.spending + config.defense_cost <= config.budget + 1e-12) {
+    // Candidates worth probing: only targets in the follower's current
+    // best response can lower its value this round (defending anything
+    // else leaves the current response available unchanged).
+    double best_value = out.follower_return - 1e-9;
+    int best_target = -1;
+    AttackPlan best_response;
+    for (int t : out.follower_response.targets) {
+      if (out.defended[static_cast<std::size_t>(t)]) continue;
+      out.defended[static_cast<std::size_t>(t)] = true;
+      AttackPlan resp = follower_best_response(im, out.defended,
+                                               config.adversary,
+                                               config.mitigation);
+      out.defended[static_cast<std::size_t>(t)] = false;
+      if (resp.anticipated_return < best_value) {
+        best_value = resp.anticipated_return;
+        best_target = t;
+        best_response = std::move(resp);
+      }
+    }
+    if (best_target < 0) break;  // no commitment lowers the follower
+    out.defended[static_cast<std::size_t>(best_target)] = true;
+    out.spending += config.defense_cost;
+    out.follower_return = best_value;
+    out.follower_response = std::move(best_response);
+    ++out.rounds;
+  }
+  return out;
+}
+
+}  // namespace gridsec::core

@@ -1,0 +1,74 @@
+#include "gridsec/cps/contagion.hpp"
+
+#include <cmath>
+#include <queue>
+
+namespace gridsec::cps {
+
+std::vector<int> asset_hop_distances(const flow::Network& net) {
+  const int ne = net.num_edges();
+  // Adjacency: assets sharing any endpoint hub (terminals are private to
+  // one edge, so only hub endpoints create adjacency).
+  std::vector<std::vector<int>> adjacent(static_cast<std::size_t>(ne));
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != flow::NodeKind::kHub) continue;
+    std::vector<int> incident;
+    for (flow::EdgeId e : net.out_edges(n)) incident.push_back(e);
+    for (flow::EdgeId e : net.in_edges(n)) incident.push_back(e);
+    for (std::size_t i = 0; i < incident.size(); ++i) {
+      for (std::size_t j = i + 1; j < incident.size(); ++j) {
+        adjacent[static_cast<std::size_t>(incident[i])].push_back(
+            incident[j]);
+        adjacent[static_cast<std::size_t>(incident[j])].push_back(
+            incident[i]);
+      }
+    }
+  }
+  std::vector<int> dist(static_cast<std::size_t>(ne) *
+                            static_cast<std::size_t>(ne),
+                        -1);
+  for (int s = 0; s < ne; ++s) {
+    const std::size_t base =
+        static_cast<std::size_t>(s) * static_cast<std::size_t>(ne);
+    dist[base + static_cast<std::size_t>(s)] = 0;
+    std::queue<int> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int v : adjacent[static_cast<std::size_t>(u)]) {
+        if (dist[base + static_cast<std::size_t>(v)] < 0) {
+          dist[base + static_cast<std::size_t>(v)] =
+              dist[base + static_cast<std::size_t>(u)] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> contagion_expected_damage(const flow::Network& net,
+                                              const ContagionModel& model) {
+  GRIDSEC_ASSERT(model.transmission_prob >= 0.0 &&
+                 model.transmission_prob <= 1.0);
+  const int ne = net.num_edges();
+  const std::vector<int> dist = asset_hop_distances(net);
+  std::vector<double> damage(static_cast<std::size_t>(ne), 0.0);
+  for (int t = 0; t < ne; ++t) {
+    const std::size_t base =
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(ne);
+    double total = 0.0;
+    for (int e = 0; e < ne; ++e) {
+      const int d = dist[base + static_cast<std::size_t>(e)];
+      if (d < 0) continue;
+      const double p = std::pow(model.transmission_prob, d);
+      if (p < model.threshold) continue;
+      total += p * net.edge(e).capacity;
+    }
+    damage[static_cast<std::size_t>(t)] = total;
+  }
+  return damage;
+}
+
+}  // namespace gridsec::cps

@@ -1,0 +1,50 @@
+#include "gridsec/cps/ownership.hpp"
+
+#include <algorithm>
+
+namespace gridsec::cps {
+
+Ownership::Ownership(std::vector<int> owners, int num_actors)
+    : owners_(std::move(owners)), num_actors_(num_actors) {
+  GRIDSEC_ASSERT(num_actors_ > 0);
+  for (int o : owners_) {
+    GRIDSEC_ASSERT_MSG(o >= 0 && o < num_actors_, "owner out of range");
+  }
+}
+
+Ownership Ownership::random(int num_edges, int num_actors, Rng& rng) {
+  GRIDSEC_ASSERT(num_edges >= 0 && num_actors > 0);
+  std::vector<int> owners(static_cast<std::size_t>(num_edges));
+  for (auto& o : owners) {
+    o = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(num_actors)));
+  }
+  return Ownership(std::move(owners), num_actors);
+}
+
+Ownership Ownership::monolithic(int num_edges) {
+  return Ownership(std::vector<int>(static_cast<std::size_t>(num_edges), 0),
+                   1);
+}
+
+std::vector<flow::EdgeId> Ownership::assets_of(int actor) const {
+  std::vector<flow::EdgeId> out;
+  for (std::size_t e = 0; e < owners_.size(); ++e) {
+    if (owners_[e] == actor) out.push_back(static_cast<flow::EdgeId>(e));
+  }
+  return out;
+}
+
+int Ownership::active_actors() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_actors_), false);
+  int count = 0;
+  for (int o : owners_) {
+    if (!seen[static_cast<std::size_t>(o)]) {
+      seen[static_cast<std::size_t>(o)] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace gridsec::cps

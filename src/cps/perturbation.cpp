@@ -1,0 +1,63 @@
+#include "gridsec/cps/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridsec::cps {
+
+void apply_attack(flow::Network& net, const Attack& attack) {
+  GRIDSEC_ASSERT(attack.target >= 0 && attack.target < net.num_edges());
+  const flow::Edge& e = net.edge(attack.target);
+  switch (attack.type) {
+    case AttackType::kOutage:
+      net.set_capacity(attack.target, 0.0);
+      break;
+    case AttackType::kCapacityScale: {
+      const double frac = std::clamp(attack.magnitude, 0.0, 1.0);
+      net.set_capacity(attack.target, e.capacity * (1.0 - frac));
+      break;
+    }
+    case AttackType::kLossIncrease:
+      net.set_loss(attack.target,
+                   std::clamp(e.loss + attack.magnitude, 0.0, 0.95));
+      break;
+    case AttackType::kCostShift:
+      net.set_cost(attack.target, e.cost + attack.magnitude);
+      break;
+  }
+}
+
+flow::Network attacked_network(const flow::Network& net,
+                               std::span<const Attack> attacks) {
+  flow::Network out = net;
+  for (const Attack& a : attacks) apply_attack(out, a);
+  return out;
+}
+
+flow::Network perturb_knowledge(const flow::Network& net,
+                                const NoiseSpec& spec, Rng& rng) {
+  GRIDSEC_ASSERT(spec.sigma >= 0.0);
+  flow::Network out = net;
+  if (spec.sigma == 0.0) return out;
+  const auto draw = [&](double x) {
+    const double stddev =
+        spec.mode == NoiseMode::kRelative ? spec.sigma * std::fabs(x)
+                                          : spec.sigma;
+    return rng.normal(x, stddev);
+  };
+  for (int e = 0; e < out.num_edges(); ++e) {
+    const flow::Edge& edge = out.edge(e);
+    if (spec.perturb_capacity) {
+      out.set_capacity(e, std::max(0.0, draw(edge.capacity)));
+    }
+    if (spec.perturb_cost) {
+      out.set_cost(e, draw(edge.cost));
+    }
+    if (spec.perturb_loss) {
+      out.set_loss(e, std::clamp(draw(edge.loss), 0.0, 0.95));
+    }
+  }
+  return out;
+}
+
+}  // namespace gridsec::cps

@@ -1,0 +1,110 @@
+#include "gridsec/flow/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridsec::flow {
+
+std::vector<double> edge_profits_from_prices(
+    const Network& net, std::span<const double> flow,
+    std::span<const double> node_price) {
+  GRIDSEC_ASSERT(flow.size() == static_cast<std::size_t>(net.num_edges()));
+  GRIDSEC_ASSERT(node_price.size() ==
+                 static_cast<std::size_t>(net.num_nodes()));
+  std::vector<double> profit(flow.size(), 0.0);
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    const auto es = static_cast<std::size_t>(e);
+    const double f = flow[es];
+    if (f <= 0.0) continue;
+    const double price_to =
+        net.node(edge.to).kind == NodeKind::kHub
+            ? node_price[static_cast<std::size_t>(edge.to)]
+            : 0.0;
+    const double price_from =
+        net.node(edge.from).kind == NodeKind::kHub
+            ? node_price[static_cast<std::size_t>(edge.from)]
+            : 0.0;
+    profit[es] =
+        price_to * f - price_from * f / (1.0 - edge.loss) - edge.cost * f;
+  }
+  return profit;
+}
+
+StatusOr<std::vector<double>> probe_node_prices(
+    const Network& net, const FlowSolution& base, double probe_fraction,
+    const SocialWelfareOptions& options) {
+  if (!base.optimal()) {
+    return Status::invalid_argument("probe_node_prices: base not optimal");
+  }
+  // Probe size: a fraction of the mean positive flow, floored so the LP
+  // actually moves, capped so we stay in the local pricing regime.
+  double mean_flow = 0.0;
+  int positive = 0;
+  for (double f : base.flow) {
+    if (f > 1e-9) {
+      mean_flow += f;
+      ++positive;
+    }
+  }
+  mean_flow = positive ? mean_flow / positive : 1.0;
+  const double delta = std::max(1e-6, probe_fraction * mean_flow);
+
+  std::vector<double> price(static_cast<std::size_t>(net.num_nodes()), 0.0);
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != NodeKind::kHub) continue;
+    if (net.out_edges(n).empty() && net.in_edges(n).empty()) continue;
+    // Free injection of `delta` at hub n: a zero-cost supply edge. The
+    // welfare gain per unit is the price of energy at that hub — the
+    // paper's "price of the alternative" at that point in the system.
+    Network probe = net;
+    probe.add_supply("probe.injection", n, delta, 0.0);
+    FlowSolution sol = solve_social_welfare(probe, options);
+    if (!sol.optimal()) {
+      return Status::internal("probe_node_prices: probe LP failed at hub " +
+                              net.node(n).name);
+    }
+    price[static_cast<std::size_t>(n)] = (sol.welfare - base.welfare) / delta;
+  }
+  return price;
+}
+
+AllocationResult allocate_profits(const Network& net,
+                                  std::span<const int> owners,
+                                  int num_actors,
+                                  const AllocationOptions& options) {
+  AllocationResult out;
+  FlowSolution base = solve_social_welfare(net, options.welfare);
+  out.status = base.status;
+  if (!base.optimal()) return out;
+  out.welfare = base.welfare;
+
+  if (options.kind == AllocatorKind::kLmp) {
+    out.node_price = base.node_price;
+  } else {
+    auto probed =
+        probe_node_prices(net, base, options.probe_fraction, options.welfare);
+    if (!probed.is_ok()) {
+      out.status = lp::SolveStatus::kIterationLimit;
+      return out;
+    }
+    out.node_price = std::move(probed.value());
+  }
+
+  out.edge_profit = edge_profits_from_prices(net, base.flow, out.node_price);
+  out.flow = std::move(base.flow);
+
+  if (!owners.empty()) {
+    GRIDSEC_ASSERT(owners.size() == static_cast<std::size_t>(net.num_edges()));
+    GRIDSEC_ASSERT(num_actors > 0);
+    out.actor_profit.assign(static_cast<std::size_t>(num_actors), 0.0);
+    for (std::size_t e = 0; e < owners.size(); ++e) {
+      const int a = owners[e];
+      GRIDSEC_ASSERT_MSG(a >= 0 && a < num_actors, "owner out of range");
+      out.actor_profit[static_cast<std::size_t>(a)] += out.edge_profit[e];
+    }
+  }
+  return out;
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,150 @@
+#include "gridsec/flow/analysis.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "gridsec/lp/simplex.hpp"
+
+namespace gridsec::flow {
+namespace {
+
+constexpr int kUnreached = std::numeric_limits<int>::max();
+
+/// Directed BFS over edges from `start`; fills hop distance and the number
+/// of distinct shortest paths per node.
+void bfs_forward(const Network& net, NodeId start, std::vector<int>& dist,
+                 std::vector<double>& paths) {
+  dist.assign(static_cast<std::size_t>(net.num_nodes()), kUnreached);
+  paths.assign(static_cast<std::size_t>(net.num_nodes()), 0.0);
+  dist[static_cast<std::size_t>(start)] = 0;
+  paths[static_cast<std::size_t>(start)] = 1.0;
+  std::queue<NodeId> queue;
+  queue.push(start);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (EdgeId e : net.out_edges(u)) {
+      const NodeId v = net.edge(e).to;
+      const auto us = static_cast<std::size_t>(u);
+      const auto vs = static_cast<std::size_t>(v);
+      if (dist[vs] == kUnreached) {
+        dist[vs] = dist[us] + 1;
+        queue.push(v);
+      }
+      if (dist[vs] == dist[us] + 1) paths[vs] += paths[us];
+    }
+  }
+}
+
+/// Reverse-direction BFS (paths *to* `target` along edge directions).
+void bfs_backward(const Network& net, NodeId target, std::vector<int>& dist,
+                  std::vector<double>& paths) {
+  dist.assign(static_cast<std::size_t>(net.num_nodes()), kUnreached);
+  paths.assign(static_cast<std::size_t>(net.num_nodes()), 0.0);
+  dist[static_cast<std::size_t>(target)] = 0;
+  paths[static_cast<std::size_t>(target)] = 1.0;
+  std::queue<NodeId> queue;
+  queue.push(target);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (EdgeId e : net.in_edges(v)) {
+      const NodeId u = net.edge(e).from;
+      const auto us = static_cast<std::size_t>(u);
+      const auto vs = static_cast<std::size_t>(v);
+      if (dist[us] == kUnreached) {
+        dist[us] = dist[vs] + 1;
+        queue.push(u);
+      }
+      if (dist[us] == dist[vs] + 1) paths[us] += paths[vs];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> source_sink_betweenness(const Network& net) {
+  std::vector<double> score(static_cast<std::size_t>(net.num_edges()), 0.0);
+  std::vector<NodeId> sources, sinks;
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind == NodeKind::kSource) sources.push_back(n);
+    if (net.node(n).kind == NodeKind::kSink) sinks.push_back(n);
+  }
+  std::vector<int> dist_s, dist_t;
+  std::vector<double> paths_s, paths_t;
+  for (NodeId s : sources) {
+    bfs_forward(net, s, dist_s, paths_s);
+    for (NodeId t : sinks) {
+      const auto ts = static_cast<std::size_t>(t);
+      if (dist_s[ts] == kUnreached) continue;
+      bfs_backward(net, t, dist_t, paths_t);
+      const int d_total = dist_s[ts];
+      const double total_paths = paths_s[ts];
+      if (total_paths <= 0.0) continue;
+      for (int e = 0; e < net.num_edges(); ++e) {
+        const Edge& edge = net.edge(e);
+        const auto us = static_cast<std::size_t>(edge.from);
+        const auto vs = static_cast<std::size_t>(edge.to);
+        if (dist_s[us] == kUnreached || dist_t[vs] == kUnreached) continue;
+        if (dist_s[us] + 1 + dist_t[vs] == d_total) {
+          score[static_cast<std::size_t>(e)] +=
+              paths_s[us] * paths_t[vs] / total_paths;
+        }
+      }
+    }
+  }
+  return score;
+}
+
+bool all_consumers_reachable(const Network& net) {
+  // Multi-source BFS from every source terminal.
+  std::vector<bool> reached(static_cast<std::size_t>(net.num_nodes()), false);
+  std::queue<NodeId> queue;
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind == NodeKind::kSource) {
+      reached[static_cast<std::size_t>(n)] = true;
+      queue.push(n);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (EdgeId e : net.out_edges(u)) {
+      const NodeId v = net.edge(e).to;
+      if (!reached[static_cast<std::size_t>(v)]) {
+        reached[static_cast<std::size_t>(v)] = true;
+        queue.push(v);
+      }
+    }
+  }
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind == NodeKind::kSink &&
+        !reached[static_cast<std::size_t>(n)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<double> max_deliverable(const Network& net, EdgeId demand_edge) {
+  if (demand_edge < 0 || demand_edge >= net.num_edges() ||
+      net.edge(demand_edge).kind != EdgeKind::kDemand) {
+    return Status::invalid_argument("max_deliverable: not a demand edge");
+  }
+  // Re-cost: the chosen demand edge pays 1 per delivered unit, everything
+  // else is free, and competing demand edges are closed.
+  Network probe = net;
+  for (int e = 0; e < probe.num_edges(); ++e) {
+    probe.set_cost(e, e == demand_edge ? -1.0 : 0.0);
+    if (e != demand_edge && probe.edge(e).kind == EdgeKind::kDemand) {
+      probe.set_capacity(e, 0.0);
+    }
+  }
+  FlowSolution sol = solve_social_welfare(probe);
+  if (!sol.optimal()) {
+    return Status::internal("max_deliverable: LP failed");
+  }
+  return sol.flow[static_cast<std::size_t>(demand_edge)];
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,179 @@
+#include "gridsec/flow/dcopf.hpp"
+
+#include "gridsec/lp/simplex.hpp"
+
+namespace gridsec::flow {
+namespace {
+
+constexpr double kThetaBound = 1e5;  // effectively free angles
+
+/// Shared LP construction; `with_angles` toggles the B-θ coupling.
+DcSolution solve_impl(const DcNetwork& net, bool with_angles) {
+  DcSolution out;
+  GRIDSEC_ASSERT(net.num_buses() > 0);
+  lp::Problem p(lp::Objective::kMinimize);
+
+  const int nb = net.num_buses();
+  const int nl = static_cast<int>(net.lines().size());
+  const int ng = static_cast<int>(net.generators().size());
+  const int nd = static_cast<int>(net.loads().size());
+
+  // Variables: theta per bus (slack pinned), flow per line, g, d.
+  std::vector<int> theta(static_cast<std::size_t>(nb), -1);
+  if (with_angles) {
+    for (int b = 0; b < nb; ++b) {
+      const double bound = b == 0 ? 0.0 : kThetaBound;
+      theta[static_cast<std::size_t>(b)] = p.add_variable(
+          "theta." + net.buses()[static_cast<std::size_t>(b)], -bound, bound,
+          0.0);
+    }
+  }
+  std::vector<int> fvar(static_cast<std::size_t>(nl));
+  for (int l = 0; l < nl; ++l) {
+    const DcLine& line = net.lines()[static_cast<std::size_t>(l)];
+    GRIDSEC_ASSERT(line.from >= 0 && line.from < nb);
+    GRIDSEC_ASSERT(line.to >= 0 && line.to < nb);
+    fvar[static_cast<std::size_t>(l)] =
+        p.add_variable("f." + line.name, -line.capacity, line.capacity, 0.0);
+  }
+  std::vector<int> gvar(static_cast<std::size_t>(ng));
+  for (int g = 0; g < ng; ++g) {
+    const DcGenerator& gen = net.generators()[static_cast<std::size_t>(g)];
+    GRIDSEC_ASSERT(gen.bus >= 0 && gen.bus < nb);
+    gvar[static_cast<std::size_t>(g)] =
+        p.add_variable("g." + gen.name, 0.0, gen.capacity, gen.cost);
+  }
+  std::vector<int> dvar(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    const DcLoad& load = net.loads()[static_cast<std::size_t>(d)];
+    GRIDSEC_ASSERT(load.bus >= 0 && load.bus < nb);
+    dvar[static_cast<std::size_t>(d)] =
+        p.add_variable("d." + load.name, 0.0, load.demand, -load.price);
+  }
+
+  // Kirchhoff voltage coupling: f - B*theta_from + B*theta_to = 0.
+  if (with_angles) {
+    for (int l = 0; l < nl; ++l) {
+      const DcLine& line = net.lines()[static_cast<std::size_t>(l)];
+      p.add_constraint(
+          "kvl." + line.name,
+          lp::LinearExpr()
+              .add(fvar[static_cast<std::size_t>(l)], 1.0)
+              .add(theta[static_cast<std::size_t>(line.from)],
+                   -line.susceptance)
+              .add(theta[static_cast<std::size_t>(line.to)],
+                   line.susceptance),
+          lp::Sense::kEqual, 0.0);
+    }
+  }
+
+  // Nodal balance rows (recorded order for LMP extraction).
+  std::vector<int> balance_row(static_cast<std::size_t>(nb), -1);
+  for (int b = 0; b < nb; ++b) {
+    lp::LinearExpr expr;
+    for (int g = 0; g < ng; ++g) {
+      if (net.generators()[static_cast<std::size_t>(g)].bus == b) {
+        expr.add(gvar[static_cast<std::size_t>(g)], 1.0);
+      }
+    }
+    for (int d = 0; d < nd; ++d) {
+      if (net.loads()[static_cast<std::size_t>(d)].bus == b) {
+        expr.add(dvar[static_cast<std::size_t>(d)], -1.0);
+      }
+    }
+    for (int l = 0; l < nl; ++l) {
+      const DcLine& line = net.lines()[static_cast<std::size_t>(l)];
+      if (line.from == b) expr.add(fvar[static_cast<std::size_t>(l)], -1.0);
+      if (line.to == b) expr.add(fvar[static_cast<std::size_t>(l)], 1.0);
+    }
+    if (expr.empty()) continue;
+    balance_row[static_cast<std::size_t>(b)] = p.add_constraint(
+        "balance." + net.buses()[static_cast<std::size_t>(b)],
+        std::move(expr), lp::Sense::kEqual, 0.0);
+  }
+
+  lp::Solution sol = lp::solve_lp(p);
+  out.status = sol.status;
+  if (!sol.optimal()) return out;
+  out.welfare = -sol.objective;
+  out.theta.assign(static_cast<std::size_t>(nb), 0.0);
+  if (with_angles) {
+    for (int b = 0; b < nb; ++b) {
+      out.theta[static_cast<std::size_t>(b)] =
+          sol.x[static_cast<std::size_t>(theta[static_cast<std::size_t>(b)])];
+    }
+  }
+  out.line_flow.resize(static_cast<std::size_t>(nl));
+  for (int l = 0; l < nl; ++l) {
+    out.line_flow[static_cast<std::size_t>(l)] =
+        sol.x[static_cast<std::size_t>(fvar[static_cast<std::size_t>(l)])];
+  }
+  out.generation.resize(static_cast<std::size_t>(ng));
+  for (int g = 0; g < ng; ++g) {
+    out.generation[static_cast<std::size_t>(g)] =
+        sol.x[static_cast<std::size_t>(gvar[static_cast<std::size_t>(g)])];
+  }
+  out.served.resize(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    out.served[static_cast<std::size_t>(d)] =
+        sol.x[static_cast<std::size_t>(dvar[static_cast<std::size_t>(d)])];
+  }
+  out.bus_price.assign(static_cast<std::size_t>(nb), 0.0);
+  for (int b = 0; b < nb; ++b) {
+    const int row = balance_row[static_cast<std::size_t>(b)];
+    if (row >= 0 && static_cast<std::size_t>(row) < sol.duals.size()) {
+      // Balance is gen − load − net_outflow = 0. Raising the rhs by one
+      // forces one surplus unit at the bus with nowhere to go — i.e. one
+      // extra unit must be produced for (free) consumption there. The
+      // min-cost objective rises by exactly the marginal cost of energy at
+      // the bus, so the dual IS the LMP.
+      out.bus_price[static_cast<std::size_t>(b)] =
+          sol.duals[static_cast<std::size_t>(row)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int DcNetwork::add_bus(std::string name) {
+  buses_.push_back(std::move(name));
+  return num_buses() - 1;
+}
+
+int DcNetwork::add_line(std::string name, int from, int to,
+                        double susceptance, double capacity) {
+  GRIDSEC_ASSERT(from >= 0 && from < num_buses());
+  GRIDSEC_ASSERT(to >= 0 && to < num_buses());
+  GRIDSEC_ASSERT(from != to);
+  GRIDSEC_ASSERT(susceptance > 0.0);
+  GRIDSEC_ASSERT(capacity >= 0.0);
+  lines_.push_back({std::move(name), from, to, susceptance, capacity});
+  return static_cast<int>(lines_.size()) - 1;
+}
+
+int DcNetwork::add_generator(std::string name, int bus, double capacity,
+                             double cost) {
+  GRIDSEC_ASSERT(bus >= 0 && bus < num_buses());
+  GRIDSEC_ASSERT(capacity >= 0.0);
+  generators_.push_back({std::move(name), bus, capacity, cost});
+  return static_cast<int>(generators_.size()) - 1;
+}
+
+int DcNetwork::add_load(std::string name, int bus, double demand,
+                        double price) {
+  GRIDSEC_ASSERT(bus >= 0 && bus < num_buses());
+  GRIDSEC_ASSERT(demand >= 0.0);
+  loads_.push_back({std::move(name), bus, demand, price});
+  return static_cast<int>(loads_.size()) - 1;
+}
+
+DcSolution solve_dc_opf(const DcNetwork& net) {
+  return solve_impl(net, /*with_angles=*/true);
+}
+
+DcSolution solve_transport_relaxation(const DcNetwork& net) {
+  return solve_impl(net, /*with_angles=*/false);
+}
+
+}  // namespace gridsec::flow

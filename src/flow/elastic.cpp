@@ -1,0 +1,36 @@
+#include "gridsec/flow/elastic.hpp"
+
+namespace gridsec::flow {
+
+std::vector<EdgeId> add_elastic_demand(Network& net, const std::string& name,
+                                       NodeId hub,
+                                       std::span<const DemandTier> tiers) {
+  GRIDSEC_ASSERT(!tiers.empty());
+  std::vector<EdgeId> out;
+  out.reserve(tiers.size());
+  int i = 0;
+  for (const DemandTier& tier : tiers) {
+    GRIDSEC_ASSERT(tier.quantity >= 0.0);
+    out.push_back(net.add_demand(name + ".t" + std::to_string(i++), hub,
+                                 tier.quantity, tier.price));
+  }
+  return out;
+}
+
+std::vector<DemandTier> linear_demand_curve(double max_price,
+                                            double max_quantity,
+                                            int num_tiers) {
+  GRIDSEC_ASSERT(num_tiers > 0);
+  GRIDSEC_ASSERT(max_price >= 0.0 && max_quantity >= 0.0);
+  std::vector<DemandTier> tiers;
+  tiers.reserve(static_cast<std::size_t>(num_tiers));
+  const double step = max_quantity / num_tiers;
+  for (int i = 0; i < num_tiers; ++i) {
+    // Midpoint price of the i-th quantity slice of the linear curve.
+    const double mid = (static_cast<double>(i) + 0.5) / num_tiers;
+    tiers.push_back({step, max_price * (1.0 - mid)});
+  }
+  return tiers;
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,178 @@
+#include "gridsec/flow/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace gridsec::flow {
+namespace {
+
+/// Quotes a name if it contains whitespace (names in practice do not, but
+/// the parser must never silently mis-tokenize).
+std::string token(const std::string& name) {
+  for (char c : name) {
+    GRIDSEC_ASSERT_MSG(!std::isspace(static_cast<unsigned char>(c)),
+                       "names must not contain whitespace");
+  }
+  return name;
+}
+
+}  // namespace
+
+void write_network(std::ostream& os, const Network& net,
+                   std::span<const int> owners) {
+  GRIDSEC_ASSERT(owners.empty() ||
+                 owners.size() == static_cast<std::size_t>(net.num_edges()));
+  os.precision(17);  // exact double round-trip
+  os << "# gridsec network: " << net.num_nodes() << " nodes, "
+     << net.num_edges() << " edges\n";
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind == NodeKind::kHub) {
+      os << "hub " << token(net.node(n).name) << '\n';
+    }
+  }
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    switch (edge.kind) {
+      case EdgeKind::kSupply:
+        os << "supply " << token(edge.name) << ' '
+           << token(net.node(edge.to).name) << ' ' << edge.capacity << ' '
+           << edge.cost << ' ' << edge.loss << '\n';
+        break;
+      case EdgeKind::kDemand:
+        os << "demand " << token(edge.name) << ' '
+           << token(net.node(edge.from).name) << ' ' << edge.capacity << ' '
+           << -edge.cost << ' ' << edge.loss << '\n';
+        break;
+      case EdgeKind::kTransmission:
+      case EdgeKind::kConversion:
+        os << (edge.kind == EdgeKind::kTransmission ? "edge " : "conv ")
+           << token(edge.name) << ' ' << token(net.node(edge.from).name)
+           << ' ' << token(net.node(edge.to).name) << ' ' << edge.capacity
+           << ' ' << edge.cost << ' ' << edge.loss << '\n';
+        break;
+    }
+  }
+  if (!owners.empty()) {
+    for (int e = 0; e < net.num_edges(); ++e) {
+      os << "owner " << token(net.edge(e).name) << ' '
+         << owners[static_cast<std::size_t>(e)] << '\n';
+    }
+  }
+}
+
+std::string to_text(const Network& net, std::span<const int> owners) {
+  std::ostringstream ss;
+  write_network(ss, net, owners);
+  return ss.str();
+}
+
+StatusOr<ParsedNetwork> parse_network(std::istream& is) {
+  ParsedNetwork out;
+  std::map<std::string, NodeId> hubs;
+  std::map<std::string, int> owner_lines;  // edge name -> actor
+  std::string line;
+  int lineno = 0;
+
+  const auto fail = [&lineno](const std::string& msg) {
+    return Status::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                    msg);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+
+    if (kind == "hub") {
+      std::string name;
+      if (!(ls >> name)) return fail("hub needs a name");
+      if (hubs.count(name) != 0) return fail("duplicate hub '" + name + "'");
+      hubs[name] = out.network.add_hub(name);
+    } else if (kind == "supply" || kind == "demand") {
+      std::string name, hub;
+      double capacity, price;
+      double loss = 0.0;
+      if (!(ls >> name >> hub >> capacity >> price)) {
+        return fail(kind + " needs: name hub capacity price");
+      }
+      ls >> loss;  // optional
+      auto it = hubs.find(hub);
+      if (it == hubs.end()) return fail("unknown hub '" + hub + "'");
+      if (capacity < 0.0) return fail("negative capacity");
+      if (loss < 0.0 || loss >= 1.0) return fail("loss outside [0,1)");
+      if (kind == "supply") {
+        out.network.add_supply(name, it->second, capacity, price, loss);
+      } else {
+        out.network.add_demand(name, it->second, capacity, price, loss);
+      }
+    } else if (kind == "edge" || kind == "conv") {
+      std::string name, from, to;
+      double capacity, cost;
+      double loss = 0.0;
+      if (!(ls >> name >> from >> to >> capacity >> cost)) {
+        return fail(kind + " needs: name from to capacity cost");
+      }
+      ls >> loss;
+      auto fit = hubs.find(from);
+      auto tit = hubs.find(to);
+      if (fit == hubs.end()) return fail("unknown hub '" + from + "'");
+      if (tit == hubs.end()) return fail("unknown hub '" + to + "'");
+      if (fit->second == tit->second) return fail("self-loop edge");
+      if (capacity < 0.0) return fail("negative capacity");
+      if (loss < 0.0 || loss >= 1.0) return fail("loss outside [0,1)");
+      out.network.add_edge(name,
+                           kind == "edge" ? EdgeKind::kTransmission
+                                          : EdgeKind::kConversion,
+                           fit->second, tit->second, capacity, cost, loss);
+    } else if (kind == "owner") {
+      std::string edge;
+      int actor;
+      if (!(ls >> edge >> actor)) return fail("owner needs: edge actor");
+      if (actor < 0) return fail("negative actor index");
+      owner_lines[edge] = actor;
+    } else {
+      return fail("unknown declaration '" + kind + "'");
+    }
+  }
+
+  if (!owner_lines.empty()) {
+    out.owners.assign(static_cast<std::size_t>(out.network.num_edges()), -1);
+    for (const auto& [edge, actor] : owner_lines) {
+      auto id = out.network.find_edge(edge);
+      if (!id.is_ok()) {
+        return Status::invalid_argument("owner references unknown edge '" +
+                                        edge + "'");
+      }
+      out.owners[static_cast<std::size_t>(id.value())] = actor;
+    }
+  }
+  return out;
+}
+
+StatusOr<ParsedNetwork> parse_network_text(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_network(ss);
+}
+
+Status write_network_file(const std::string& path, const Network& net,
+                          std::span<const int> owners) {
+  std::ofstream f(path);
+  if (!f) return Status::invalid_argument("cannot open '" + path + "'");
+  write_network(f, net, owners);
+  return f.good() ? Status::ok()
+                  : Status::internal("write failed for '" + path + "'");
+}
+
+StatusOr<ParsedNetwork> read_network_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::not_found("cannot open '" + path + "'");
+  return parse_network(f);
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,40 @@
+#include "gridsec/flow/marginal_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridsec::flow {
+
+StatusOr<std::vector<CapacityRent>> probe_capacity_rents(
+    const Network& net, const FlowSolution& base,
+    const CapacityProbeOptions& options) {
+  if (!base.optimal()) {
+    return Status::invalid_argument("probe_capacity_rents: base not optimal");
+  }
+  if (base.flow.size() != static_cast<std::size_t>(net.num_edges())) {
+    return Status::invalid_argument("probe_capacity_rents: stale solution");
+  }
+  std::vector<CapacityRent> out(static_cast<std::size_t>(net.num_edges()));
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const auto es = static_cast<std::size_t>(e);
+    const Edge& edge = net.edge(e);
+    const double f = base.flow[es];
+    out[es].saturated = f >= edge.capacity - 1e-7;
+    if (f <= options.flow_tol) continue;  // the paper probes flowing edges
+    const double delta = std::min(
+        options.relative ? options.delta * edge.capacity : options.delta,
+        edge.capacity);
+    if (delta <= 0.0) continue;
+    Network probe = net;
+    probe.set_capacity(e, edge.capacity - delta);
+    FlowSolution sol = solve_social_welfare(probe, options.welfare);
+    if (!sol.optimal()) {
+      return Status::internal("probe_capacity_rents: probe failed at " +
+                              edge.name);
+    }
+    out[es].marginal_value = (base.welfare - sol.welfare) / delta;
+  }
+  return out;
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,159 @@
+#include "gridsec/flow/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gridsec::flow {
+
+SeriesShareResult negotiate_series_profits(
+    const SeriesChain& chain, const SeriesNegotiationOptions& options) {
+  SeriesShareResult out;
+  const std::size_t n = chain.segment_cost.size();
+  GRIDSEC_ASSERT(n > 0);
+  const double transport =
+      std::accumulate(chain.segment_cost.begin(), chain.segment_cost.end(),
+                      0.0);
+  const double margin = chain.consumer_price - chain.supply_cost - transport;
+  out.chain_margin = margin;
+  out.markup.assign(n, 0.0);
+  out.actor_profit.assign(n, 0.0);
+  if (margin <= 0.0 || chain.flow <= 0.0) {
+    out.converged = true;  // nothing to divide
+    return out;
+  }
+
+  // Lock-step growth with back-off: each actor tries to raise its markup by
+  // `step`; a raise that would make the chain uncompetitive (Σ m > M — the
+  // flow would be perturbed) is rejected, and once nobody can grow, the step
+  // halves (the "reduce until flow is restored" refinement). From zero
+  // markups this terminates at the equal split within tolerance·M.
+  // Grow / perturb / restore: the actor taking the smallest margin raises
+  // its markup by the current step (it has the most competitive headroom).
+  // If that pushes the delivered price past the consumer's willingness to
+  // pay (Σ m > M — flow perturbed), the actor charging the most backs off
+  // until the flow is restored. Each grow+restore pair shrinks the markup
+  // spread by one step; once the spread is dissipated at a step level, the
+  // step halves. Terminates at the equal split within tolerance·M.
+  double total = 0.0;
+  double step = margin * options.initial_step_fraction;
+  const double final_step = margin * options.tolerance * 0.5;
+  const double overshoot_tol = 1e-12 * margin;
+  int iter = 0;
+  while (step > final_step && iter < options.max_iterations) {
+    // Enough sweeps at this step level to dissipate spread left over from
+    // the previous (2x larger) level across all n actors.
+    const int sweeps = 6 * static_cast<int>(n) + 8;
+    for (int s = 0; s < sweeps && iter < options.max_iterations; ++s) {
+      ++iter;
+      const std::size_t lowest = static_cast<std::size_t>(
+          std::min_element(out.markup.begin(), out.markup.end()) -
+          out.markup.begin());
+      out.markup[lowest] += step;
+      total += step;
+      while (total > margin + overshoot_tol) {
+        const std::size_t highest = static_cast<std::size_t>(
+            std::max_element(out.markup.begin(), out.markup.end()) -
+            out.markup.begin());
+        const double shed = std::min(step, out.markup[highest]);
+        out.markup[highest] -= shed;
+        total -= shed;
+        if (shed <= 0.0) break;  // defensive: cannot restore further
+      }
+    }
+    step *= 0.5;
+  }
+  out.iterations = iter;
+  out.converged = step <= final_step;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.actor_profit[i] = out.markup[i] * chain.flow;
+  }
+  return out;
+}
+
+StatusOr<SeriesChain> extract_series_chain(const Network& net,
+                                           std::span<const int> owners,
+                                           std::vector<int>* chain_actors) {
+  if (owners.size() != static_cast<std::size_t>(net.num_edges())) {
+    return Status::invalid_argument("extract_series_chain: owners size");
+  }
+  // Locate the unique supply and demand edges.
+  EdgeId supply = -1, demand = -1;
+  for (int e = 0; e < net.num_edges(); ++e) {
+    switch (net.edge(e).kind) {
+      case EdgeKind::kSupply:
+        if (supply >= 0) {
+          return Status::invalid_argument("chain needs exactly one supply");
+        }
+        supply = e;
+        break;
+      case EdgeKind::kDemand:
+        if (demand >= 0) {
+          return Status::invalid_argument("chain needs exactly one demand");
+        }
+        demand = e;
+        break;
+      default:
+        break;
+    }
+  }
+  if (supply < 0 || demand < 0) {
+    return Status::invalid_argument("chain needs one supply and one demand");
+  }
+
+  // Walk hub-to-hub from the supply's head to the demand's tail.
+  std::vector<EdgeId> path{supply};
+  NodeId at = net.edge(supply).to;
+  while (at != net.edge(demand).from) {
+    EdgeId next = -1;
+    for (EdgeId e : net.out_edges(at)) {
+      if (net.edge(e).kind == EdgeKind::kTransmission ||
+          net.edge(e).kind == EdgeKind::kConversion) {
+        if (next >= 0) {
+          return Status::invalid_argument("hub '" + net.node(at).name +
+                                          "' branches; not a chain");
+        }
+        next = e;
+      }
+    }
+    if (next < 0) {
+      return Status::invalid_argument("chain breaks at hub '" +
+                                      net.node(at).name + "'");
+    }
+    path.push_back(next);
+    at = net.edge(next).to;
+    if (path.size() > static_cast<std::size_t>(net.num_edges())) {
+      return Status::invalid_argument("cycle detected; not a chain");
+    }
+  }
+  path.push_back(demand);
+
+  // Group consecutive path edges by owner.
+  SeriesChain chain;
+  chain.supply_cost = net.edge(supply).cost;
+  chain.consumer_price = -net.edge(demand).cost;
+  double flow_cap = net.edge(supply).capacity;
+  std::vector<int> actors;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {  // interior segments
+    const Edge& e = net.edge(path[i]);
+    flow_cap = std::min(flow_cap, e.capacity);
+    const int owner = owners[static_cast<std::size_t>(path[i])];
+    if (actors.empty() || actors.back() != owner) {
+      actors.push_back(owner);
+      chain.segment_cost.push_back(0.0);
+    }
+    chain.segment_cost.back() += e.cost;
+  }
+  flow_cap = std::min(flow_cap, net.edge(demand).capacity);
+  if (chain.segment_cost.empty()) {
+    // Producer sells straight to the consumer: a single "segment" owned by
+    // the supply edge's owner.
+    actors.push_back(owners[static_cast<std::size_t>(supply)]);
+    chain.segment_cost.push_back(0.0);
+  }
+  chain.flow = flow_cap;
+  if (chain_actors != nullptr) *chain_actors = std::move(actors);
+  return chain;
+}
+
+}  // namespace gridsec::flow

@@ -1,0 +1,65 @@
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::flow {
+
+lp::Problem build_social_welfare_lp(const Network& net) {
+  lp::Problem p(lp::Objective::kMinimize);
+  // One variable per edge: delivered flow in [0, capacity] (Eq 2) with the
+  // per-unit cost a(u,v) as objective coefficient (Eq 1).
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    p.add_variable(edge.name, 0.0, edge.capacity, edge.cost);
+  }
+  // Lossy conservation at each hub (Eq 7): what the hub sends (grossed up
+  // by each outgoing edge's loss) equals what it receives.
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != NodeKind::kHub) continue;
+    lp::LinearExpr expr;
+    for (EdgeId e : net.out_edges(n)) {
+      expr.add(e, 1.0 / (1.0 - net.edge(e).loss));
+    }
+    for (EdgeId e : net.in_edges(n)) {
+      expr.add(e, -1.0);
+    }
+    if (expr.empty()) continue;  // isolated hub
+    p.add_constraint("conserve." + net.node(n).name, std::move(expr),
+                     lp::Sense::kEqual, 0.0);
+  }
+  return p;
+}
+
+FlowSolution solve_social_welfare(const Network& net,
+                                  const SocialWelfareOptions& options) {
+  lp::Problem p = build_social_welfare_lp(net);
+  lp::SimplexSolver solver(options.simplex);
+  lp::Solution lp_sol = solver.solve(p);
+
+  FlowSolution out;
+  out.status = lp_sol.status;
+  if (!lp_sol.optimal()) return out;
+
+  out.welfare = -lp_sol.objective;  // min cost -> max welfare
+  out.flow = std::move(lp_sol.x);
+
+  // Map conservation-row duals back onto nodes. Rows were added in node
+  // order for hubs with incident edges; replay the same walk.
+  out.node_price.assign(static_cast<std::size_t>(net.num_nodes()), 0.0);
+  int row = 0;
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != NodeKind::kHub) continue;
+    if (net.out_edges(n).empty() && net.in_edges(n).empty()) continue;
+    if (row < static_cast<int>(lp_sol.duals.size())) {
+      // Dual of "outflow - inflow = 0": raising rhs by one unit forces one
+      // unit of net withdrawal at the hub; the dual is thus the marginal
+      // system cost of serving load there — the LMP (positive sign because
+      // the internal problem is a minimization).
+      out.node_price[static_cast<std::size_t>(n)] =
+          -lp_sol.duals[static_cast<std::size_t>(row)];
+    }
+    ++row;
+  }
+  out.edge_reduced_cost = std::move(lp_sol.reduced_costs);
+  return out;
+}
+
+}  // namespace gridsec::flow

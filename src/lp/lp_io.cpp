@@ -1,0 +1,102 @@
+#include "gridsec/lp/lp_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace gridsec::lp {
+namespace {
+
+std::string sanitize(const std::string& name, const char* prefix, int index) {
+  if (name.empty()) {
+    std::ostringstream ss;
+    ss << prefix << index;
+    return ss.str();
+  }
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    out += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  }
+  if (std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_expr(std::ostream& os, const std::vector<Term>& terms,
+                const Problem& problem) {
+  bool first = true;
+  for (const Term& t : terms) {
+    const double c = t.coef;
+    if (c == 0.0) continue;
+    if (first) {
+      if (c < 0.0) os << "- ";
+      first = false;
+    } else {
+      os << (c < 0.0 ? " - " : " + ");
+    }
+    const double mag = std::fabs(c);
+    if (mag != 1.0) os << mag << ' ';
+    os << sanitize(problem.variable(t.var).name, "x", t.var);
+  }
+  if (first) os << "0";
+}
+
+}  // namespace
+
+void write_lp_format(std::ostream& os, const Problem& problem) {
+  os << (problem.objective() == Objective::kMinimize ? "Minimize\n"
+                                                     : "Maximize\n");
+  os << " obj: ";
+  std::vector<Term> obj;
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    obj.push_back({j, problem.variable(j).objective});
+  }
+  write_expr(os, obj, problem);
+  os << "\nSubject To\n";
+  for (int i = 0; i < problem.num_constraints(); ++i) {
+    const auto& con = problem.constraint(i);
+    os << ' ' << sanitize(con.name, "c", i) << ": ";
+    write_expr(os, con.terms, problem);
+    switch (con.sense) {
+      case Sense::kLessEqual:
+        os << " <= ";
+        break;
+      case Sense::kGreaterEqual:
+        os << " >= ";
+        break;
+      case Sense::kEqual:
+        os << " = ";
+        break;
+    }
+    os << con.rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const auto& v = problem.variable(j);
+    os << ' ' << v.lower << " <= " << sanitize(v.name, "x", j);
+    if (std::isfinite(v.upper)) os << " <= " << v.upper;
+    os << '\n';
+  }
+  bool has_int = false;
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    if (problem.variable(j).type != VarType::kContinuous) {
+      if (!has_int) {
+        os << "General\n";
+        has_int = true;
+      }
+      os << ' ' << sanitize(problem.variable(j).name, "x", j) << '\n';
+    }
+  }
+  os << "End\n";
+}
+
+std::string to_lp_format(const Problem& problem) {
+  std::ostringstream ss;
+  write_lp_format(ss, problem);
+  return ss.str();
+}
+
+}  // namespace gridsec::lp

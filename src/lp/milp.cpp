@@ -1,0 +1,281 @@
+#include "gridsec/lp/milp.hpp"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "gridsec/lp/presolve.hpp"
+
+namespace gridsec::lp {
+namespace {
+
+struct BoundChange {
+  int var;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  double bound;  // internal (minimize-sense) relaxation objective
+  std::vector<BoundChange> changes;
+
+  bool operator>(const Node& other) const { return bound > other.bound; }
+};
+
+/// Returns the index of the most fractional integer variable, or -1 if the
+/// point is integral within tol.
+int most_fractional(const Problem& problem, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    if (problem.variable(j).type == VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double dist = std::fabs(v - std::round(v));
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution BranchAndBoundSolver::solve(const Problem& problem) const {
+  stats_ = {};
+
+  // Optional root presolve. Only usable when it does not fix any integer
+  // variable at a fractional value (then its reductions are MILP-valid:
+  // bounds only ever shrink further down the tree).
+  if (options_.use_presolve) {
+    Presolved pre = presolve(problem);
+    bool integral_fixings = true;
+    if (pre.verdict() == Presolved::Verdict::kReduced ||
+        pre.verdict() == Presolved::Verdict::kSolved) {
+      Solution dummy;
+      dummy.status = SolveStatus::kOptimal;
+      if (pre.verdict() == Presolved::Verdict::kSolved) {
+        Solution mapped = pre.postsolve(dummy);
+        if (problem.is_feasible(mapped.x, options_.integrality_tol)) {
+          return mapped;
+        }
+        integral_fixings = false;  // a fixing violated integrality
+      } else {
+        // Check the fixings without solving: reconstruct fixed values by
+        // postsolving a zero vector of reduced size.
+        Solution zeros;
+        zeros.status = SolveStatus::kOptimal;
+        zeros.x.assign(
+            static_cast<std::size_t>(pre.reduced().num_variables()), 0.0);
+        Solution mapped = pre.postsolve(zeros);
+        for (int j = 0; j < problem.num_variables(); ++j) {
+          if (problem.variable(j).type == VarType::kContinuous) continue;
+          const double v = mapped.x[static_cast<std::size_t>(j)];
+          // Only fixed variables carry meaningful values here; reduced
+          // columns were zeroed, and zero is always integral.
+          if (std::fabs(v - std::round(v)) > options_.integrality_tol) {
+            integral_fixings = false;
+            break;
+          }
+        }
+        if (integral_fixings) {
+          BranchAndBoundOptions inner = options_;
+          inner.use_presolve = false;
+          BranchAndBoundSolver solver(inner);
+          Solution reduced_sol = solver.solve(pre.reduced());
+          stats_ = solver.stats();
+          if (reduced_sol.status != SolveStatus::kOptimal) {
+            // Map terminal statuses through unchanged.
+            Solution out;
+            out.status = reduced_sol.status;
+            return out;
+          }
+          return pre.postsolve(reduced_sol);
+        }
+      }
+    } else if (pre.verdict() == Presolved::Verdict::kInfeasible) {
+      Solution out;
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    } else if (pre.verdict() == Presolved::Verdict::kUnbounded) {
+      Solution out;
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+    // Fractional integer fixing: fall through to the plain search.
+  }
+
+  const bool maximize = problem.objective() == Objective::kMaximize;
+  const auto internal = [maximize](double obj) {
+    return maximize ? -obj : obj;
+  };
+
+  SimplexSolver lp(options_.lp_options);
+
+  // Working copy whose integer-variable bounds get overridden per node.
+  Problem work = problem;
+  std::vector<std::pair<double, double>> root_bounds;
+  root_bounds.reserve(static_cast<std::size_t>(problem.num_variables()));
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const auto& v = problem.variable(j);
+    root_bounds.emplace_back(v.lower, v.upper);
+  }
+  const auto apply = [&](const std::vector<BoundChange>& changes) {
+    for (int j = 0; j < work.num_variables(); ++j) {
+      const auto& rb = root_bounds[static_cast<std::size_t>(j)];
+      work.set_bounds(j, rb.first, rb.second);
+    }
+    for (const auto& ch : changes) work.set_bounds(ch.var, ch.lower, ch.upper);
+  };
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_internal = kInfinity;
+  bool any_node_hit_limit = false;
+
+  if (options_.diving_heuristic && problem.has_integer_variables()) {
+    // One rounding dive from the root: cheap, and a feasible incumbent
+    // prunes the best-first search dramatically.
+    apply({});
+    std::vector<BoundChange> dive;
+    for (;;) {
+      Solution relax = lp.solve(work);
+      ++stats_.lp_solves;
+      if (relax.status != SolveStatus::kOptimal) break;
+      const int frac =
+          most_fractional(problem, relax.x, options_.integrality_tol);
+      if (frac < 0) {
+        for (int j = 0; j < problem.num_variables(); ++j) {
+          if (problem.variable(j).type != VarType::kContinuous) {
+            relax.x[static_cast<std::size_t>(j)] =
+                std::round(relax.x[static_cast<std::size_t>(j)]);
+          }
+        }
+        relax.objective = problem.objective_value(relax.x);
+        relax.duals.clear();
+        relax.reduced_costs.clear();
+        incumbent = relax;
+        incumbent_internal = internal(relax.objective);
+        ++stats_.incumbent_updates;
+        break;
+      }
+      const double v = relax.x[static_cast<std::size_t>(frac)];
+      const auto& rv = problem.variable(frac);
+      double rounded = std::round(v);
+      rounded = std::max(rounded, std::ceil(rv.lower - 1e-9));
+      rounded = std::min(rounded, std::floor(rv.upper + 1e-9));
+      if (rounded < rv.lower - 1e-9 || rounded > rv.upper + 1e-9) {
+        break;  // no integral point within this variable's bounds
+      }
+      dive.push_back({frac, rounded, rounded});
+      apply(dive);
+      if (dive.size() > static_cast<std::size_t>(problem.num_variables())) {
+        break;  // defensive
+      }
+    }
+  }
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  open.push({-kInfinity, {}});
+
+  while (!open.empty()) {
+    if (stats_.nodes_explored >= options_.max_nodes) {
+      any_node_hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_internal - options_.absolute_gap) {
+      continue;  // cannot improve the incumbent
+    }
+    ++stats_.nodes_explored;
+
+    apply(node.changes);
+    Solution relax = lp.solve(work);
+    ++stats_.lp_solves;
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // Unbounded relaxation at the root means the MILP is unbounded (our
+      // binaries cannot bound it); deeper nodes inherit it too.
+      Solution out;
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) {
+      any_node_hit_limit = true;
+      continue;
+    }
+    const double node_internal = internal(relax.objective);
+    if (node_internal >= incumbent_internal - options_.absolute_gap) continue;
+
+    const int branch_var =
+        most_fractional(problem, relax.x, options_.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent. Snap integer values exactly.
+      for (int j = 0; j < problem.num_variables(); ++j) {
+        if (problem.variable(j).type != VarType::kContinuous) {
+          relax.x[static_cast<std::size_t>(j)] =
+              std::round(relax.x[static_cast<std::size_t>(j)]);
+        }
+      }
+      relax.objective = problem.objective_value(relax.x);
+      relax.duals.clear();
+      relax.reduced_costs.clear();
+      incumbent = relax;
+      incumbent_internal = internal(relax.objective);
+      ++stats_.incumbent_updates;
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch_var)];
+    const double floor_v = std::floor(v);
+    const auto& rb = root_bounds[static_cast<std::size_t>(branch_var)];
+
+    Node down = node;
+    down.bound = node_internal;
+    down.changes.push_back({branch_var, rb.first, floor_v});
+    open.push(std::move(down));
+
+    Node up = std::move(node);
+    up.bound = node_internal;
+    up.changes.push_back({branch_var, floor_v + 1.0, rb.second});
+    open.push(std::move(up));
+  }
+
+  if (incumbent.status == SolveStatus::kOptimal && any_node_hit_limit) {
+    incumbent.status = SolveStatus::kIterationLimit;  // feasible, not proven
+  } else if (incumbent.status != SolveStatus::kOptimal && any_node_hit_limit) {
+    incumbent.status = SolveStatus::kIterationLimit;
+  }
+  return incumbent;
+}
+
+Solution solve_milp(const Problem& problem) {
+  return BranchAndBoundSolver().solve(problem);
+}
+
+Solution solve_milp_with_duals(const Problem& problem,
+                               const BranchAndBoundOptions& options) {
+  BranchAndBoundSolver solver(options);
+  Solution incumbent = solver.solve(problem);
+  if (incumbent.status != SolveStatus::kOptimal &&
+      incumbent.status != SolveStatus::kIterationLimit) {
+    return incumbent;
+  }
+  if (incumbent.x.empty()) return incumbent;  // budgeted run with no plan
+  Problem fixed = problem;
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    if (problem.variable(j).type == VarType::kContinuous) continue;
+    const double v = incumbent.x[static_cast<std::size_t>(j)];
+    fixed.set_bounds(j, v, v);
+  }
+  SimplexSolver lp(options.lp_options);
+  Solution refined = lp.solve(fixed);
+  if (refined.status != SolveStatus::kOptimal) return incumbent;
+  refined.status = incumbent.status;  // keep the proof status of the search
+  return refined;
+}
+
+}  // namespace gridsec::lp

@@ -1,0 +1,264 @@
+#include "gridsec/lp/presolve.hpp"
+
+#include <cmath>
+
+namespace gridsec::lp {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+}  // namespace
+
+Presolved presolve(const Problem& problem) {
+  Presolved out;
+  out.original_ = &problem;
+  const int nv = problem.num_variables();
+  const int nr = problem.num_constraints();
+
+  std::vector<double> lower(static_cast<std::size_t>(nv));
+  std::vector<double> upper(static_cast<std::size_t>(nv));
+  for (int j = 0; j < nv; ++j) {
+    lower[static_cast<std::size_t>(j)] = problem.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = problem.variable(j).upper;
+  }
+  std::vector<bool> fixed(static_cast<std::size_t>(nv), false);
+  std::vector<double> fixed_at(static_cast<std::size_t>(nv), 0.0);
+  std::vector<bool> row_alive(static_cast<std::size_t>(nr), true);
+
+  const bool maximize = problem.objective() == Objective::kMaximize;
+  const auto min_sense_obj = [&](int j) {
+    const double c = problem.variable(j).objective;
+    return maximize ? -c : c;
+  };
+
+  const auto fix = [&](int j, double value) {
+    fixed[static_cast<std::size_t>(j)] = true;
+    fixed_at[static_cast<std::size_t>(j)] = value;
+    ++out.stats_.fixed_variables;
+  };
+
+  bool changed = true;
+  while (changed && out.verdict_ == Presolved::Verdict::kReduced) {
+    changed = false;
+    ++out.stats_.passes;
+
+    // Fixed-by-bounds variables.
+    for (int j = 0; j < nv; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (!fixed[js] && upper[js] - lower[js] <= kFeasTol) {
+        fix(j, lower[js]);
+        changed = true;
+      }
+    }
+
+    // Row reductions.
+    for (int i = 0; i < nr; ++i) {
+      const auto is = static_cast<std::size_t>(i);
+      if (!row_alive[is]) continue;
+      const Constraint& con = problem.constraint(i);
+      double rhs = con.rhs;
+      int live_terms = 0;  // counts term entries, so duplicate-variable
+                           // rows are conservatively treated as non-singleton
+      int live_var = -1;
+      for (const Term& t : con.terms) {
+        if (t.coef == 0.0) continue;
+        const auto vs = static_cast<std::size_t>(t.var);
+        if (fixed[vs]) {
+          rhs -= t.coef * fixed_at[vs];
+        } else {
+          ++live_terms;
+          live_var = t.var;
+        }
+      }
+      if (live_terms == 0) {
+        // Empty row: verify and drop.
+        const bool ok = (con.sense == Sense::kLessEqual && 0.0 <= rhs + kFeasTol) ||
+                        (con.sense == Sense::kGreaterEqual &&
+                         0.0 >= rhs - kFeasTol) ||
+                        (con.sense == Sense::kEqual &&
+                         std::fabs(rhs) <= kFeasTol);
+        if (!ok) {
+          out.verdict_ = Presolved::Verdict::kInfeasible;
+          return out;
+        }
+        row_alive[is] = false;
+        ++out.stats_.removed_rows;
+        changed = true;
+      } else if (live_terms == 1) {
+        // Singleton row -> bound tightening. Duplicate-variable rows are
+        // rare; recompute the aggregate coefficient defensively.
+        double agg = 0.0;
+        for (const Term& t : con.terms) {
+          if (t.var == live_var && !fixed[static_cast<std::size_t>(t.var)]) {
+            agg += t.coef;
+          }
+        }
+        if (agg == 0.0) continue;  // cancels out; treat next pass as empty
+        const auto vs = static_cast<std::size_t>(live_var);
+        const double bound = rhs / agg;
+        const bool upper_bound =
+            (con.sense == Sense::kLessEqual) == (agg > 0.0);
+        if (con.sense == Sense::kEqual) {
+          if (bound < lower[vs] - kFeasTol || bound > upper[vs] + kFeasTol) {
+            out.verdict_ = Presolved::Verdict::kInfeasible;
+            return out;
+          }
+          lower[vs] = upper[vs] = bound;
+        } else if (upper_bound) {
+          if (bound < upper[vs]) {
+            upper[vs] = bound;
+            ++out.stats_.tightened_bounds;
+          }
+        } else {
+          if (bound > lower[vs]) {
+            lower[vs] = bound;
+            ++out.stats_.tightened_bounds;
+          }
+        }
+        if (lower[vs] > upper[vs] + kFeasTol) {
+          out.verdict_ = Presolved::Verdict::kInfeasible;
+          return out;
+        }
+        row_alive[is] = false;
+        ++out.stats_.removed_rows;
+        changed = true;
+      }
+    }
+
+    // Variables in no live row: fix at the objective-optimal bound.
+    std::vector<bool> appears(static_cast<std::size_t>(nv), false);
+    for (int i = 0; i < nr; ++i) {
+      if (!row_alive[static_cast<std::size_t>(i)]) continue;
+      for (const Term& t : problem.constraint(i).terms) {
+        if (t.coef != 0.0) appears[static_cast<std::size_t>(t.var)] = true;
+      }
+    }
+    for (int j = 0; j < nv; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (fixed[js] || appears[js]) continue;
+      const double c = min_sense_obj(j);
+      if (c < 0.0) {
+        if (!std::isfinite(upper[js])) {
+          out.verdict_ = Presolved::Verdict::kUnbounded;
+          return out;
+        }
+        fix(j, upper[js]);
+      } else {
+        fix(j, lower[js]);
+      }
+      ++out.stats_.free_variables_fixed;
+      changed = true;
+    }
+  }
+
+  // Build the reduced problem and the mappings.
+  out.fixed_value_.assign(static_cast<std::size_t>(nv), std::nullopt);
+  out.reduced_column_.assign(static_cast<std::size_t>(nv), -1);
+  out.reduced_row_.assign(static_cast<std::size_t>(nr), -1);
+  out.reduced_ = Problem(problem.objective());
+  for (int j = 0; j < nv; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (fixed[js]) {
+      out.fixed_value_[js] = fixed_at[js];
+      out.objective_offset_ += problem.variable(j).objective * fixed_at[js];
+    } else {
+      const Variable& v = problem.variable(j);
+      out.reduced_column_[js] = out.reduced_.add_variable(
+          v.name, lower[js], upper[js], v.objective, v.type);
+    }
+  }
+  for (int i = 0; i < nr; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    if (!row_alive[is]) continue;
+    const Constraint& con = problem.constraint(i);
+    double rhs = con.rhs;
+    LinearExpr expr;
+    for (const Term& t : con.terms) {
+      const auto vs = static_cast<std::size_t>(t.var);
+      if (out.fixed_value_[vs].has_value()) {
+        rhs -= t.coef * *out.fixed_value_[vs];
+      } else {
+        expr.add(out.reduced_column_[vs], t.coef);
+      }
+    }
+    out.reduced_row_[is] =
+        out.reduced_.add_constraint(con.name, std::move(expr), con.sense, rhs);
+  }
+  if (out.reduced_.num_variables() == 0 &&
+      out.verdict_ == Presolved::Verdict::kReduced) {
+    out.verdict_ = Presolved::Verdict::kSolved;
+  }
+  return out;
+}
+
+Solution Presolved::postsolve(const Solution& reduced_solution) const {
+  GRIDSEC_ASSERT(original_ != nullptr);
+  Solution out;
+  out.status = reduced_solution.status;
+  out.iterations = reduced_solution.iterations;
+  if (verdict_ == Verdict::kInfeasible) {
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  if (verdict_ == Verdict::kUnbounded) {
+    out.status = SolveStatus::kUnbounded;
+    return out;
+  }
+  if (verdict_ == Verdict::kSolved) out.status = SolveStatus::kOptimal;
+  if (out.status != SolveStatus::kOptimal) return out;
+
+  const int nv = original_->num_variables();
+  const int nr = original_->num_constraints();
+  out.x.resize(static_cast<std::size_t>(nv));
+  for (int j = 0; j < nv; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (fixed_value_[js].has_value()) {
+      out.x[js] = *fixed_value_[js];
+    } else {
+      out.x[js] = reduced_solution.x[static_cast<std::size_t>(
+          reduced_column_[js])];
+    }
+  }
+  out.objective = original_->objective_value(out.x);
+
+  out.duals.assign(static_cast<std::size_t>(nr), 0.0);
+  for (int i = 0; i < nr; ++i) {
+    const int rr = reduced_row_[static_cast<std::size_t>(i)];
+    if (rr >= 0 && static_cast<std::size_t>(rr) <
+                       reduced_solution.duals.size()) {
+      out.duals[static_cast<std::size_t>(i)] =
+          reduced_solution.duals[static_cast<std::size_t>(rr)];
+    }
+  }
+  out.reduced_costs.assign(static_cast<std::size_t>(nv), 0.0);
+  for (int j = 0; j < nv; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (reduced_column_[js] >= 0 &&
+        static_cast<std::size_t>(reduced_column_[js]) <
+            reduced_solution.reduced_costs.size()) {
+      out.reduced_costs[js] = reduced_solution.reduced_costs[
+          static_cast<std::size_t>(reduced_column_[js])];
+    }
+  }
+  return out;
+}
+
+Solution solve_lp_with_presolve(const Problem& problem,
+                                const SimplexOptions& options) {
+  Presolved pre = presolve(problem);
+  switch (pre.verdict()) {
+    case Presolved::Verdict::kInfeasible:
+    case Presolved::Verdict::kUnbounded:
+    case Presolved::Verdict::kSolved: {
+      Solution dummy;
+      dummy.status = SolveStatus::kOptimal;
+      return pre.postsolve(dummy);
+    }
+    case Presolved::Verdict::kReduced:
+      break;
+  }
+  SimplexSolver solver(options);
+  return pre.postsolve(solver.solve(pre.reduced()));
+}
+
+}  // namespace gridsec::lp

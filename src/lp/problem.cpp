@@ -1,0 +1,112 @@
+#include "gridsec/lp/problem.hpp"
+
+#include <cmath>
+
+namespace gridsec::lp {
+
+int Problem::add_variable(std::string name, double lower, double upper,
+                          double objective_coef, VarType type) {
+  GRIDSEC_ASSERT_MSG(std::isfinite(lower), "lower bound must be finite");
+  GRIDSEC_ASSERT_MSG(lower <= upper, "lower > upper");
+  if (type == VarType::kBinary) {
+    GRIDSEC_ASSERT_MSG(lower >= 0.0 && upper <= 1.0, "binary bounds");
+  }
+  variables_.push_back(
+      {std::move(name), lower, upper, objective_coef, type});
+  return num_variables() - 1;
+}
+
+int Problem::add_binary(std::string name, double objective_coef) {
+  return add_variable(std::move(name), 0.0, 1.0, objective_coef,
+                      VarType::kBinary);
+}
+
+int Problem::add_constraint(std::string name, LinearExpr expr, Sense sense,
+                            double rhs) {
+  for (const Term& t : expr.terms()) {
+    GRIDSEC_ASSERT_MSG(t.var >= 0 && t.var < num_variables(),
+                       "constraint references unknown variable");
+  }
+  constraints_.push_back({std::move(name), expr.terms(), sense, rhs});
+  return num_constraints() - 1;
+}
+
+void Problem::set_objective_coef(int var, double coef) {
+  GRIDSEC_ASSERT(var >= 0 && var < num_variables());
+  variables_[static_cast<std::size_t>(var)].objective = coef;
+}
+
+void Problem::set_bounds(int var, double lower, double upper) {
+  GRIDSEC_ASSERT(var >= 0 && var < num_variables());
+  GRIDSEC_ASSERT_MSG(std::isfinite(lower) && lower <= upper, "bad bounds");
+  auto& v = variables_[static_cast<std::size_t>(var)];
+  v.lower = lower;
+  v.upper = upper;
+}
+
+void Problem::set_rhs(int row, double rhs) {
+  GRIDSEC_ASSERT(row >= 0 && row < num_constraints());
+  constraints_[static_cast<std::size_t>(row)].rhs = rhs;
+}
+
+bool Problem::has_integer_variables() const {
+  for (const auto& v : variables_) {
+    if (v.type != VarType::kContinuous) return true;
+  }
+  return false;
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  GRIDSEC_ASSERT(x.size() == variables_.size());
+  double obj = 0.0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    obj += variables_[i].objective * x[i];
+  }
+  return obj;
+}
+
+bool Problem::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (x[i] < variables_[i].lower - tol) return false;
+    if (x[i] > variables_[i].upper + tol) return false;
+    if (variables_[i].type != VarType::kContinuous &&
+        std::fabs(x[i] - std::round(x[i])) > tol) {
+      return false;
+    }
+  }
+  for (const auto& con : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : con.terms) {
+      lhs += t.coef * x[static_cast<std::size_t>(t.var)];
+    }
+    switch (con.sense) {
+      case Sense::kLessEqual:
+        if (lhs > con.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < con.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::fabs(lhs - con.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string_view to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "OPTIMAL";
+    case SolveStatus::kInfeasible:
+      return "INFEASIBLE";
+    case SolveStatus::kUnbounded:
+      return "UNBOUNDED";
+    case SolveStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace gridsec::lp

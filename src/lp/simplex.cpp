@@ -1,0 +1,571 @@
+#include "gridsec/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gridsec/util/matrix.hpp"
+
+namespace gridsec::lp {
+namespace {
+
+enum class VarState { kBasic, kAtLower, kAtUpper };
+
+/// The working standard-form tableau: A x = b with per-column bounds,
+/// columns ordered [structural | slack | artificial].
+struct Tableau {
+  Matrix a;                    // m x ncols
+  std::vector<double> b;       // m
+  std::vector<double> lower;   // ncols
+  std::vector<double> upper;   // ncols
+  std::vector<double> cost;    // ncols, phase-dependent
+  std::vector<double> x;       // ncols, current point
+  std::vector<int> basis;      // m, column basic in each row
+  std::vector<VarState> state; // ncols
+  int n_struct = 0;
+  int n_total = 0;
+  int m = 0;
+};
+
+struct IterationOutcome {
+  SolveStatus status = SolveStatus::kOptimal;
+  long iterations = 0;
+};
+
+/// Extracts the basis matrix B (m x m) from the tableau.
+Matrix basis_matrix(const Tableau& t) {
+  Matrix b(static_cast<std::size_t>(t.m), static_cast<std::size_t>(t.m));
+  for (int i = 0; i < t.m; ++i) {
+    const int col = t.basis[static_cast<std::size_t>(i)];
+    for (int r = 0; r < t.m; ++r) {
+      b(static_cast<std::size_t>(r), static_cast<std::size_t>(i)) =
+          t.a(static_cast<std::size_t>(r), static_cast<std::size_t>(col));
+    }
+  }
+  return b;
+}
+
+/// Recomputes the values of the basic variables from the nonbasic point:
+/// x_B = B^{-1} (b - A_N x_N). Returns false if B is singular.
+bool recompute_basics(Tableau& t) {
+  std::vector<double> rhs = t.b;
+  for (int j = 0; j < t.n_total; ++j) {
+    if (t.state[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+    const double xj = t.x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (int i = 0; i < t.m; ++i) {
+      rhs[static_cast<std::size_t>(i)] -=
+          t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) * xj;
+    }
+  }
+  auto sol = solve_linear_system(basis_matrix(t), std::move(rhs));
+  if (!sol.is_ok()) return false;
+  for (int i = 0; i < t.m; ++i) {
+    t.x[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])] =
+        sol.value()[static_cast<std::size_t>(i)];
+  }
+  return true;
+}
+
+/// Solves B^T y = c_B for the simplex multipliers.
+StatusOr<std::vector<double>> multipliers(const Tableau& t) {
+  std::vector<double> cb(static_cast<std::size_t>(t.m));
+  for (int i = 0; i < t.m; ++i) {
+    cb[static_cast<std::size_t>(i)] =
+        t.cost[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])];
+  }
+  return solve_linear_system(basis_matrix(t).transposed(), std::move(cb));
+}
+
+/// Runs primal simplex pivots on `t` with the current cost vector until
+/// optimal / unbounded / iteration budget exhausted.
+IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
+                         long max_iters, long bland_after) {
+  IterationOutcome out;
+  const double dtol = opt.optimality_tol;
+  const double eps = 1e-11;
+
+  for (long iter = 0; iter < max_iters; ++iter) {
+    const bool bland = iter >= bland_after;
+    auto y_or = multipliers(t);
+    if (!y_or.is_ok()) {
+      // Singular basis: numerically wedged. Report as iteration limit so the
+      // caller can distinguish it from a genuine optimum.
+      out.status = SolveStatus::kIterationLimit;
+      out.iterations = iter;
+      return out;
+    }
+    const std::vector<double>& y = y_or.value();
+
+    // Pricing: pick an entering column.
+    int entering = -1;
+    double best_violation = dtol;
+    int enter_dir = 0;  // +1 entering rises from lower, -1 falls from upper
+    for (int j = 0; j < t.n_total; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (t.state[js] == VarState::kBasic) continue;
+      if (t.upper[js] - t.lower[js] < eps) continue;  // fixed
+      double dj = t.cost[js];
+      for (int i = 0; i < t.m; ++i) {
+        dj -= y[static_cast<std::size_t>(i)] *
+              t.a(static_cast<std::size_t>(i), js);
+      }
+      int dir = 0;
+      double violation = 0.0;
+      if (t.state[js] == VarState::kAtLower && dj < -dtol) {
+        dir = +1;
+        violation = -dj;
+      } else if (t.state[js] == VarState::kAtUpper && dj > dtol) {
+        dir = -1;
+        violation = dj;
+      } else {
+        continue;
+      }
+      if (bland) {
+        entering = j;
+        enter_dir = dir;
+        break;  // first eligible index (Bland)
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        enter_dir = dir;
+      }
+    }
+    if (entering < 0) {
+      out.status = SolveStatus::kOptimal;
+      out.iterations = iter;
+      return out;
+    }
+
+    // Direction of basic variables: w = B^{-1} A_q; moving the entering
+    // variable by t changes x_B by -enter_dir * w * t.
+    std::vector<double> aq(static_cast<std::size_t>(t.m));
+    for (int i = 0; i < t.m; ++i) {
+      aq[static_cast<std::size_t>(i)] =
+          t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(entering));
+    }
+    auto w_or = solve_linear_system(basis_matrix(t), std::move(aq));
+    if (!w_or.is_ok()) {
+      out.status = SolveStatus::kIterationLimit;
+      out.iterations = iter;
+      return out;
+    }
+    const std::vector<double>& w = w_or.value();
+
+    const auto eq = static_cast<std::size_t>(entering);
+    double t_limit = t.upper[eq] - t.lower[eq];  // bound-flip distance
+    int leaving_row = -1;     // -1 = bound flip
+    int leaving_bound = 0;    // -1 lower, +1 upper
+    for (int i = 0; i < t.m; ++i) {
+      const auto is = static_cast<std::size_t>(i);
+      const double delta = -enter_dir * w[is];
+      const auto bcol = static_cast<std::size_t>(t.basis[is]);
+      double limit;
+      int hit;
+      if (delta < -eps) {
+        limit = (t.x[bcol] - t.lower[bcol]) / (-delta);
+        hit = -1;
+      } else if (delta > eps) {
+        if (!std::isfinite(t.upper[bcol])) continue;
+        limit = (t.upper[bcol] - t.x[bcol]) / delta;
+        hit = +1;
+      } else {
+        continue;
+      }
+      if (limit < 0.0) limit = 0.0;  // degenerate clip
+      if (limit < t_limit - eps) {
+        t_limit = limit;
+        leaving_row = i;
+        leaving_bound = hit;
+      } else if (leaving_row >= 0 && limit < t_limit + eps) {
+        // Tie: under Bland prefer the smallest basic index (termination);
+        // otherwise the largest pivot magnitude (stability).
+        const auto ls = static_cast<std::size_t>(leaving_row);
+        const bool take = bland ? t.basis[is] < t.basis[ls]
+                                : std::fabs(w[is]) > std::fabs(w[ls]);
+        if (take) {
+          t_limit = std::min(t_limit, limit);
+          leaving_row = i;
+          leaving_bound = hit;
+        }
+      }
+    }
+
+    if (!std::isfinite(t_limit)) {
+      out.status = SolveStatus::kUnbounded;
+      out.iterations = iter;
+      return out;
+    }
+
+    // Apply the step.
+    for (int i = 0; i < t.m; ++i) {
+      const auto is = static_cast<std::size_t>(i);
+      const auto bcol = static_cast<std::size_t>(t.basis[is]);
+      t.x[bcol] += -enter_dir * w[is] * t_limit;
+    }
+    t.x[eq] += enter_dir * t_limit;
+
+    if (leaving_row < 0) {
+      // Bound flip: entering variable traverses to its opposite bound.
+      t.state[eq] = enter_dir > 0 ? VarState::kAtUpper : VarState::kAtLower;
+      t.x[eq] = enter_dir > 0 ? t.upper[eq] : t.lower[eq];
+      continue;
+    }
+
+    const auto lrow = static_cast<std::size_t>(leaving_row);
+    const auto lcol = static_cast<std::size_t>(t.basis[lrow]);
+    t.state[lcol] =
+        leaving_bound < 0 ? VarState::kAtLower : VarState::kAtUpper;
+    t.x[lcol] = leaving_bound < 0 ? t.lower[lcol] : t.upper[lcol];
+    t.basis[lrow] = entering;
+    t.state[eq] = VarState::kBasic;
+  }
+  out.status = SolveStatus::kIterationLimit;
+  out.iterations = max_iters;
+  return out;
+}
+
+}  // namespace
+
+/// Full solve; when `final_tableau` is non-null and the solve is optimal,
+/// the cleaned final tableau is copied out for post-optimal analysis.
+Solution solve_impl(const Problem& problem, const SimplexOptions& options,
+                    Tableau* final_tableau) {
+  Solution sol;
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+  const bool maximize = problem.objective() == Objective::kMaximize;
+
+  // Count slacks.
+  int n_slack = 0;
+  for (const auto& con : problem.constraints()) {
+    if (con.sense != Sense::kEqual) ++n_slack;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n_struct = n;
+  t.n_total = n + n_slack + m;  // artificials allocated per row, used lazily
+  t.a = Matrix(static_cast<std::size_t>(m), static_cast<std::size_t>(t.n_total));
+  t.b.resize(static_cast<std::size_t>(m));
+  t.lower.assign(static_cast<std::size_t>(t.n_total), 0.0);
+  t.upper.assign(static_cast<std::size_t>(t.n_total), 0.0);
+  t.cost.assign(static_cast<std::size_t>(t.n_total), 0.0);
+  t.x.assign(static_cast<std::size_t>(t.n_total), 0.0);
+  t.state.assign(static_cast<std::size_t>(t.n_total), VarState::kAtLower);
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+
+  // Structural columns.
+  for (int j = 0; j < n; ++j) {
+    const auto& v = problem.variable(j);
+    const auto js = static_cast<std::size_t>(j);
+    t.lower[js] = v.lower;
+    t.upper[js] = v.upper;
+    t.x[js] = v.lower;
+    t.state[js] = VarState::kAtLower;
+  }
+  // Rows + slack columns.
+  int slack_cursor = n;
+  std::vector<int> slack_of_row(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const auto& con = problem.constraint(i);
+    const auto is = static_cast<std::size_t>(i);
+    for (const Term& term : con.terms) {
+      t.a(is, static_cast<std::size_t>(term.var)) += term.coef;
+    }
+    t.b[is] = con.rhs;
+    if (con.sense != Sense::kEqual) {
+      const int s = slack_cursor++;
+      const auto ss = static_cast<std::size_t>(s);
+      t.a(is, ss) = con.sense == Sense::kLessEqual ? 1.0 : -1.0;
+      t.lower[ss] = 0.0;
+      t.upper[ss] = kInfinity;
+      t.x[ss] = 0.0;
+      slack_of_row[is] = s;
+    }
+  }
+
+  // Initial basis: slack when it yields a feasible basic value, else an
+  // artificial sized to the residual.
+  const int art_base = n + n_slack;
+  std::vector<bool> artificial_used(static_cast<std::size_t>(m), false);
+  for (int i = 0; i < m; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    double residual = t.b[is];
+    for (int j = 0; j < n; ++j) {
+      residual -= t.a(is, static_cast<std::size_t>(j)) *
+                  t.x[static_cast<std::size_t>(j)];
+    }
+    const auto& con = problem.constraint(i);
+    const int s = slack_of_row[is];
+    const bool slack_feasible =
+        s >= 0 && ((con.sense == Sense::kLessEqual && residual >= 0.0) ||
+                   (con.sense == Sense::kGreaterEqual && residual <= 0.0));
+    if (slack_feasible) {
+      const auto ss = static_cast<std::size_t>(s);
+      t.basis[is] = s;
+      t.state[ss] = VarState::kBasic;
+      t.x[ss] = con.sense == Sense::kLessEqual ? residual : -residual;
+      continue;
+    }
+    const int art = art_base + i;
+    const auto as = static_cast<std::size_t>(art);
+    t.a(is, as) = residual >= 0.0 ? 1.0 : -1.0;
+    t.lower[as] = 0.0;
+    t.upper[as] = kInfinity;
+    t.x[as] = std::fabs(residual);
+    t.basis[is] = art;
+    t.state[as] = VarState::kBasic;
+    artificial_used[is] = true;
+  }
+
+  long max_iters = options.max_iterations;
+  if (max_iters <= 0) max_iters = 2000 + 200L * (m + n);
+  long bland_after = options.bland_after;
+  if (bland_after <= 0) bland_after = std::max(200L, 20L * (m + n));
+
+  long total_iters = 0;
+  bool any_artificial = false;
+  for (int i = 0; i < m; ++i) {
+    any_artificial = any_artificial || artificial_used[static_cast<std::size_t>(i)];
+  }
+
+  // Phase 1: drive artificials to zero.
+  if (any_artificial) {
+    for (int i = 0; i < m; ++i) {
+      if (artificial_used[static_cast<std::size_t>(i)]) {
+        t.cost[static_cast<std::size_t>(art_base + i)] = 1.0;
+      }
+    }
+    auto outcome = iterate(t, options, max_iters, bland_after);
+    total_iters += outcome.iterations;
+    if (outcome.status == SolveStatus::kIterationLimit) {
+      sol.status = SolveStatus::kIterationLimit;
+      sol.iterations = total_iters;
+      return sol;
+    }
+    double phase1_obj = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (artificial_used[static_cast<std::size_t>(i)]) {
+        phase1_obj += t.x[static_cast<std::size_t>(art_base + i)];
+      }
+    }
+    if (phase1_obj > options.feasibility_tol) {
+      sol.status = SolveStatus::kInfeasible;
+      sol.iterations = total_iters;
+      return sol;
+    }
+    // Freeze artificials at zero for phase 2.
+    for (int i = 0; i < m; ++i) {
+      if (!artificial_used[static_cast<std::size_t>(i)]) continue;
+      const auto as = static_cast<std::size_t>(art_base + i);
+      t.cost[as] = 0.0;
+      t.lower[as] = 0.0;
+      t.upper[as] = 0.0;
+      if (t.state[as] != VarState::kBasic) t.x[as] = 0.0;
+    }
+  }
+
+  // Phase 2: original costs (negated for maximization; internal = minimize).
+  for (int j = 0; j < n; ++j) {
+    const double c = problem.variable(j).objective;
+    t.cost[static_cast<std::size_t>(j)] = maximize ? -c : c;
+  }
+  auto outcome = iterate(t, options, max_iters, bland_after);
+  total_iters += outcome.iterations;
+  sol.iterations = total_iters;
+  if (outcome.status != SolveStatus::kOptimal) {
+    sol.status = outcome.status;
+    return sol;
+  }
+
+  // Clean up accumulated drift before extraction.
+  if (!recompute_basics(t)) {
+    sol.status = SolveStatus::kIterationLimit;
+    return sol;
+  }
+
+  sol.status = SolveStatus::kOptimal;
+  sol.x.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    double xj = t.x[static_cast<std::size_t>(j)];
+    // Snap to bounds to remove O(tol) noise.
+    const auto& v = problem.variable(j);
+    if (std::fabs(xj - v.lower) < options.feasibility_tol) xj = v.lower;
+    if (std::isfinite(v.upper) &&
+        std::fabs(xj - v.upper) < options.feasibility_tol) {
+      xj = v.upper;
+    }
+    sol.x[static_cast<std::size_t>(j)] = xj;
+  }
+  sol.objective = problem.objective_value(sol.x);
+
+  // Duals from the final basis; convert to the problem's own sense.
+  auto y_or = multipliers(t);
+  if (y_or.is_ok()) {
+    sol.duals.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      const double yi = y_or.value()[static_cast<std::size_t>(i)];
+      sol.duals[static_cast<std::size_t>(i)] = maximize ? -yi : yi;
+    }
+    sol.reduced_costs.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      double dj = t.cost[js];
+      for (int i = 0; i < m; ++i) {
+        dj -= y_or.value()[static_cast<std::size_t>(i)] *
+              t.a(static_cast<std::size_t>(i), js);
+      }
+      sol.reduced_costs[js] = maximize ? -dj : dj;
+    }
+  }
+  if (final_tableau != nullptr) *final_tableau = t;
+  return sol;
+}
+
+namespace {
+
+constexpr double kRangeEps = 1e-11;
+
+/// Reduced cost of column j under multipliers y (internal min sense).
+double reduced_cost(const Tableau& t, const std::vector<double>& y, int j) {
+  const auto js = static_cast<std::size_t>(j);
+  double dj = t.cost[js];
+  for (int i = 0; i < t.m; ++i) {
+    dj -= y[static_cast<std::size_t>(i)] * t.a(static_cast<std::size_t>(i), js);
+  }
+  return dj;
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const Problem& problem,
+                                      const SimplexOptions& options) {
+  SensitivityReport report;
+  Tableau t;
+  report.solution = solve_impl(problem, options, &t);
+  if (report.solution.status != SolveStatus::kOptimal) return report;
+
+  const bool maximize = problem.objective() == Objective::kMaximize;
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+
+  auto y_or = multipliers(t);
+  if (!y_or.is_ok()) return report;  // numerically wedged: no ranges
+  const std::vector<double>& y = y_or.value();
+
+  // Map basic structural columns to their basis row.
+  std::vector<int> row_of_col(static_cast<std::size_t>(t.n_total), -1);
+  for (int i = 0; i < t.m; ++i) {
+    row_of_col[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])] = i;
+  }
+
+  // ---- Objective-coefficient ranging (internal min sense first). ----
+  report.objective_range.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double c_int = t.cost[js];
+    SensitivityRange range;  // on the internal coefficient
+    if (t.state[js] == VarState::kAtLower) {
+      // d_j >= 0 must persist: c may drop by d_j, rise freely.
+      const double dj = reduced_cost(t, y, j);
+      range.lo = c_int - dj;
+      range.hi = kInfinity;
+    } else if (t.state[js] == VarState::kAtUpper) {
+      const double dj = reduced_cost(t, y, j);  // <= 0 at optimum
+      range.lo = -kInfinity;
+      range.hi = c_int - dj;
+    } else {
+      // Basic in row r: perturbing c_j by delta shifts every nonbasic
+      // reduced cost by -delta * alpha_rk; keep their signs.
+      const int r = row_of_col[js];
+      GRIDSEC_ASSERT(r >= 0);
+      std::vector<double> er(static_cast<std::size_t>(t.m), 0.0);
+      er[static_cast<std::size_t>(r)] = 1.0;
+      auto z_or = solve_linear_system(basis_matrix(t).transposed(),
+                                      std::move(er));
+      if (!z_or.is_ok()) continue;  // leave infinite (conservative skip)
+      const std::vector<double>& z = z_or.value();
+      double lo = -kInfinity, hi = kInfinity;
+      for (int k = 0; k < t.n_total; ++k) {
+        const auto ks = static_cast<std::size_t>(k);
+        if (t.state[ks] == VarState::kBasic) continue;
+        if (t.upper[ks] - t.lower[ks] < kRangeEps) continue;  // fixed col
+        double alpha = 0.0;
+        for (int i = 0; i < t.m; ++i) {
+          alpha += z[static_cast<std::size_t>(i)] *
+                   t.a(static_cast<std::size_t>(i), ks);
+        }
+        if (std::fabs(alpha) < kRangeEps) continue;
+        const double dk = reduced_cost(t, y, k);
+        // Constraint: for at-lower columns dk - delta*alpha >= 0;
+        // for at-upper columns dk - delta*alpha <= 0.
+        const bool ge = t.state[ks] == VarState::kAtLower;
+        const double limit = dk / alpha;
+        if ((ge && alpha > 0.0) || (!ge && alpha < 0.0)) {
+          hi = std::min(hi, limit);
+        } else {
+          lo = std::max(lo, limit);
+        }
+      }
+      range.lo = lo >= -kInfinity / 2 ? c_int + lo : -kInfinity;
+      range.hi = hi <= kInfinity / 2 ? c_int + hi : kInfinity;
+      if (!std::isfinite(lo)) range.lo = -kInfinity;
+      if (!std::isfinite(hi)) range.hi = kInfinity;
+    }
+    // Map back to the user's sense.
+    if (maximize) {
+      report.objective_range[js] = {-range.hi, -range.lo};
+    } else {
+      report.objective_range[js] = range;
+    }
+  }
+
+  // ---- RHS ranging: keep x_B within bounds as b_i moves. ----
+  report.rhs_range.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> ei(static_cast<std::size_t>(t.m), 0.0);
+    ei[static_cast<std::size_t>(i)] = 1.0;
+    auto w_or = solve_linear_system(basis_matrix(t), std::move(ei));
+    SensitivityRange range;
+    if (w_or.is_ok()) {
+      const std::vector<double>& w = w_or.value();
+      double lo = -kInfinity, hi = kInfinity;
+      for (int r = 0; r < t.m; ++r) {
+        const auto rs = static_cast<std::size_t>(r);
+        const double wr = w[rs];
+        if (std::fabs(wr) < kRangeEps) continue;
+        const auto bcol = static_cast<std::size_t>(t.basis[rs]);
+        const double xb = t.x[bcol];
+        const double room_up = std::isfinite(t.upper[bcol])
+                                   ? t.upper[bcol] - xb
+                                   : kInfinity;
+        const double room_dn = xb - t.lower[bcol];
+        // x_B(r) moves by wr * delta.
+        if (wr > 0.0) {
+          hi = std::min(hi, room_up / wr);
+          lo = std::max(lo, -room_dn / wr);
+        } else {
+          hi = std::min(hi, room_dn / -wr);
+          lo = std::max(lo, -room_up / -wr);
+        }
+      }
+      const double rhs = problem.constraint(i).rhs;
+      range.lo = std::isfinite(lo) ? rhs + lo : -kInfinity;
+      range.hi = std::isfinite(hi) ? rhs + hi : kInfinity;
+    }
+    report.rhs_range[static_cast<std::size_t>(i)] = range;
+  }
+  return report;
+}
+
+Solution SimplexSolver::solve(const Problem& problem) const {
+  return solve_impl(problem, options_, nullptr);
+}
+
+Solution solve_lp(const Problem& problem) {
+  return SimplexSolver().solve(problem);
+}
+
+}  // namespace gridsec::lp

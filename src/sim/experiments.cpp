@@ -1,0 +1,170 @@
+#include "gridsec/sim/experiments.hpp"
+
+#include <cmath>
+
+namespace gridsec::sim {
+namespace {
+
+/// Mixes experiment coordinates into a sub-seed so every (point, trial)
+/// pair draws an independent, reproducible stream.
+std::uint64_t point_seed(std::uint64_t base, std::uint64_t a,
+                         std::uint64_t b) {
+  SplitMix64 sm(base ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                (b * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+
+}  // namespace
+
+std::vector<GainLossPoint> experiment_gain_loss(
+    const flow::Network& net, const std::vector<int>& actor_counts,
+    const ExperimentOptions& options) {
+  std::vector<GainLossPoint> out;
+  for (std::size_t pi = 0; pi < actor_counts.size(); ++pi) {
+    const int n_actors = actor_counts[pi];
+    struct Trial {
+      double gain = 0.0, loss = 0.0, net = 0.0;
+    };
+    auto trials = run_trials<Trial>(
+        options.pool, static_cast<std::size_t>(options.trials),
+        point_seed(options.seed, pi, 1),
+        [&](std::size_t, Rng& rng) -> Trial {
+          auto own =
+              cps::Ownership::random(net.num_edges(), n_actors, rng);
+          auto im = cps::compute_impact_matrix(net, own, options.impact);
+          GRIDSEC_ASSERT_MSG(im.is_ok(), "impact matrix failed");
+          Trial t;
+          t.gain = im->matrix.aggregate_gain();
+          t.loss = im->matrix.aggregate_loss();
+          t.net = t.gain + t.loss;
+          return t;
+        });
+    RunningStats gain, loss, netv;
+    for (const Trial& t : trials) {
+      gain.add(t.gain);
+      loss.add(t.loss);
+      netv.add(t.net);
+    }
+    out.push_back({n_actors, gain.mean(), loss.mean(), netv.mean(),
+                   gain.std_error(), loss.std_error()});
+  }
+  return out;
+}
+
+std::vector<AdversaryNoisePoint> experiment_adversary_noise(
+    const flow::Network& net, const AdversaryNoiseConfig& config,
+    const ExperimentOptions& options) {
+  std::vector<AdversaryNoisePoint> out;
+  core::AdversaryConfig sa_cfg;
+  sa_cfg.max_targets = config.max_targets;
+  const core::StrategicAdversary sa(sa_cfg);
+
+  for (std::size_t ai = 0; ai < config.actor_counts.size(); ++ai) {
+    const int n_actors = config.actor_counts[ai];
+    // One trial = one ownership draw; the ground-truth impact matrix is
+    // computed once and reused across the whole sigma grid.
+    struct Trial {
+      std::vector<double> anticipated;
+      std::vector<double> observed;
+    };
+    auto trials = run_trials<Trial>(
+        options.pool, static_cast<std::size_t>(options.trials),
+        point_seed(options.seed, ai, 2),
+        [&](std::size_t, Rng& rng) -> Trial {
+          auto own =
+              cps::Ownership::random(net.num_edges(), n_actors, rng);
+          auto truth = cps::compute_impact_matrix(net, own, options.impact);
+          GRIDSEC_ASSERT_MSG(truth.is_ok(), "truth impact failed");
+          Trial t;
+          for (double sigma : config.sigmas) {
+            cps::NoiseSpec noise;
+            noise.sigma = sigma;
+            flow::Network view = cps::perturb_knowledge(net, noise, rng);
+            auto believed =
+                cps::compute_impact_matrix(view, own, options.impact);
+            GRIDSEC_ASSERT_MSG(believed.is_ok(), "noisy impact failed");
+            core::AttackPlan plan = sa.plan(believed->matrix);
+            GRIDSEC_ASSERT_MSG(
+                plan.status != lp::SolveStatus::kInfeasible &&
+                    plan.status != lp::SolveStatus::kUnbounded,
+                "SA plan failed");
+            t.anticipated.push_back(plan.anticipated_return);
+            t.observed.push_back(
+                core::realized_return(truth->matrix, plan, sa_cfg));
+          }
+          return t;
+        });
+    for (std::size_t si = 0; si < config.sigmas.size(); ++si) {
+      RunningStats ant, obs;
+      for (const Trial& t : trials) {
+        ant.add(t.anticipated[si]);
+        obs.add(t.observed[si]);
+      }
+      out.push_back({n_actors, config.sigmas[si], ant.mean(), obs.mean(),
+                     ant.std_error(), obs.std_error()});
+    }
+  }
+  return out;
+}
+
+std::vector<DefensePoint> experiment_defense(
+    const flow::Network& net, const DefenseExperimentConfig& config,
+    const ExperimentOptions& options) {
+  std::vector<DefensePoint> out;
+  for (std::size_t ai = 0; ai < config.actor_counts.size(); ++ai) {
+    const int n_actors = config.actor_counts[ai];
+    for (std::size_t si = 0; si < config.defender_sigmas.size(); ++si) {
+      const double sigma = config.defender_sigmas[si];
+
+      core::GameConfig game;
+      game.adversary.max_targets = config.adversary_max_targets;
+      game.defender.defense_cost.assign(
+          static_cast<std::size_t>(net.num_edges()), config.defense_cost);
+      // Fixed system budget split evenly across the actors (§III-D).
+      game.defender.budget.assign(
+          static_cast<std::size_t>(n_actors),
+          config.system_budget_assets * config.defense_cost / n_actors);
+      game.defender_noise.sigma = sigma;
+      game.speculated_adversary_noise.sigma =
+          config.speculated_adversary_sigma;
+      game.adversary_noise.sigma = config.adversary_sigma;
+      game.pa_samples = config.pa_samples;
+      game.collaborative = config.collaborative;
+      game.per_defender_views = config.per_defender_views;
+      game.impact = options.impact;
+
+      struct Trial {
+        double effectiveness = 0.0;
+        double gain_undefended = 0.0;
+      };
+      // Salt is independent of the collaborative flag so individual and
+      // collaborative sweeps see identical ownerships and noise draws —
+      // their difference is then a paired comparison.
+      auto trials = run_trials<Trial>(
+          options.pool, static_cast<std::size_t>(options.trials),
+          point_seed(options.seed, ai * 1000 + si, 3),
+          [&](std::size_t, Rng& rng) -> Trial {
+            auto own =
+                cps::Ownership::random(net.num_edges(), n_actors, rng);
+            auto outcome = core::play_defense_game(net, own, game, rng);
+            GRIDSEC_ASSERT_MSG(outcome.is_ok(), "defense game failed");
+            return {outcome->defense_effectiveness,
+                    outcome->adversary_gain_undefended};
+          });
+      RunningStats eff, gain, rel;
+      for (const Trial& t : trials) {
+        eff.add(t.effectiveness);
+        gain.add(t.gain_undefended);
+        if (std::fabs(t.gain_undefended) > 1e-6) {
+          rel.add(t.effectiveness / t.gain_undefended);
+        }
+      }
+      out.push_back({n_actors, sigma, config.collaborative, eff.mean(),
+                     eff.std_error(), gain.mean(), rel.mean(),
+                     rel.std_error()});
+    }
+  }
+  return out;
+}
+
+}  // namespace gridsec::sim

@@ -1,0 +1,139 @@
+#include "gridsec/sim/gulf_coast.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+struct GulfState {
+  const char* code;
+  double lat, lon;
+  double elec_demand;  // GWh/day
+  double elec_price;   // $/MWh
+  // Non-gas generation: {fuel, capacity, cost} triples.
+  struct Gen {
+    const char* fuel;
+    double capacity;
+    double cost;
+  };
+  std::vector<Gen> gen;
+  double converter_capacity;  // gas-fired fleet, electric GWh/day
+  double gas_demand;          // non-electric, thermal GWh/day
+  double gas_price;           // $/MWh thermal
+  double gas_production;
+  double gas_prod_cost;
+  double gas_export;   // out-of-region sales (modelled as a demand edge)
+  double gas_export_price;
+};
+
+const std::vector<GulfState>& gulf_table() {
+  static const std::vector<GulfState> kStates = {
+      {"TX", 31.0, -99.0, 1100.0, 70.0,
+       {{"wind", 420.0, 7.0}, {"nuclear", 140.0, 21.0}, {"coal", 380.0, 26.0},
+        {"solar", 120.0, 5.0}},
+       1400.0, 500.0, 20.0, 4200.0, 11.0, 900.0, 16.0},
+      {"LA", 31.0, -92.0, 250.0, 75.0,
+       {{"nuclear", 60.0, 22.0}, {"coal", 70.0, 27.0}},
+       420.0, 300.0, 21.0, 1500.0, 12.0, 700.0, 17.0},
+      {"OK", 35.5, -97.5, 180.0, 64.0,
+       {{"wind", 180.0, 7.0}, {"coal", 110.0, 26.0}},
+       250.0, 120.0, 19.0, 1100.0, 12.0, 250.0, 15.0},
+      {"NM", 34.4, -106.1, 70.0, 68.0,
+       {{"coal", 90.0, 25.0}, {"solar", 60.0, 5.0}, {"wind", 50.0, 8.0}},
+       90.0, 60.0, 22.0, 700.0, 13.0, 200.0, 16.0},
+  };
+  return kStates;
+}
+
+struct GulfLink {
+  int from, to;
+  double capacity;
+  double cost;
+};
+
+// Gas pipelines (thermal GWh/day): production basins feed the TX/LA hubs.
+const std::vector<GulfLink>& gulf_gas_links() {
+  static const std::vector<GulfLink> kLinks = {
+      {2, 0, 700.0, 0.4},  // OK->TX
+      {3, 0, 450.0, 0.4},  // NM->TX
+      {0, 1, 900.0, 0.4},  // TX->LA (gulf corridor)
+      {2, 1, 250.0, 0.4},  // OK->LA
+      {1, 0, 200.0, 0.4},  // LA->TX backhaul
+  };
+  return kLinks;
+}
+
+const std::vector<GulfLink>& gulf_elec_links() {
+  static const std::vector<GulfLink> kLinks = {
+      {0, 1, 220.0, 1.0},  // TX->LA
+      {2, 0, 180.0, 1.0},  // OK->TX
+      {3, 0, 120.0, 1.0},  // NM->TX
+      {2, 3, 60.0, 1.0},   // OK->NM
+      {1, 0, 100.0, 1.0},  // LA->TX
+  };
+  return kLinks;
+}
+
+constexpr double kConverterLoss = 0.50;  // newer gas fleet
+constexpr double kConverterCost = 3.5;
+
+}  // namespace
+
+WesternUsModel build_gulf_coast(const WesternUsOptions& options) {
+  const auto& states = gulf_table();
+  WesternUsModel m;
+  const double cap_factor =
+      options.apply_adjustments ? 1.0 - options.capacity_derating : 1.0;
+  const double demand_factor =
+      options.apply_adjustments ? 1.0 + options.demand_surge : 1.0;
+
+  for (const GulfState& s : states) {
+    m.states.emplace_back(s.code);
+    m.gas_hub.push_back(m.network.add_hub(std::string(s.code) + ".gas"));
+    m.elec_hub.push_back(m.network.add_hub(std::string(s.code) + ".elec"));
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const GulfState& s = states[i];
+    const std::string code = s.code;
+    const flow::NodeId gh = m.gas_hub[i];
+    const flow::NodeId eh = m.elec_hub[i];
+
+    m.network.add_supply(code + ".gas.prod", gh, s.gas_production,
+                         s.gas_prod_cost);
+    m.network.add_demand(code + ".gas.load", gh, s.gas_demand * demand_factor,
+                         s.gas_price);
+    if (s.gas_export > 0.0) {
+      // Out-of-region buyers: a demand edge at the export netback price.
+      m.network.add_demand(code + ".gas.export", gh, s.gas_export,
+                           s.gas_export_price);
+    }
+    for (const GulfState::Gen& g : s.gen) {
+      m.network.add_supply(code + ".elec." + g.fuel, eh,
+                           g.capacity * cap_factor, g.cost);
+    }
+    m.converters.push_back(m.network.add_edge(
+        code + ".gas2elec", flow::EdgeKind::kConversion, gh, eh,
+        s.converter_capacity * cap_factor, kConverterCost, kConverterLoss));
+    m.network.add_demand(code + ".elec.load", eh,
+                         s.elec_demand * demand_factor, s.elec_price);
+  }
+
+  const auto add_links = [&](const std::vector<GulfLink>& links,
+                             const std::vector<flow::NodeId>& hubs,
+                             const char* tag) {
+    for (const GulfLink& l : links) {
+      const GulfState& a = states[static_cast<std::size_t>(l.from)];
+      const GulfState& b = states[static_cast<std::size_t>(l.to)];
+      const double loss =
+          loss_from_distance(haversine_km(a.lat, a.lon, b.lat, b.lon));
+      m.long_haul.push_back(m.network.add_edge(
+          std::string(a.code) + "-" + b.code + "." + tag,
+          flow::EdgeKind::kTransmission,
+          hubs[static_cast<std::size_t>(l.from)],
+          hubs[static_cast<std::size_t>(l.to)], l.capacity, l.cost, loss));
+    }
+  };
+  add_links(gulf_gas_links(), m.gas_hub, "pipe");
+  add_links(gulf_elec_links(), m.elec_hub, "line");
+  return m;
+}
+
+}  // namespace gridsec::sim

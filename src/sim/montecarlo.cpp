@@ -1,0 +1,14 @@
+#include "gridsec/sim/montecarlo.hpp"
+
+namespace gridsec::sim {
+
+RunningStats run_scalar_trials(
+    ThreadPool* pool, std::size_t n, std::uint64_t seed,
+    const std::function<double(std::size_t, Rng&)>& fn) {
+  const std::vector<double> values = run_trials<double>(pool, n, seed, fn);
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats;
+}
+
+}  // namespace gridsec::sim

@@ -1,0 +1,96 @@
+#include "gridsec/sim/ownership_structures.hpp"
+
+#include <algorithm>
+
+namespace gridsec::sim {
+namespace {
+
+/// State index of a hub node id, or -1.
+int state_of_hub(const WesternUsModel& model, flow::NodeId hub) {
+  for (std::size_t s = 0; s < model.gas_hub.size(); ++s) {
+    if (model.gas_hub[s] == hub || model.elec_hub[s] == hub) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+cps::Ownership ownership_by_state(const WesternUsModel& model) {
+  const flow::Network& net = model.network;
+  std::vector<int> owners(static_cast<std::size_t>(net.num_edges()), 0);
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const flow::Edge& edge = net.edge(e);
+    // Prefer the tail's state (origin) — covers long-haul edges; supply
+    // edges have a terminal tail, so fall back to the head.
+    int state = state_of_hub(model, edge.from);
+    if (state < 0) state = state_of_hub(model, edge.to);
+    GRIDSEC_ASSERT_MSG(state >= 0, "edge touches no state hub");
+    owners[static_cast<std::size_t>(e)] = state;
+  }
+  return cps::Ownership(std::move(owners),
+                        static_cast<int>(model.states.size()));
+}
+
+cps::Ownership ownership_by_sector(const WesternUsModel& model) {
+  const flow::Network& net = model.network;
+  std::vector<int> owners(static_cast<std::size_t>(net.num_edges()), 0);
+  // Identify gas hubs for sector classification.
+  std::vector<bool> is_gas_hub(static_cast<std::size_t>(net.num_nodes()),
+                               false);
+  for (flow::NodeId h : model.gas_hub) {
+    is_gas_hub[static_cast<std::size_t>(h)] = true;
+  }
+  const auto touches_gas = [&](const flow::Edge& e) {
+    const auto probe = [&](flow::NodeId n) {
+      return n >= 0 && n < net.num_nodes() &&
+             is_gas_hub[static_cast<std::size_t>(n)];
+    };
+    return probe(e.from) || probe(e.to);
+  };
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const flow::Edge& edge = net.edge(e);
+    int sector;
+    switch (edge.kind) {
+      case flow::EdgeKind::kConversion:
+        sector = 1;  // gas-fired generation belongs to the genco
+        break;
+      case flow::EdgeKind::kSupply:
+        sector = touches_gas(edge) ? 0 : 1;
+        break;
+      case flow::EdgeKind::kDemand:
+        sector = touches_gas(edge) ? 0 : 2;
+        break;
+      case flow::EdgeKind::kTransmission:
+      default:
+        sector = touches_gas(edge) ? 0 : 2;
+        break;
+    }
+    owners[static_cast<std::size_t>(e)] = sector;
+  }
+  return cps::Ownership(std::move(owners), 3);
+}
+
+cps::Ownership ownership_concentrated(int num_edges, int num_actors,
+                                      Rng& rng) {
+  GRIDSEC_ASSERT(num_actors > 0);
+  // Zipf-like weights 1/(k+1), normalized cumulative for inverse sampling.
+  std::vector<double> cumulative(static_cast<std::size_t>(num_actors));
+  double total = 0.0;
+  for (int k = 0; k < num_actors; ++k) {
+    total += 1.0 / (k + 1.0);
+    cumulative[static_cast<std::size_t>(k)] = total;
+  }
+  std::vector<int> owners(static_cast<std::size_t>(num_edges));
+  for (auto& o : owners) {
+    const double u = rng.uniform(0.0, total);
+    o = static_cast<int>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    o = std::min(o, num_actors - 1);
+  }
+  return cps::Ownership(std::move(owners), num_actors);
+}
+
+}  // namespace gridsec::sim

@@ -1,0 +1,189 @@
+#include "gridsec/sim/western_us.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gridsec::sim {
+namespace {
+
+struct GenUnit {
+  const char* fuel;
+  double capacity;  // GWh/day nameplate
+  double cost;      // $/MWh
+};
+
+struct StateData {
+  const char* code;
+  double lat, lon;  // geographic centroid
+  // Electric side.
+  double elec_demand;       // GWh/day average
+  double elec_price;        // $/MWh retail
+  std::vector<GenUnit> gen; // non-gas generation
+  double converter_capacity;  // gas->electric, GWh/day electric output
+  // Gas side (thermal GWh/day; $/MWh thermal).
+  double gas_demand;      // non-electric consumption
+  double gas_price;       // retail
+  double gas_production;  // in-state production capacity
+  double gas_prod_cost;
+  double gas_import;      // out-of-model import capacity (0 = none)
+};
+
+// Synthetic per-state constants with 2014-EIA-like magnitudes.
+const std::vector<StateData>& state_table() {
+  static const std::vector<StateData> kStates = {
+      {"WA", 47.4, -120.5, 250.0, 62.0,
+       {{"hydro", 700.0, 8.0}, {"coal", 120.0, 28.0}, {"nuclear", 90.0, 20.0}},
+       60.0, 90.0, 22.0, 0.0, 0.0, 800.0},
+      {"OR", 43.9, -120.6, 130.0, 70.0,
+       {{"hydro", 400.0, 9.0}, {"coal", 60.0, 30.0}},
+       90.0, 60.0, 23.0, 0.0, 0.0, 0.0},
+      {"CA", 37.2, -119.3, 720.0, 92.0,
+       {{"hydro", 260.0, 12.0},
+        {"nuclear", 180.0, 22.0},
+        {"solar", 170.0, 5.0},
+        {"wind", 110.0, 7.0}},
+       380.0, 350.0, 28.0, 200.0, 18.0, 400.0},
+      {"NV", 39.3, -116.6, 100.0, 76.0,
+       {{"solar", 90.0, 6.0}, {"coal", 100.0, 30.0}},
+       120.0, 40.0, 25.0, 0.0, 0.0, 0.0},
+      {"AZ", 34.3, -111.7, 210.0, 82.0,
+       {{"nuclear", 220.0, 21.0}, {"coal", 210.0, 27.0}, {"solar", 90.0, 6.0}},
+       150.0, 70.0, 24.0, 0.0, 0.0, 700.0},
+      {"UT", 39.3, -111.7, 80.0, 66.0,
+       {{"coal", 270.0, 25.0}, {"wind", 40.0, 9.0}},
+       70.0, 50.0, 18.0, 1500.0, 14.0, 0.0},
+  };
+  return kStates;
+}
+
+struct Link {
+  int from, to;     // state indices
+  double capacity;  // GWh/day
+  double cost;      // $/MWh transport fee
+};
+
+// Nine interstate gas pipelines (thermal GWh/day).
+const std::vector<Link>& gas_links() {
+  static const std::vector<Link> kLinks = {
+      {0, 1, 400.0, 0.5},  // WA->OR (Canadian gas southbound)
+      {1, 2, 350.0, 0.5},  // OR->CA
+      {5, 3, 350.0, 0.5},  // UT->NV (Rockies westbound)
+      {3, 2, 300.0, 0.5},  // NV->CA
+      {5, 4, 300.0, 0.5},  // UT->AZ
+      {4, 2, 350.0, 0.5},  // AZ->CA (southern route)
+      {4, 3, 120.0, 0.5},  // AZ->NV
+      {1, 0, 100.0, 0.5},  // OR->WA (reverse header)
+      {3, 5, 60.0, 0.5},   // NV->UT (backhaul)
+  };
+  return kLinks;
+}
+
+// Nine interstate electric interties (GWh/day).
+const std::vector<Link>& elec_links() {
+  static const std::vector<Link> kLinks = {
+      {0, 1, 250.0, 1.0},  // WA->OR
+      {1, 2, 300.0, 1.0},  // OR->CA
+      {0, 2, 250.0, 1.0},  // WA->CA (Pacific intertie)
+      {3, 2, 150.0, 1.0},  // NV->CA
+      {4, 2, 250.0, 1.0},  // AZ->CA
+      {5, 3, 120.0, 1.0},  // UT->NV
+      {5, 4, 120.0, 1.0},  // UT->AZ
+      {3, 4, 80.0, 1.0},   // NV->AZ
+      {1, 3, 80.0, 1.0},   // OR->NV
+  };
+  return kLinks;
+}
+
+constexpr double kConverterLoss = 0.52;  // ~48% gas-to-electric efficiency
+constexpr double kConverterCost = 4.0;   // $/MWh non-fuel O&M
+
+}  // namespace
+
+double haversine_km(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const auto rad = [](double deg) {
+    return deg * std::numbers::pi / 180.0;
+  };
+  const double dlat = rad(lat2 - lat1);
+  const double dlon = rad(lon2 - lon1);
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(rad(lat1)) * std::cos(rad(lat2)) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(a));
+}
+
+double loss_from_distance(double km) { return 0.01 * km / 400.0; }
+
+WesternUsModel build_western_us(const WesternUsOptions& options) {
+  const auto& states = state_table();
+  WesternUsModel m;
+
+  const double cap_factor =
+      options.apply_adjustments ? 1.0 - options.capacity_derating : 1.0;
+  const double demand_factor =
+      options.apply_adjustments ? 1.0 + options.demand_surge : 1.0;
+
+  // Hubs.
+  for (const StateData& s : states) {
+    m.states.emplace_back(s.code);
+    m.gas_hub.push_back(m.network.add_hub(std::string(s.code) + ".gas"));
+    m.elec_hub.push_back(m.network.add_hub(std::string(s.code) + ".elec"));
+  }
+
+  // Per-state assets.
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const StateData& s = states[i];
+    const std::string code = s.code;
+    const flow::NodeId gh = m.gas_hub[i];
+    const flow::NodeId eh = m.elec_hub[i];
+
+    // Gas production and imports (imports priced 25% below local retail).
+    if (s.gas_production > 0.0) {
+      m.network.add_supply(code + ".gas.prod", gh, s.gas_production,
+                           s.gas_prod_cost);
+    }
+    if (s.gas_import > 0.0) {
+      m.network.add_supply(code + ".gas.import", gh, s.gas_import,
+                           0.75 * s.gas_price);
+    }
+    // Gas consumer (demand edge).
+    m.network.add_demand(code + ".gas.load", gh,
+                         s.gas_demand * demand_factor, s.gas_price);
+
+    // Electric generation mix (derated per the challenging model).
+    for (const GenUnit& g : s.gen) {
+      m.network.add_supply(code + ".elec." + g.fuel, eh,
+                           g.capacity * cap_factor, g.cost);
+    }
+    // Gas-fired generation: the interconnection between the two systems.
+    m.converters.push_back(m.network.add_edge(
+        code + ".gas2elec", flow::EdgeKind::kConversion, gh, eh,
+        s.converter_capacity * cap_factor, kConverterCost, kConverterLoss));
+    // Electric consumer.
+    m.network.add_demand(code + ".elec.load", eh,
+                         s.elec_demand * demand_factor, s.elec_price);
+  }
+
+  // Long-haul edges: losses from inter-centroid distance (1% / 400 km).
+  const auto add_links = [&](const std::vector<Link>& links,
+                             const std::vector<flow::NodeId>& hubs,
+                             const char* tag) {
+    for (const Link& l : links) {
+      const StateData& a = states[static_cast<std::size_t>(l.from)];
+      const StateData& b = states[static_cast<std::size_t>(l.to)];
+      const double loss =
+          loss_from_distance(haversine_km(a.lat, a.lon, b.lat, b.lon));
+      m.long_haul.push_back(m.network.add_edge(
+          std::string(a.code) + "-" + b.code + "." + tag,
+          flow::EdgeKind::kTransmission,
+          hubs[static_cast<std::size_t>(l.from)],
+          hubs[static_cast<std::size_t>(l.to)], l.capacity, l.cost, loss));
+    }
+  };
+  add_links(gas_links(), m.gas_hub, "pipe");
+  add_links(elec_links(), m.elec_hub, "line");
+
+  return m;
+}
+
+}  // namespace gridsec::sim

@@ -1,0 +1,43 @@
+#include "gridsec/util/error.hpp"
+
+namespace gridsec {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kInfeasible:
+      return "INFEASIBLE";
+    case ErrorCode::kUnbounded:
+      return "UNBOUNDED";
+    case ErrorCode::kIterationLimit:
+      return "ITERATION_LIMIT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(gridsec::to_string(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "gridsec assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace gridsec

@@ -1,0 +1,121 @@
+#include "gridsec/util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridsec {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    GRIDSEC_ASSERT_MSG(r.size() == cols_, "ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::swap_rows(std::size_t a, std::size_t b) {
+  GRIDSEC_ASSERT(a < rows_ && b < rows_);
+  if (a == b) return;
+  std::swap_ranges(data_.begin() + static_cast<std::ptrdiff_t>(a * cols_),
+                   data_.begin() + static_cast<std::ptrdiff_t>((a + 1) * cols_),
+                   data_.begin() + static_cast<std::ptrdiff_t>(b * cols_));
+}
+
+void Matrix::add_scaled_row(std::size_t dst, std::size_t src, double factor) {
+  GRIDSEC_ASSERT(dst < rows_ && src < rows_);
+  double* d = data_.data() + dst * cols_;
+  const double* s = data_.data() + src * cols_;
+  for (std::size_t c = 0; c < cols_; ++c) d[c] += factor * s[c];
+}
+
+void Matrix::scale_row(std::size_t r, double factor) {
+  GRIDSEC_ASSERT(r < rows_);
+  double* d = data_.data() + r * cols_;
+  for (std::size_t c = 0; c < cols_; ++c) d[c] *= factor;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  GRIDSEC_ASSERT(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> x) const {
+  GRIDSEC_ASSERT(cols_ == x.size());
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), x);
+  return out;
+}
+
+StatusOr<std::vector<double>> solve_linear_system(Matrix a,
+                                                  std::vector<double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::internal("solve_linear_system: singular matrix");
+    }
+    a.swap_rows(col, pivot);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = -a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      a.add_scaled_row(r, col, factor);
+      a(r, col) = 0.0;  // exact zero below the pivot
+      b[r] += factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a(i, j) * x[j];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  GRIDSEC_ASSERT(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace gridsec

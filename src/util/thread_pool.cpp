@@ -1,0 +1,91 @@
+#include "gridsec/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "gridsec/util/error.hpp"
+
+namespace gridsec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  auto fut = pt.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    GRIDSEC_ASSERT_MSG(!stop_, "submit after shutdown");
+    queue_.push_back(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // exceptions are captured in the packaged_task's future
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static chunking with an atomic cursor: chunks keep per-item overhead low;
+  // the shared cursor keeps load balanced when item costs vary (MILPs do).
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = std::min(pool->size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futs.push_back(pool->submit([cursor, n, &fn] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();  // rethrows worker exceptions
+}
+
+}  // namespace gridsec

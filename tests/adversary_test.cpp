@@ -1,0 +1,278 @@
+// Tests for the strategic adversary (Eqs 8-11).
+#include "gridsec/core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Hand-built impact matrices (actors x targets).
+cps::ImpactMatrix make_im(std::initializer_list<std::initializer_list<double>> rows) {
+  const int na = static_cast<int>(rows.size());
+  const int nt = static_cast<int>(rows.begin()->size());
+  cps::ImpactMatrix im(na, nt);
+  int a = 0;
+  for (const auto& row : rows) {
+    int t = 0;
+    for (double v : row) im.set(a, t++, v);
+    ++a;
+  }
+  return im;
+}
+
+TEST(Adversary, PicksSingleProfitableTarget) {
+  // Target 0 profits actor 0 by 100 and hurts actor 1 by 120.
+  auto im = make_im({{100.0, -5.0}, {-120.0, -5.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.targets, (std::vector<int>{0}));
+  EXPECT_EQ(plan.actors, (std::vector<int>{0}));
+  EXPECT_NEAR(plan.anticipated_return, 100.0, kTol);
+}
+
+TEST(Adversary, EmptyAttackWhenNothingProfits) {
+  // Every impact negative: the rational SA stays home.
+  auto im = make_im({{-10.0, -5.0}, {-20.0, -1.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_TRUE(plan.targets.empty());
+  EXPECT_NEAR(plan.anticipated_return, 0.0, kTol);
+}
+
+TEST(Adversary, ActorSetSharedAcrossTargets) {
+  // Taking actor 0's position pays on target 0 (+100) but costs on target 1
+  // (-80); target 1 pays actor 1 (+90). Attacking both targets while holding
+  // both actors: 100 - 80 + 90 - 30(say actor1 on t0)...
+  auto im = make_im({{100.0, -80.0}, {-30.0, 90.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  // Candidates: {t0, A0} = 100; {t1, A1} = 90; {t0,t1}: A0 swing 20,
+  // A1 swing 60 -> 80. Best: single target 0 with actor 0 = 100.
+  EXPECT_EQ(plan.targets, (std::vector<int>{0}));
+  EXPECT_NEAR(plan.anticipated_return, 100.0, kTol);
+}
+
+TEST(Adversary, AttackCostsDeterTargets) {
+  auto im = make_im({{50.0, 40.0}});
+  AdversaryConfig cfg;
+  cfg.attack_cost = {45.0, 45.0};
+  StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  // Each target nets only 5 / -5; target 0 nets 5, target 1 nets -5.
+  EXPECT_EQ(plan.targets, (std::vector<int>{0}));
+  EXPECT_NEAR(plan.anticipated_return, 5.0, kTol);
+}
+
+TEST(Adversary, BudgetConstrainsSelection) {
+  auto im = make_im({{60.0, 50.0, 40.0}});
+  AdversaryConfig cfg;
+  cfg.attack_cost = {10.0, 10.0, 10.0};
+  cfg.budget = 20.0;  // only two attacks affordable
+  StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.targets.size(), 2u);
+  EXPECT_TRUE(plan.attacks(0));
+  EXPECT_TRUE(plan.attacks(1));
+  EXPECT_NEAR(plan.anticipated_return, 60.0 + 50.0 - 20.0, kTol);
+}
+
+TEST(Adversary, MaxTargetsCap) {
+  auto im = make_im({{60.0, 50.0, 40.0, 30.0}});
+  AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.targets.size(), 2u);
+  EXPECT_NEAR(plan.anticipated_return, 110.0, kTol);
+}
+
+TEST(Adversary, SuccessProbabilityScalesValue) {
+  auto im = make_im({{100.0, 0.0}, {0.0, 90.0}});
+  AdversaryConfig cfg;
+  cfg.success_prob = {0.5, 1.0};
+  cfg.max_targets = 1;
+  StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  // Target 0 is worth 50 after Ps; target 1 is worth 90.
+  EXPECT_EQ(plan.targets, (std::vector<int>{1}));
+  EXPECT_NEAR(plan.anticipated_return, 90.0, kTol);
+}
+
+TEST(Adversary, AllActorsImpliesEmptyTargetSet) {
+  // §II-E3: if A must effectively be every actor, the system being at the
+  // social-welfare optimum means no attack profits. Model: every target's
+  // column sums negative, and every actor is hit identically so taking all
+  // positions is the only way to "cover" — SA should abstain.
+  auto im = make_im({{-30.0, 10.0}, {10.0, -30.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  // t0 with A1 = +10; t1 with A0 = +10; both targets with both actors:
+  // A0: -20, A1: -20 -> 0. Best single: 10.
+  EXPECT_NEAR(plan.anticipated_return, 10.0, kTol);
+  EXPECT_EQ(plan.targets.size(), 1u);
+}
+
+TEST(Adversary, EnumerationMatchesMilpHandCase) {
+  auto im = make_im({{100.0, -80.0, 20.0},
+                     {-30.0, 90.0, 15.0},
+                     {-10.0, -10.0, -50.0}});
+  AdversaryConfig cfg;
+  cfg.attack_cost = {12.0, 9.0, 3.0};
+  cfg.budget = 21.0;
+  StrategicAdversary sa(cfg);
+  auto milp = sa.plan(im);
+  auto enumerated = sa.plan_enumerate(im);
+  ASSERT_TRUE(milp.optimal());
+  EXPECT_NEAR(milp.anticipated_return, enumerated.anticipated_return, kTol);
+}
+
+TEST(Adversary, GreedyNeverBeatsExact) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    cps::ImpactMatrix im(3, 6);
+    for (int a = 0; a < 3; ++a) {
+      for (int t = 0; t < 6; ++t) {
+        im.set(a, t, rng.uniform(-50.0, 50.0));
+      }
+    }
+    AdversaryConfig cfg;
+    cfg.max_targets = 3;
+    StrategicAdversary sa(cfg);
+    auto exact = sa.plan(im);
+    auto greedy = sa.plan_greedy(im);
+    ASSERT_TRUE(exact.optimal());
+    EXPECT_LE(greedy.anticipated_return, exact.anticipated_return + kTol);
+    EXPECT_GE(greedy.anticipated_return, -kTol);  // greedy never loses money
+  }
+}
+
+// Randomized cross-validation: MILP == exhaustive enumeration.
+class AdversaryMilpVsEnum : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversaryMilpVsEnum, Agree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const int na = 2 + static_cast<int>(rng.uniform_index(3));
+  const int nt = 4 + static_cast<int>(rng.uniform_index(5));
+  cps::ImpactMatrix im(na, nt);
+  for (int a = 0; a < na; ++a) {
+    for (int t = 0; t < nt; ++t) {
+      // Sparse-ish, like real impact matrices.
+      im.set(a, t, rng.bernoulli(0.6) ? rng.uniform(-40.0, 40.0) : 0.0);
+    }
+  }
+  AdversaryConfig cfg;
+  cfg.max_targets = 3;
+  if (rng.bernoulli(0.5)) {
+    cfg.attack_cost.resize(static_cast<std::size_t>(nt));
+    for (auto& c : cfg.attack_cost) c = rng.uniform(0.0, 10.0);
+    cfg.budget = rng.uniform(5.0, 25.0);
+  }
+  StrategicAdversary sa(cfg);
+  auto milp = sa.plan(im);
+  auto enumerated = sa.plan_enumerate(im);
+  ASSERT_TRUE(milp.optimal());
+  EXPECT_NEAR(milp.anticipated_return, enumerated.anticipated_return, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversaryMilpVsEnum, ::testing::Range(0, 20));
+
+TEST(Adversary, NodeBudgetFallsBackToFeasiblePlan) {
+  // A dense matrix with a tiny node budget: the search cannot prove
+  // optimality, but the returned plan must be feasible, at least as good
+  // as greedy, and flagged kIterationLimit.
+  Rng rng(7);
+  cps::ImpactMatrix im(4, 20);
+  for (int a = 0; a < 4; ++a) {
+    for (int t = 0; t < 20; ++t) im.set(a, t, rng.uniform(-20.0, 20.0));
+  }
+  AdversaryConfig cfg;
+  cfg.max_targets = 6;
+  cfg.max_nodes = 3;
+  StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  EXPECT_EQ(plan.status, lp::SolveStatus::kIterationLimit);
+  EXPECT_LE(static_cast<int>(plan.targets.size()), 6);
+  auto greedy = sa.plan_greedy(im);
+  EXPECT_GE(plan.anticipated_return, greedy.anticipated_return - kTol);
+}
+
+TEST(RandomAttack, RespectsCardinalityAndBudget) {
+  auto im = make_im({{10.0, 20.0, 30.0, 40.0, 50.0}});
+  AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  cfg.attack_cost = {5.0, 5.0, 5.0, 5.0, 5.0};
+  cfg.budget = 5.0;  // only one affordable despite the cap of 2
+  Rng rng(3);
+  auto plan = random_attack_plan(im, cfg, rng);
+  EXPECT_EQ(plan.targets.size(), 1u);
+}
+
+TEST(RandomAttack, NeverBeatsStrategicPlan) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    cps::ImpactMatrix im(3, 8);
+    for (int a = 0; a < 3; ++a) {
+      for (int t = 0; t < 8; ++t) im.set(a, t, rng.uniform(-40.0, 40.0));
+    }
+    AdversaryConfig cfg;
+    cfg.max_targets = 3;
+    StrategicAdversary sa(cfg);
+    auto strategic = sa.plan(im);
+    auto random = random_attack_plan(im, cfg, rng);
+    EXPECT_LE(random.anticipated_return,
+              strategic.anticipated_return + kTol);
+  }
+}
+
+TEST(RandomAttack, DeterministicPerSeed) {
+  auto im = make_im({{1.0, 2.0, 3.0, 4.0}});
+  AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  Rng a(5), b(5);
+  auto pa = random_attack_plan(im, cfg, a);
+  auto pb = random_attack_plan(im, cfg, b);
+  EXPECT_EQ(pa.targets, pb.targets);
+}
+
+TEST(RealizedReturn, MatchesAnticipatedOnTruth) {
+  auto im = make_im({{100.0, -80.0}, {-30.0, 90.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_NEAR(realized_return(im, plan, sa.config()),
+              plan.anticipated_return, kTol);
+}
+
+TEST(RealizedReturn, DegradesOnDifferentTruth) {
+  auto believed = make_im({{100.0, 0.0}});
+  auto truth = make_im({{10.0, 0.0}});
+  StrategicAdversary sa;
+  auto plan = sa.plan(believed);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_NEAR(plan.anticipated_return, 100.0, kTol);
+  EXPECT_NEAR(realized_return(truth, plan, sa.config()), 10.0, kTol);
+}
+
+TEST(RealizedReturn, EmptyPlanIsZero) {
+  auto im = make_im({{-1.0}});
+  AttackPlan plan;
+  plan.status = lp::SolveStatus::kOptimal;
+  EXPECT_DOUBLE_EQ(realized_return(im, plan, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace gridsec::core

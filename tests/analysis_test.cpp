@@ -1,0 +1,133 @@
+// Tests for structural vulnerability analysis.
+#include "gridsec/flow/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/sim/scenario.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::flow {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Betweenness, ChainEdgesCarryTheOnlyPath) {
+  // source -> h0 -> h1 -> h2 -> sink: one source-sink pair, one path.
+  auto net = sim::make_chain(2, 1.0, 10.0, 5.0);
+  auto bw = source_sink_betweenness(net);
+  ASSERT_EQ(bw.size(), static_cast<std::size_t>(net.num_edges()));
+  for (double v : bw) EXPECT_NEAR(v, 1.0, kTol);
+}
+
+TEST(Betweenness, ParallelPathsSplitCredit) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen", a, 10.0, 1.0);
+  const EdgeId p1 = net.add_edge("p1", EdgeKind::kTransmission, a, b, 5.0, 0.0);
+  const EdgeId p2 = net.add_edge("p2", EdgeKind::kTransmission, a, b, 5.0, 0.0);
+  net.add_demand("load", b, 8.0, 9.0);
+  auto bw = source_sink_betweenness(net);
+  EXPECT_NEAR(bw[static_cast<std::size_t>(p1)], 0.5, kTol);
+  EXPECT_NEAR(bw[static_cast<std::size_t>(p2)], 0.5, kTol);
+}
+
+TEST(Betweenness, ShorterPathWinsAllCredit) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  const NodeId c = net.add_hub("C");
+  net.add_supply("gen", a, 10.0, 1.0);
+  const EdgeId direct =
+      net.add_edge("direct", EdgeKind::kTransmission, a, c, 5.0, 0.0);
+  const EdgeId via1 = net.add_edge("via1", EdgeKind::kTransmission, a, b, 5.0, 0.0);
+  const EdgeId via2 = net.add_edge("via2", EdgeKind::kTransmission, b, c, 5.0, 0.0);
+  net.add_demand("load", c, 8.0, 9.0);
+  auto bw = source_sink_betweenness(net);
+  EXPECT_NEAR(bw[static_cast<std::size_t>(direct)], 1.0, kTol);
+  EXPECT_NEAR(bw[static_cast<std::size_t>(via1)], 0.0, kTol);
+  EXPECT_NEAR(bw[static_cast<std::size_t>(via2)], 0.0, kTol);
+}
+
+TEST(Betweenness, MultipleConsumersAccumulate) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen", a, 10.0, 1.0);           // e0
+  const EdgeId trunk =
+      net.add_edge("trunk", EdgeKind::kTransmission, a, b, 5.0, 0.0);  // e1
+  net.add_demand("loadA", a, 3.0, 9.0);          // e2
+  net.add_demand("loadB", b, 3.0, 9.0);          // e3
+  auto bw = source_sink_betweenness(net);
+  // Two source-sink pairs; the trunk carries only the B pair.
+  EXPECT_NEAR(bw[static_cast<std::size_t>(trunk)], 1.0, kTol);
+  EXPECT_NEAR(bw[0], 2.0, kTol);  // the supply edge feeds both consumers
+}
+
+TEST(Reachability, ConnectedChainReachable) {
+  auto net = sim::make_chain(3, 1.0, 5.0, 2.0);
+  EXPECT_TRUE(all_consumers_reachable(net));
+}
+
+TEST(Reachability, OrphanConsumerDetected) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");  // disconnected hub
+  net.add_supply("gen", a, 10.0, 1.0);
+  net.add_demand("loadA", a, 5.0, 9.0);
+  net.add_demand("orphan", b, 5.0, 9.0);
+  EXPECT_FALSE(all_consumers_reachable(net));
+}
+
+TEST(MaxDeliverable, RespectsBottleneck) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen", a, 100.0, 50.0);  // expensive: price must not matter
+  net.add_edge("line", EdgeKind::kTransmission, a, b, 25.0, 3.0);
+  const EdgeId load = net.add_demand("load", b, 60.0, 1.0);
+  auto max = max_deliverable(net, load);
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_NEAR(*max, 25.0, 1e-6);
+}
+
+TEST(MaxDeliverable, LossesShrinkDelivery) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen", a, 100.0, 1.0);
+  net.add_edge("line", EdgeKind::kTransmission, a, b, 1000.0, 0.0, 0.2);
+  const EdgeId load = net.add_demand("load", b, 500.0, 1.0);
+  auto max = max_deliverable(net, load);
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_NEAR(*max, 80.0, 1e-6);  // 100 injected, 20% lost
+}
+
+TEST(MaxDeliverable, OtherConsumersDoNotCompete) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  net.add_supply("gen", a, 50.0, 1.0);
+  const EdgeId l1 = net.add_demand("l1", a, 40.0, 9.0);
+  net.add_demand("l2", a, 40.0, 99.0);  // would otherwise win the energy
+  auto max = max_deliverable(net, l1);
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_NEAR(*max, 40.0, 1e-6);
+}
+
+TEST(MaxDeliverable, RejectsNonDemandEdge) {
+  auto net = sim::make_chain(1, 1.0, 5.0, 2.0);
+  auto bad = max_deliverable(net, 0);  // the supply edge
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Analysis, WesternUsIsFullyReachable) {
+  auto m = sim::build_western_us();
+  EXPECT_TRUE(all_consumers_reachable(m.network));
+  auto bw = source_sink_betweenness(m.network);
+  double total = 0.0;
+  for (double v : bw) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace gridsec::flow

@@ -1,0 +1,95 @@
+// Tests for the contagion-interdependence baseline.
+#include "gridsec/cps/contagion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/sim/scenario.hpp"
+
+namespace gridsec::cps {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(AssetDistances, ChainHopsCountEdges) {
+  // supply - seg0 - seg1 - demand along one chain: asset distance = index
+  // difference (adjacent assets share a hub).
+  auto net = sim::make_chain(2, 1.0, 10.0, 5.0);  // edges: gen, s0, s1, load
+  const int ne = net.num_edges();
+  auto dist = asset_hop_distances(net);
+  const auto d = [&](int a, int b) {
+    return dist[static_cast<std::size_t>(a) * static_cast<std::size_t>(ne) +
+                static_cast<std::size_t>(b)];
+  };
+  EXPECT_EQ(d(0, 0), 0);
+  EXPECT_EQ(d(0, 1), 1);
+  EXPECT_EQ(d(0, 2), 2);
+  EXPECT_EQ(d(0, 3), 3);
+  EXPECT_EQ(d(3, 0), 3);  // symmetric
+}
+
+TEST(AssetDistances, DisconnectedAssetsUnreachable) {
+  flow::Network net;
+  const auto a = net.add_hub("A");
+  const auto b = net.add_hub("B");  // no connection between hubs
+  net.add_supply("ga", a, 10.0, 1.0);
+  net.add_supply("gb", b, 10.0, 1.0);
+  auto dist = asset_hop_distances(net);
+  EXPECT_EQ(dist[0 * 2 + 1], -1);
+  EXPECT_EQ(dist[1 * 2 + 0], -1);
+}
+
+TEST(Contagion, SelfCountsFully) {
+  auto net = sim::make_chain(0, 1.0, 10.0, 7.0);  // gen + load, capacity 7
+  ContagionModel m;
+  m.transmission_prob = 0.0;  // no spread at all
+  auto damage = contagion_expected_damage(net, m);
+  EXPECT_NEAR(damage[0], 7.0, kTol);  // only its own capacity
+  EXPECT_NEAR(damage[1], 7.0, kTol);
+}
+
+TEST(Contagion, SpreadDecaysGeometrically) {
+  auto net = sim::make_chain(2, 1.0, 10.0, 10.0);  // 4 assets, capacity 10
+  ContagionModel m;
+  m.transmission_prob = 0.5;
+  auto damage = contagion_expected_damage(net, m);
+  // From the first asset: 10·(1 + .5 + .25 + .125).
+  EXPECT_NEAR(damage[0], 10.0 * 1.875, kTol);
+  // Middle assets reach everything in fewer hops -> more damage.
+  EXPECT_GT(damage[1], damage[0]);
+}
+
+TEST(Contagion, ThresholdTruncatesTail) {
+  auto net = sim::make_chain(2, 1.0, 10.0, 10.0);
+  ContagionModel strict;
+  strict.transmission_prob = 0.5;
+  strict.threshold = 0.3;  // drops contributions past 1 hop
+  auto damage = contagion_expected_damage(net, strict);
+  EXPECT_NEAR(damage[0], 10.0 * 1.5, kTol);
+}
+
+TEST(Contagion, CentralAssetsRankHighest) {
+  // A star of consumers around one hub: the supply edge touches everything
+  // at hop 1 and must out-rank peripheral consumers... all edges share the
+  // single hub, so all are symmetric except capacity. Use a two-hub dumbbell
+  // instead: the bridge is the most central.
+  flow::Network net;
+  const auto a = net.add_hub("A");
+  const auto b = net.add_hub("B");
+  net.add_supply("g1", a, 10.0, 1.0);
+  net.add_supply("g2", a, 10.0, 1.0);
+  const auto bridge =
+      net.add_edge("bridge", flow::EdgeKind::kTransmission, a, b, 10.0, 0.0);
+  net.add_demand("l1", b, 10.0, 5.0);
+  net.add_demand("l2", b, 10.0, 5.0);
+  ContagionModel m;
+  m.transmission_prob = 0.4;
+  auto damage = contagion_expected_damage(net, m);
+  for (int e = 0; e < net.num_edges(); ++e) {
+    if (e == bridge) continue;
+    EXPECT_GE(damage[static_cast<std::size_t>(bridge)],
+              damage[static_cast<std::size_t>(e)] - kTol);
+  }
+}
+
+}  // namespace
+}  // namespace gridsec::cps

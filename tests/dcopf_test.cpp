@@ -1,0 +1,171 @@
+// Tests for the DC optimal power flow and its transport relaxation.
+#include "gridsec/flow/dcopf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridsec::flow {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+// Classic 3-bus example: cheap generator at bus0, expensive at bus1, load
+// at bus2; identical-susceptance lines 0-1, 0-2, 1-2. Only the direct
+// line 0-2 carries the (optional) thermal limit.
+DcNetwork three_bus(double direct_cap, double other_cap = 1000.0) {
+  DcNetwork net;
+  const int b0 = net.add_bus("b0");
+  const int b1 = net.add_bus("b1");
+  const int b2 = net.add_bus("b2");
+  net.add_line("l01", b0, b1, 1.0, other_cap);
+  net.add_line("l02", b0, b2, 1.0, direct_cap);
+  net.add_line("l12", b1, b2, 1.0, other_cap);
+  net.add_generator("cheap", b0, 300.0, 10.0);
+  net.add_generator("dear", b1, 300.0, 40.0);
+  net.add_load("city", b2, 90.0, 100.0);
+  return net;
+}
+
+TEST(DcOpf, UncongestedMatchesTransport) {
+  auto net = three_bus(1000.0);
+  auto dc = solve_dc_opf(net);
+  auto transport = solve_transport_relaxation(net);
+  ASSERT_TRUE(dc.optimal());
+  ASSERT_TRUE(transport.optimal());
+  // Plenty of capacity: both serve the whole load from the cheap unit.
+  EXPECT_NEAR(dc.generation[0], 90.0, kTol);
+  EXPECT_NEAR(dc.welfare, transport.welfare, kTol);
+  EXPECT_NEAR(dc.welfare, 90.0 * (100.0 - 10.0), kTol);
+}
+
+TEST(DcOpf, KirchhoffSplitsInjection) {
+  // With equal susceptances, injecting P at b0 toward b2 splits 2/3 on the
+  // direct line and 1/3 through b1 (impedance path ratio 1:2).
+  auto net = three_bus(1000.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  EXPECT_NEAR(dc.line_flow[1], 60.0, kTol);  // l02 direct
+  EXPECT_NEAR(dc.line_flow[0], 30.0, kTol);  // l01
+  EXPECT_NEAR(dc.line_flow[2], 30.0, kTol);  // l12 continues to the load
+}
+
+TEST(DcOpf, LoopFlowCongestionRaisesCost) {
+  // Cap the direct line at 40. Physics: the direct line carries
+  // (2/3)g0 + (1/3)g1, so with g0 + g1 = 90 the cheap unit is limited to
+  // g0 <= 30 — far below the 40+50=90 a free router could ship. The
+  // transport relaxation routes everything from the cheap unit.
+  auto net = three_bus(40.0);
+  auto dc = solve_dc_opf(net);
+  auto transport = solve_transport_relaxation(net);
+  ASSERT_TRUE(dc.optimal());
+  ASSERT_TRUE(transport.optimal());
+  EXPECT_NEAR(dc.line_flow[1], 40.0, kTol);       // direct line at limit
+  EXPECT_NEAR(dc.generation[0], 30.0, kTol);      // cheap capped by physics
+  EXPECT_NEAR(dc.generation[1], 60.0, kTol);      // dear covers the rest
+  EXPECT_NEAR(transport.generation[0], 90.0, kTol);  // router ignores loops
+  EXPECT_LT(dc.welfare, transport.welfare - 1.0);
+}
+
+TEST(DcOpf, TransportRelaxationNeverWorse) {
+  for (double cap : {20.0, 40.0, 60.0, 1000.0}) {
+    auto net = three_bus(cap);
+    auto dc = solve_dc_opf(net);
+    auto transport = solve_transport_relaxation(net);
+    ASSERT_TRUE(dc.optimal());
+    ASSERT_TRUE(transport.optimal());
+    EXPECT_GE(transport.welfare, dc.welfare - kTol) << "cap " << cap;
+  }
+}
+
+TEST(DcOpf, CongestionSeparatesBusPrices) {
+  auto net = three_bus(40.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  // The load bus pays more than the cheap bus once the direct line binds.
+  EXPECT_GT(dc.bus_price[2], dc.bus_price[0] + 1.0);
+  // Uncongested case: single system price.
+  auto open = solve_dc_opf(three_bus(1000.0));
+  ASSERT_TRUE(open.optimal());
+  EXPECT_NEAR(open.bus_price[0], open.bus_price[2], kTol);
+  EXPECT_NEAR(open.bus_price[0], 10.0, kTol);
+}
+
+TEST(DcOpf, FlowsObeyAngleLaw) {
+  auto net = three_bus(40.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  for (std::size_t l = 0; l < net.lines().size(); ++l) {
+    const DcLine& line = net.lines()[l];
+    const double expected =
+        line.susceptance *
+        (dc.theta[static_cast<std::size_t>(line.from)] -
+         dc.theta[static_cast<std::size_t>(line.to)]);
+    EXPECT_NEAR(dc.line_flow[l], expected, kTol) << line.name;
+  }
+  EXPECT_NEAR(dc.theta[0], 0.0, kTol);  // slack pinned
+}
+
+TEST(DcOpf, UnservedLoadWhenIslanded) {
+  DcNetwork net;
+  const int b0 = net.add_bus("gen_bus");
+  const int b1 = net.add_bus("island");
+  net.add_generator("g", b0, 100.0, 5.0);
+  net.add_load("stranded", b1, 50.0, 80.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  EXPECT_NEAR(dc.served[0], 0.0, kTol);
+  EXPECT_NEAR(dc.welfare, 0.0, kTol);
+}
+
+TEST(DcOpf, SusceptanceSteersTheSplit) {
+  // Doubling the direct line's susceptance pulls more flow onto it:
+  // split becomes B_direct/(B_direct + B_series) with B_series = 1/2.
+  DcNetwork net;
+  const int b0 = net.add_bus("b0");
+  const int b1 = net.add_bus("b1");
+  const int b2 = net.add_bus("b2");
+  net.add_line("l01", b0, b1, 1.0, 1000.0);
+  net.add_line("l02", b0, b2, 2.0, 1000.0);
+  net.add_line("l12", b1, b2, 1.0, 1000.0);
+  net.add_generator("g", b0, 100.0, 10.0);
+  net.add_load("d", b2, 100.0, 50.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  // Direct share = 2 / (2 + 0.5) = 0.8.
+  EXPECT_NEAR(dc.line_flow[1], 80.0, kTol);
+  EXPECT_NEAR(dc.line_flow[0], 20.0, kTol);
+}
+
+TEST(DcOpf, ZeroCapacityPinsAnglesNotAnOutage) {
+  // DC subtlety: zeroing a line's *capacity* while keeping its susceptance
+  // forces θ_from == θ_to — the line still constrains the angle profile.
+  // Here that makes the delivery path contradictory, so load is shed.
+  auto net = three_bus(1000.0);
+  net.mutable_lines()[1].capacity = 0.0;
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  EXPECT_NEAR(dc.served[0], 0.0, kTol);
+}
+
+TEST(DcOpf, LineOutageRedistributesByPhysics) {
+  // A real outage removes the line from the susceptance matrix entirely:
+  // everything must then flow b0 -> b1 -> b2.
+  DcNetwork net;
+  const int b0 = net.add_bus("b0");
+  const int b1 = net.add_bus("b1");
+  const int b2 = net.add_bus("b2");
+  net.add_line("l01", b0, b1, 1.0, 1000.0);
+  net.add_line("l12", b1, b2, 1.0, 1000.0);
+  net.add_generator("cheap", b0, 300.0, 10.0);
+  net.add_generator("dear", b1, 300.0, 40.0);
+  net.add_load("city", b2, 90.0, 100.0);
+  auto dc = solve_dc_opf(net);
+  ASSERT_TRUE(dc.optimal());
+  EXPECT_NEAR(dc.line_flow[0], 90.0, kTol);
+  EXPECT_NEAR(dc.line_flow[1], 90.0, kTol);
+  EXPECT_NEAR(dc.generation[0], 90.0, kTol);
+}
+
+}  // namespace
+}  // namespace gridsec::flow

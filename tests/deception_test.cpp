@@ -1,0 +1,106 @@
+// Tests for the deception-defense module (Figure-4 discussion).
+#include "gridsec/core/deception.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gridsec/sim/scenario.hpp"
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Duopoly: attacking the dear generator (edge 1) nets the cheap owner 1200
+// and costs the consumer 1600.
+flow::Network duopoly() { return sim::make_duopoly(); }
+
+TEST(Deception, HonestBaselineMatchesDirectPlan) {
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  auto outcome = evaluate_deception(net, own, {}, adv);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome->attack.targets, (std::vector<int>{1}));
+  EXPECT_NEAR(outcome->anticipated, 1200.0, kTol);
+  EXPECT_NEAR(outcome->realized, 1200.0, kTol);
+  EXPECT_NEAR(outcome->defender_losses, -1600.0, kTol);
+}
+
+TEST(Deception, MisreportDivertsTheAttack) {
+  // Publish the cheap generator as enormous: then knocking out the dear one
+  // no longer creates scarcity in the published model, and the attack
+  // (computed on the falsified view) loses its believed value.
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  const Misreport lie[] = {{0, 2.0}};  // cheap gen published at 120 >= demand
+  auto outcome = evaluate_deception(net, own, lie, adv);
+  ASSERT_TRUE(outcome.is_ok());
+  // On the published model, dear-gen outage creates no scarcity: the cheap
+  // generator "covers" everything, so the believed gain of attacking edge 1
+  // vanishes and the SA goes elsewhere (or stays home).
+  EXPECT_LT(outcome->realized, 1200.0);
+}
+
+TEST(Deception, AnticipatedComputedOnFalseView) {
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  // Understate the cheap generator: believed scarcity (and believed profit)
+  // grows, but reality pays the honest 1200.
+  const Misreport lie[] = {{0, 0.5}};  // published capacity 30
+  auto outcome = evaluate_deception(net, own, lie, adv);
+  ASSERT_TRUE(outcome.is_ok());
+  // The falsified view changes what the SA expects: anticipated (computed
+  // on the published model) diverges from the realized (truth) value.
+  EXPECT_GT(std::fabs(outcome->anticipated - outcome->realized), 1.0);
+}
+
+TEST(Deception, GreedyPlanNeverHurtsDefenders) {
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  DeceptionPlanOptions opt;
+  opt.adversary.max_targets = 1;
+  opt.max_misreports = 2;
+  auto plan = greedy_deception_plan(net, own, opt);
+  ASSERT_TRUE(plan.is_ok());
+  // Greedy only accepts strict improvements of realized defender losses.
+  EXPECT_GE(plan->deceived.defender_losses,
+            plan->baseline.defender_losses - kTol);
+  EXPECT_LE(static_cast<int>(plan->misreports.size()), 2);
+}
+
+TEST(Deception, GreedyFindsProtectiveLieInDuopoly) {
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  DeceptionPlanOptions opt;
+  opt.adversary.max_targets = 1;
+  opt.max_misreports = 1;
+  opt.factors = {2.0};  // inflation lies only
+  auto plan = greedy_deception_plan(net, own, opt);
+  ASSERT_TRUE(plan.is_ok());
+  // Baseline: consumer loses 1600. Publishing the cheap generator as larger
+  // hides the scarcity opportunity; defenders end strictly better off.
+  EXPECT_GT(plan->deceived.defender_losses,
+            plan->baseline.defender_losses + 1.0);
+}
+
+TEST(Deception, RespectsMisreportBudget) {
+  flow::Network net = duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  DeceptionPlanOptions opt;
+  opt.adversary.max_targets = 1;
+  opt.max_misreports = 0;
+  auto plan = greedy_deception_plan(net, own, opt);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_TRUE(plan->misreports.empty());
+  EXPECT_NEAR(plan->deceived.realized, plan->baseline.realized, kTol);
+}
+
+}  // namespace
+}  // namespace gridsec::core

@@ -1,0 +1,254 @@
+// Tests for the defender optimizations (Eqs 12-18) and Pa estimation.
+#include "gridsec/core/defender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+cps::ImpactMatrix make_im(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const int na = static_cast<int>(rows.size());
+  const int nt = static_cast<int>(rows.begin()->size());
+  cps::ImpactMatrix im(na, nt);
+  int a = 0;
+  for (const auto& row : rows) {
+    int t = 0;
+    for (double v : row) im.set(a, t++, v);
+    ++a;
+  }
+  return im;
+}
+
+TEST(DefendIndividual, DefendsWhenExpectedLossExceedsCost) {
+  // Actor 0 owns target 0; expected loss Pa*|I| = 1.0*100 > Cd = 10.
+  auto im = make_im({{-100.0}});
+  cps::Ownership own({0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {10.0};
+  cfg.budget = {100.0};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_TRUE(plan.defended[0]);
+  // Objective: -Cd = -10 (loss removed entirely).
+  EXPECT_NEAR(plan.objective, -10.0, kTol);
+  EXPECT_NEAR(plan.spending[0], 10.0, kTol);
+}
+
+TEST(DefendIndividual, SkipsWhenCostExceedsExpectedLoss) {
+  // PsPaI < Cd: not worth defending (the paper's decision rule).
+  auto im = make_im({{-100.0}});
+  cps::Ownership own({0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {150.0};
+  cfg.budget = {1000.0};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+  EXPECT_NEAR(plan.objective, -100.0, kTol);  // bears the expected loss
+}
+
+TEST(DefendIndividual, AttackProbabilityGatesDecision) {
+  auto im = make_im({{-100.0}});
+  cps::Ownership own({0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {10.0};
+  cfg.budget = {100.0};
+  // Pa = 0.05: expected loss 5 < cost 10 -> skip.
+  auto plan = defend_individual(im, own, std::vector<double>{0.05}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+}
+
+TEST(DefendIndividual, SuccessProbabilityGatesDecision) {
+  // Full paper rule Ps·Pa·I > Cd: with Ps = 0.05 the expected loss is
+  // 5 < Cd = 10 even at Pa = 1.
+  auto im = make_im({{-100.0}});
+  cps::Ownership own({0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {10.0};
+  cfg.budget = {100.0};
+  cfg.success_prob = {0.05};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+  cfg.success_prob = {0.5};  // expected loss 50 > 10 -> defend
+  plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_TRUE(plan.defended[0]);
+}
+
+TEST(DefendCollaborative, SuccessProbabilityScalesExposure) {
+  auto im = make_im({{-60.0}, {-40.0}});
+  cps::Ownership own({0}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {80.0};
+  cfg.budget = {50.0, 50.0};
+  cfg.success_prob = {0.5};  // joint expected loss 50 < 80 -> skip
+  auto plan = defend_collaborative(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+}
+
+TEST(DefendIndividual, BudgetLimitsDefenses) {
+  // Three valuable targets but budget covers only one (the most exposed).
+  auto im = make_im({{-100.0, -300.0, -200.0}});
+  cps::Ownership own({0, 0, 0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {10.0, 10.0, 10.0};
+  cfg.budget = {10.0};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0, 1.0, 1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.num_defended(), 1);
+  EXPECT_TRUE(plan.defended[1]);  // the -300 target
+}
+
+TEST(DefendIndividual, OnlyOwnerDefendsItsAssets) {
+  // Target 0 hurts actor 1 badly but belongs to actor 0 (who is unhurt):
+  // the owner has no incentive, the victim has no authority — the paper's
+  // misaligned-incentives failure mode.
+  auto im = make_im({{0.0}, {-500.0}});
+  cps::Ownership own({0}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {10.0};
+  cfg.budget = {100.0, 100.0};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+}
+
+TEST(DefendIndividual, IgnoresTargetsThatBenefitOwner) {
+  // A target whose outage *helps* its owner is never worth defending.
+  auto im = make_im({{50.0}});
+  cps::Ownership own({0}, 1);
+  DefenderConfig cfg;
+  cfg.defense_cost = {1.0};
+  cfg.budget = {10.0};
+  auto plan = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_FALSE(plan.defended[0]);
+}
+
+TEST(DefendCollaborative, VictimsShareCosts) {
+  // Target 0 hurts actors 0 and 1 (-60/-40); cost 80 exceeds either
+  // actor's solo budget of 50, but the 48/32 proportional split fits.
+  auto im = make_im({{-60.0}, {-40.0}});
+  cps::Ownership own({0}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {80.0};
+  cfg.budget = {50.0, 50.0};
+  auto collab = defend_collaborative(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(collab.optimal());
+  EXPECT_TRUE(collab.defended[0]);
+  EXPECT_NEAR(collab.spending[0], 48.0, kTol);  // 80 * 60/100
+  EXPECT_NEAR(collab.spending[1], 32.0, kTol);  // 80 * 40/100
+  // Individually, the owning actor 0 cannot afford it.
+  auto indiv = defend_individual(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(indiv.optimal());
+  EXPECT_FALSE(indiv.defended[0]);
+}
+
+TEST(DefendCollaborative, BeneficiaryExcludedFromCoalition) {
+  // Actor 1 gains from the attack: CD(t) = {0, 2} only.
+  auto im = make_im({{-60.0}, {25.0}, {-20.0}});
+  cps::Ownership own({0}, 3);
+  DefenderConfig cfg;
+  cfg.defense_cost = {40.0};
+  cfg.budget = {100.0, 100.0, 100.0};
+  auto plan = defend_collaborative(im, own, std::vector<double>{1.0}, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_TRUE(plan.defended[0]);
+  EXPECT_NEAR(plan.spending[0], 40.0 * 60.0 / 80.0, kTol);
+  EXPECT_NEAR(plan.spending[1], 0.0, kTol);  // the beneficiary pays nothing
+  EXPECT_NEAR(plan.spending[2], 40.0 * 20.0 / 80.0, kTol);
+}
+
+TEST(DefendCollaborative, ReducesToIndividualForSingleVictim) {
+  // |CD(t)| = 1 for every target: Eqs 16-18 must equal Eqs 12-14 when the
+  // single victim also owns the asset.
+  auto im = make_im({{-100.0, -5.0}, {0.0, 0.0}});
+  cps::Ownership own({0, 0}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {20.0, 20.0};
+  cfg.budget = {25.0, 25.0};
+  auto collab = defend_collaborative(im, own, std::vector<double>{1.0, 1.0},
+                                     cfg);
+  auto indiv = defend_individual(im, own, std::vector<double>{1.0, 1.0}, cfg);
+  ASSERT_TRUE(collab.optimal());
+  ASSERT_TRUE(indiv.optimal());
+  EXPECT_EQ(collab.defended, indiv.defended);
+  EXPECT_NEAR(collab.objective, indiv.objective, kTol);
+}
+
+TEST(DefendCollaborative, PerActorBeliefsRespected) {
+  // Actor 0 believes the attack is certain; actor 1 believes it never
+  // happens. Defense still proceeds if actor 0's stake justifies its share.
+  auto im = make_im({{-100.0}, {-100.0}});
+  cps::Ownership own({0}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {30.0};
+  cfg.budget = {100.0, 100.0};
+  std::vector<std::vector<double>> pa{{1.0}, {0.0}};
+  auto plan = defend_collaborative(im, own, pa, cfg);
+  ASSERT_TRUE(plan.optimal());
+  // Exposure = 1*(-100) + 0*(-100) = -100; defending costs 30 < 100.
+  EXPECT_TRUE(plan.defended[0]);
+}
+
+TEST(DefendCollaborative, NooneHurtNothingDefended) {
+  auto im = make_im({{10.0, 0.0}, {5.0, 0.0}});
+  cps::Ownership own({0, 1}, 2);
+  DefenderConfig cfg;
+  cfg.defense_cost = {1.0, 1.0};
+  cfg.budget = {10.0, 10.0};
+  auto plan = defend_collaborative(im, own, std::vector<double>{1.0, 1.0},
+                                   cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.num_defended(), 0);
+}
+
+TEST(EstimateAttackProbabilities, DeterministicWithoutSpeculatedNoise) {
+  // Duopoly where attacking the dear generator is the single best move.
+  flow::Network net;
+  const auto h = net.add_hub("H");
+  net.add_supply("cheap", h, 60.0, 10.0);
+  net.add_supply("dear", h, 100.0, 30.0);
+  net.add_demand("load", h, 80.0, 50.0);
+  cps::Ownership own({0, 1, 2}, 3);
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  Rng rng(7);
+  auto pa = estimate_attack_probabilities(net, own, adv, {0.0}, 3, rng);
+  ASSERT_TRUE(pa.is_ok());
+  // Attacking edge 1 (dear) lets the cheap owner gain 1200: certain target.
+  EXPECT_NEAR((*pa)[1], 1.0, kTol);
+  EXPECT_NEAR((*pa)[0], 0.0, kTol);
+  EXPECT_NEAR((*pa)[2], 0.0, kTol);
+}
+
+TEST(EstimateAttackProbabilities, NoiseSpreadsProbabilityMass) {
+  flow::Network net;
+  const auto h = net.add_hub("H");
+  net.add_supply("g1", h, 60.0, 20.0);
+  net.add_supply("g2", h, 60.0, 21.0);  // near-symmetric competitors
+  net.add_demand("load", h, 80.0, 50.0);
+  cps::Ownership own({0, 1, 2}, 3);
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  Rng rng(11);
+  cps::NoiseSpec noise;
+  noise.sigma = 0.4;
+  auto pa = estimate_attack_probabilities(net, own, adv, noise, 40, rng);
+  ASSERT_TRUE(pa.is_ok());
+  double total = std::accumulate(pa->begin(), pa->end(), 0.0);
+  EXPECT_GT(total, 0.5);  // attacks happen in most samples
+  // Mass is spread: no single target should own every sample.
+  for (double v : *pa) EXPECT_LT(v, 1.0);
+}
+
+}  // namespace
+}  // namespace gridsec::core

@@ -1,0 +1,98 @@
+// Tests for the Gulf-Coast scenario, including cross-topology checks that
+// the paper's qualitative results are not western-US artifacts.
+#include "gridsec/sim/gulf_coast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/sim/experiments.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+TEST(GulfCoast, StructureAsDocumented) {
+  auto m = build_gulf_coast();
+  EXPECT_EQ(m.states.size(), 4u);
+  int hubs = 0;
+  for (const auto& n : m.network.nodes()) {
+    if (n.kind == flow::NodeKind::kHub) ++hubs;
+  }
+  EXPECT_EQ(hubs, 8);
+  EXPECT_EQ(m.long_haul.size(), 10u);
+  EXPECT_EQ(m.converters.size(), 4u);
+}
+
+TEST(GulfCoast, ValidatesAndSolves) {
+  auto m = build_gulf_coast();
+  const Status st = m.network.validate();
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_GT(sol.welfare, 0.0);
+}
+
+TEST(GulfCoast, GasDependencyTighterThanWesternUs) {
+  // The Gulf fleet is gas-heavy: the share of electricity produced through
+  // converters must exceed the western model's.
+  const auto share = [](const WesternUsModel& m) {
+    auto sol = flow::solve_social_welfare(m.network);
+    EXPECT_TRUE(sol.optimal());
+    double conv = 0.0, demand = 0.0;
+    for (flow::EdgeId e : m.converters) {
+      conv += sol.flow[static_cast<std::size_t>(e)];
+    }
+    for (int e = 0; e < m.network.num_edges(); ++e) {
+      const auto& edge = m.network.edge(e);
+      if (edge.kind == flow::EdgeKind::kDemand &&
+          edge.name.find(".elec.") != std::string::npos) {
+        demand += sol.flow[static_cast<std::size_t>(e)];
+      }
+    }
+    return conv / demand;
+  };
+  EXPECT_GT(share(build_gulf_coast()), share(build_western_us()));
+}
+
+TEST(GulfCoast, GasFieldOutagePropagatesHard) {
+  auto m = build_gulf_coast();
+  auto base = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(base.optimal());
+  auto tx = m.network.find_edge("TX.gas.prod");
+  ASSERT_TRUE(tx.is_ok());
+  flow::Network hit = m.network;
+  hit.set_capacity(tx.value(), 0.0);
+  auto after = flow::solve_social_welfare(hit);
+  ASSERT_TRUE(after.optimal());
+  // Losing the Permian proxy must cost a sizeable share of total welfare.
+  EXPECT_LT(after.welfare, 0.9 * base.welfare);
+}
+
+TEST(GulfCoast, Figure2ShapeHolds) {
+  // The Exp-1 result generalizes: gains grow with actor count, and
+  // gain+loss is ownership-invariant.
+  auto m = build_gulf_coast();
+  ExperimentOptions opt;
+  opt.trials = 5;
+  opt.seed = 42;
+  auto points = experiment_gain_loss(m.network, {1, 4, 12}, opt);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_NEAR(points[0].mean_gain, 0.0, 1e-6);
+  EXPECT_GT(points[1].mean_gain, points[0].mean_gain);
+  EXPECT_GT(points[2].mean_gain, points[1].mean_gain);
+  EXPECT_NEAR(points[1].mean_net, points[0].mean_net, 1e-5);
+  EXPECT_NEAR(points[2].mean_net, points[0].mean_net, 1e-5);
+}
+
+TEST(GulfCoast, ExportsCompeteWithLocalUse) {
+  // Export demand must carry flow at the optimum (the netback price is
+  // attractive for the gas-rich region).
+  auto m = build_gulf_coast();
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  auto exp = m.network.find_edge("TX.gas.export");
+  ASSERT_TRUE(exp.is_ok());
+  EXPECT_GT(sol.flow[static_cast<std::size_t>(exp.value())], 0.0);
+}
+
+}  // namespace
+}  // namespace gridsec::sim

@@ -1,0 +1,218 @@
+// Tests for the impact matrix IM[a,t].
+#include "gridsec/cps/impact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace gridsec::cps {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+// Two competing generators into one load: knocking out the cheap one makes
+// the expensive one the sole (marginal) supplier — classic competitor
+// elimination.
+flow::Network duopoly() {
+  flow::Network net;
+  const auto h = net.add_hub("H");
+  net.add_supply("cheap", h, 60.0, 10.0);  // edge 0
+  net.add_supply("dear", h, 100.0, 30.0);  // edge 1
+  net.add_demand("load", h, 80.0, 50.0);   // edge 2
+  return net;
+}
+
+TEST(Impact, CompetitorEliminationCreatesWinnersAndLosers) {
+  flow::Network net = duopoly();
+  // Actor 0: cheap gen. Actor 1: dear gen. Actor 2: the consumer side.
+  Ownership own({0, 1, 2}, 3);
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  const ImpactMatrix& im = res->matrix;
+
+  // Base: LMP = 30 (dear marginal). cheap profit (30-10)*60 = 1200;
+  // dear profit 0; consumer (50-30)*80 = 1600. Welfare = 2800.
+  EXPECT_NEAR(res->base_actor_profit[0], 1200.0, kTol);
+  EXPECT_NEAR(res->base_actor_profit[1], 0.0, kTol);
+  EXPECT_NEAR(res->base_actor_profit[2], 1600.0, kTol);
+
+  // Attack target 0 (cheap gen outage): dear serves all 80 at LMP 50
+  // (scarce? no - dear has 100 > 80, so LMP stays 30... wait: with only
+  // dear, the marginal unit is still dear at cost 30 -> LMP 30, consumer
+  // keeps (50-30)*80, dear still earns 0, cheap loses its 1200.
+  EXPECT_NEAR(im.at(0, 0), -1200.0, kTol);
+  EXPECT_NEAR(im.at(1, 0), 0.0, kTol);
+  EXPECT_NEAR(im.at(2, 0), 0.0, kTol);
+
+  // Attack target 1 (dear gen outage): cheap (60 cap) becomes scarce for
+  // the 80-demand -> LMP rises to consumer price 50. cheap earns
+  // (50-10)*60 = 2400 (gains 1200); consumer surplus drops to 0 (-1600).
+  EXPECT_NEAR(im.at(0, 1), 1200.0, kTol);
+  EXPECT_NEAR(im.at(2, 1), -1600.0, kTol);
+
+  // System impact is never positive.
+  for (int t = 0; t < im.num_targets(); ++t) {
+    EXPECT_LE(im.system_impact(t), kTol);
+  }
+}
+
+TEST(Impact, GainAndLossSummaries) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1, 2}, 3);
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  const ImpactMatrix& im = res->matrix;
+  EXPECT_NEAR(im.total_gain(1), 1200.0, kTol);
+  EXPECT_NEAR(im.total_loss(1), -1600.0, kTol);
+  EXPECT_GE(im.aggregate_gain(), 0.0);
+  EXPECT_LE(im.aggregate_loss(), 0.0);
+  // Zero-sum-with-deadweight: gains never exceed losses in magnitude.
+  EXPECT_LE(im.aggregate_gain(), -im.aggregate_loss() + kTol);
+}
+
+TEST(Impact, MonolithicOwnerNeverGains) {
+  // With one actor owning everything, every attack is a pure self-loss:
+  // the paper's premise for why multi-actor analysis matters.
+  flow::Network net = duopoly();
+  auto own = Ownership::monolithic(net.num_edges());
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  for (int t = 0; t < res->matrix.num_targets(); ++t) {
+    EXPECT_LE(res->matrix.at(0, t), kTol) << "target " << t;
+    // Single actor's impact equals the system impact.
+    EXPECT_NEAR(res->matrix.at(0, t), res->matrix.system_impact(t), kTol);
+  }
+}
+
+TEST(Impact, ActorImpactsSumToSystemImpact) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1, 2}, 3);
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  for (int t = 0; t < res->matrix.num_targets(); ++t) {
+    double sum = 0.0;
+    for (int a = 0; a < res->matrix.num_actors(); ++a) {
+      sum += res->matrix.at(a, t);
+    }
+    EXPECT_NEAR(sum, res->matrix.system_impact(t), kTol) << "target " << t;
+  }
+}
+
+TEST(Impact, AttackOnUnusedEdgeIsHarmless) {
+  flow::Network net = duopoly();
+  // Add an idle backup generator that never runs (too expensive).
+  const auto h = 0;  // hub H is node 0
+  net.add_supply("idle", h, 50.0, 500.0);  // edge 3
+  Ownership own({0, 1, 2, 3}, 4);
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_NEAR(res->matrix.at(a, 3), 0.0, kTol);
+  }
+  EXPECT_NEAR(res->matrix.system_impact(3), 0.0, kTol);
+}
+
+TEST(Impact, PartialCapacityAttackScalesImpact) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1, 2}, 3);
+  ImpactOptions half;
+  half.attack_type = AttackType::kCapacityScale;
+  half.attack_magnitude = 0.5;
+  auto full = compute_impact_matrix(net, own);
+  auto part = compute_impact_matrix(net, own, half);
+  ASSERT_TRUE(full.is_ok());
+  ASSERT_TRUE(part.is_ok());
+  // Halving the cheap generator hurts its owner less than a full outage.
+  EXPECT_GT(part->matrix.at(0, 0), full->matrix.at(0, 0));
+  EXPECT_LE(part->matrix.at(0, 0), 0.0 + kTol);
+}
+
+TEST(Impact, MismatchedOwnershipRejected) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1}, 2);  // only 2 entries for 3 edges
+  auto res = compute_impact_matrix(net, own);
+  EXPECT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Impact, SkipUnusedTargetsIsExact) {
+  // The idle backup generator's column must be zero either way; every
+  // other column must match the full computation exactly.
+  flow::Network net = duopoly();
+  net.add_supply("idle", 0, 50.0, 500.0);
+  Ownership own({0, 1, 2, 3}, 4);
+  ImpactOptions full;
+  full.skip_unused_targets = false;
+  ImpactOptions fast;
+  fast.skip_unused_targets = true;
+  auto a = compute_impact_matrix(net, own, full);
+  auto b = compute_impact_matrix(net, own, fast);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  for (int actor = 0; actor < 4; ++actor) {
+    for (int t = 0; t < net.num_edges(); ++t) {
+      EXPECT_NEAR(a->matrix.at(actor, t), b->matrix.at(actor, t), 1e-9)
+          << "actor " << actor << " target " << t;
+    }
+  }
+  for (int t = 0; t < net.num_edges(); ++t) {
+    EXPECT_NEAR(a->matrix.system_impact(t), b->matrix.system_impact(t),
+                1e-9);
+  }
+}
+
+TEST(Impact, SkipDisabledForNonCapacityAttacks) {
+  // A cost attack on an idle edge *can* matter (it could start flowing if
+  // the shift is negative); the skip must not apply.
+  flow::Network net = duopoly();
+  net.add_supply("idle", 0, 50.0, 500.0);  // edge 3, idle at base
+  Ownership own({0, 1, 2, 3}, 4);
+  ImpactOptions opt;
+  opt.attack_type = AttackType::kCostShift;
+  opt.attack_magnitude = -495.0;  // idle becomes the cheapest source
+  auto res = compute_impact_matrix(net, own, opt);
+  ASSERT_TRUE(res.is_ok());
+  // The idle generator's column is now nonzero somewhere.
+  double col = 0.0;
+  for (int a = 0; a < 4; ++a) col += std::abs(res->matrix.at(a, 3));
+  EXPECT_GT(col, 1.0);
+}
+
+TEST(Impact, CsvExportWellFormed) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1, 2}, 3);
+  auto res = compute_impact_matrix(net, own);
+  ASSERT_TRUE(res.is_ok());
+  std::ostringstream ss;
+  write_impact_csv(ss, res->matrix, net);
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("target,system,actor0,actor1,actor2"),
+            std::string::npos);
+  EXPECT_NE(csv.find("cheap,"), std::string::npos);
+  // One header + one row per target.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')),
+            net.num_edges() + 1);
+}
+
+TEST(Impact, PerturbationAllocatorAgreesOnDuopoly) {
+  flow::Network net = duopoly();
+  Ownership own({0, 1, 2}, 3);
+  ImpactOptions opt;
+  opt.allocation.kind = flow::AllocatorKind::kPerturbation;
+  auto lmp = compute_impact_matrix(net, own);
+  auto pert = compute_impact_matrix(net, own, opt);
+  ASSERT_TRUE(lmp.is_ok());
+  ASSERT_TRUE(pert.is_ok());
+  for (int a = 0; a < 3; ++a) {
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_NEAR(lmp->matrix.at(a, t), pert->matrix.at(a, t), 1.0)
+          << "a=" << a << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridsec::cps

@@ -1,0 +1,120 @@
+// Tests for network text serialization.
+#include "gridsec/flow/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::flow {
+namespace {
+
+Network sample() {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen", a, 100.0, 20.0);
+  net.add_edge("line", EdgeKind::kTransmission, a, b, 80.0, 2.0, 0.05);
+  net.add_edge("ccgt", EdgeKind::kConversion, b, a, 30.0, 4.0, 0.5);
+  net.add_demand("load", b, 60.0, 50.0, 0.01);
+  return net;
+}
+
+TEST(NetworkIo, RoundTripPreservesStructure) {
+  const Network net = sample();
+  auto parsed = parse_network_text(to_text(net));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Network& back = parsed->network;
+  ASSERT_EQ(back.num_edges(), net.num_edges());
+  for (int e = 0; e < net.num_edges(); ++e) {
+    EXPECT_EQ(back.edge(e).name, net.edge(e).name);
+    EXPECT_EQ(back.edge(e).kind, net.edge(e).kind);
+    EXPECT_DOUBLE_EQ(back.edge(e).capacity, net.edge(e).capacity);
+    EXPECT_DOUBLE_EQ(back.edge(e).cost, net.edge(e).cost);
+    EXPECT_DOUBLE_EQ(back.edge(e).loss, net.edge(e).loss);
+  }
+}
+
+TEST(NetworkIo, RoundTripPreservesEconomics) {
+  const Network net = sample();
+  auto parsed = parse_network_text(to_text(net));
+  ASSERT_TRUE(parsed.is_ok());
+  auto a = solve_social_welfare(net);
+  auto b = solve_social_welfare(parsed->network);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.welfare, b.welfare, 1e-9);
+}
+
+TEST(NetworkIo, OwnersRoundTrip) {
+  const Network net = sample();
+  std::vector<int> owners{0, 1, 2, 1};
+  auto parsed = parse_network_text(to_text(net, owners));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->owners, owners);
+}
+
+TEST(NetworkIo, WesternUsRoundTrips) {
+  auto m = sim::build_western_us();
+  auto parsed = parse_network_text(to_text(m.network));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  auto a = solve_social_welfare(m.network);
+  auto b = solve_social_welfare(parsed->network);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.welfare, b.welfare, 1e-6);
+}
+
+TEST(NetworkIo, CommentsAndBlankLinesIgnored) {
+  const char* text = R"(
+# a comment
+hub A   # trailing comment
+
+supply gen A 10 5
+demand load A 8 20
+)";
+  auto parsed = parse_network_text(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->network.num_edges(), 2);
+}
+
+TEST(NetworkIo, ErrorsCarryLineNumbers) {
+  auto bad = parse_network_text("hub A\nsupply gen NOPE 10 5\n");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("NOPE"), std::string::npos);
+}
+
+TEST(NetworkIo, RejectsMalformedDeclarations) {
+  EXPECT_FALSE(parse_network_text("frobnicate x\n").is_ok());
+  EXPECT_FALSE(parse_network_text("hub\n").is_ok());
+  EXPECT_FALSE(parse_network_text("hub A\nsupply g A -5 1\n").is_ok());
+  EXPECT_FALSE(parse_network_text("hub A\nhub A\n").is_ok());
+  EXPECT_FALSE(
+      parse_network_text("hub A\nhub B\nedge e A B 10 1 1.5\n").is_ok());
+  EXPECT_FALSE(parse_network_text("hub A\nedge e A A 10 1\n").is_ok());
+}
+
+TEST(NetworkIo, OwnerForUnknownEdgeRejected) {
+  auto bad = parse_network_text("hub A\nsupply g A 5 1\nowner nope 0\n");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.status().message().find("nope"), std::string::npos);
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  const Network net = sample();
+  const std::string path = ::testing::TempDir() + "/gridsec_io_test.net";
+  ASSERT_TRUE(write_network_file(path, net).is_ok());
+  auto parsed = read_network_file(path);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->network.num_edges(), net.num_edges());
+}
+
+TEST(NetworkIo, MissingFileIsNotFound) {
+  auto missing = read_network_file("/nonexistent/gridsec.net");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gridsec::flow

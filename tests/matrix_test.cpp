@@ -1,0 +1,134 @@
+// Tests for the dense matrix and linear-system solver.
+#include "gridsec/util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsec {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, Identity) {
+  auto id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RowOperations) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  m.swap_rows(0, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  m.add_scaled_row(1, 0, 2.0);  // row1 += 2*row0 = (1,2)+(6,8)
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 10.0);
+  m.scale_row(0, 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatrixMultiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  auto c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatrixVectorMultiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  std::vector<double> x{1.0, -1.0};
+  auto y = a * std::span<const double>(x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, IdentityTimesMatrixIsSame) {
+  Matrix m{{2.0, -1.0}, {0.5, 3.0}};
+  EXPECT_EQ(Matrix::identity(2) * m, m);
+}
+
+TEST(SolveLinear, SimpleSystem) {
+  // x + 2y = 5; 3x - y = 1 -> x=1, y=2.
+  Matrix a{{1.0, 2.0}, {3.0, -1.0}};
+  auto sol = solve_linear_system(a, {5.0, 1.0});
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol.value()[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero on diagonal forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  auto sol = solve_linear_system(a, {3.0, 4.0});
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value()[0], 4.0, 1e-12);
+  EXPECT_NEAR(sol.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularDetected) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  auto sol = solve_linear_system(a, {1.0, 2.0});
+  EXPECT_FALSE(sol.is_ok());
+  EXPECT_EQ(sol.status().code(), ErrorCode::kInternal);
+}
+
+TEST(SolveLinear, ShapeMismatchRejected) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  auto sol = solve_linear_system(a, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(sol.is_ok());
+  EXPECT_EQ(sol.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SolveLinear, LargerWellConditionedSystem) {
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = static_cast<double>(i) - 5.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = (i == j) ? 10.0 : 1.0 / static_cast<double>(1 + i + j);
+    }
+  }
+  std::vector<double> b = a * std::span<const double>(x_true);
+  auto sol = solve_linear_system(a, b);
+  ASSERT_TRUE(sol.is_ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sol.value()[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Dot, Basic) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+}  // namespace
+}  // namespace gridsec

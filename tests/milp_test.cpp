@@ -1,0 +1,273 @@
+// Unit tests for the branch-and-bound MILP solver.
+#include "gridsec/lp/milp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Milp, PureLpPassesThrough) {
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, 4.0, 3.0);
+  p.add_constraint("c", LinearExpr().add(x, 1.0), Sense::kLessEqual, 2.5);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.5, kTol);
+}
+
+TEST(Milp, SimpleKnapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 -> {a, c} = 17? vs {b,c}=20 w=6.
+  Problem p(Objective::kMaximize);
+  int a = p.add_binary("a", 10.0);
+  int b = p.add_binary("b", 13.0);
+  int c = p.add_binary("c", 7.0);
+  p.add_constraint(
+      "w", LinearExpr().add(a, 3.0).add(b, 4.0).add(c, 2.0),
+      Sense::kLessEqual, 6.0);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 20.0, kTol);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(b)], 1.0, kTol);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(c)], 1.0, kTol);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(a)], 0.0, kTol);
+}
+
+TEST(Milp, IntegralityChangesOptimum) {
+  // LP relaxation would take fractional x = 2.5; MILP must choose 2.
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, 10.0, 1.0, VarType::kInteger);
+  p.add_constraint("c", LinearExpr().add(x, 2.0), Sense::kLessEqual, 5.0);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, kTol);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 2x = 3 has no integer solution for x in [0, 5].
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 5.0, 1.0, VarType::kInteger);
+  p.add_constraint("odd", LinearExpr().add(x, 2.0), Sense::kEqual, 3.0);
+  auto sol = solve_milp(p);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Milp, EqualityCoupledBinaries) {
+  // Exactly two of four binaries, maximize weights.
+  Problem p(Objective::kMaximize);
+  std::vector<int> v;
+  const double w[4] = {4.0, 1.0, 3.0, 2.0};
+  LinearExpr sum;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(p.add_binary("b", w[i]));
+    sum.add(v.back(), 1.0);
+  }
+  p.add_constraint("pick2", std::move(sum), Sense::kEqual, 2.0);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, kTol);  // picks weights 4 and 3
+}
+
+TEST(Milp, McCormickProductLinearization) {
+  // y = a AND b via y <= a, y <= b, y >= a + b - 1. Maximizing y forces
+  // both a and b on when y is profitable.
+  Problem p(Objective::kMaximize);
+  int a = p.add_binary("a", -1.0);  // small cost to activate
+  int b = p.add_binary("b", -1.0);
+  int y = p.add_variable("y", 0.0, 1.0, 5.0);
+  p.add_constraint("y_le_a", LinearExpr().add(y, 1.0).add(a, -1.0),
+                   Sense::kLessEqual, 0.0);
+  p.add_constraint("y_le_b", LinearExpr().add(y, 1.0).add(b, -1.0),
+                   Sense::kLessEqual, 0.0);
+  p.add_constraint("y_ge", LinearExpr().add(y, 1.0).add(a, -1.0).add(b, -1.0),
+                   Sense::kGreaterEqual, -1.0);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, kTol);  // 5 - 1 - 1
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 1.0, kTol);
+}
+
+TEST(Milp, MixedContinuousAndBinary) {
+  // Facility-style: open (cost 10) to allow flow up to 8 worth 3/unit.
+  Problem p(Objective::kMaximize);
+  int open = p.add_binary("open", -10.0);
+  int flow = p.add_variable("flow", 0.0, 8.0, 3.0);
+  p.add_constraint("link", LinearExpr().add(flow, 1.0).add(open, -8.0),
+                   Sense::kLessEqual, 0.0);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 14.0, kTol);  // 24 - 10
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(open)], 1.0, kTol);
+}
+
+TEST(Milp, NodeBudgetReportsIterationLimit) {
+  BranchAndBoundOptions opts;
+  opts.max_nodes = 1;
+  BranchAndBoundSolver solver(opts);
+  Problem p(Objective::kMaximize);
+  LinearExpr sum;
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    int b = p.add_binary("b", rng.uniform(1.0, 2.0));
+    sum.add(b, rng.uniform(1.0, 2.0));
+  }
+  p.add_constraint("w", std::move(sum), Sense::kLessEqual, 8.0);
+  auto sol = solver.solve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kIterationLimit);
+}
+
+TEST(Milp, PresolveOptionMatchesPlain) {
+  BranchAndBoundOptions opts;
+  opts.use_presolve = true;
+  BranchAndBoundSolver with_presolve(opts);
+  Problem p(Objective::kMaximize);
+  int fixed = p.add_variable("fixed", 2.0, 2.0, 1.0);  // presolve removes
+  int a = p.add_binary("a", 10.0);
+  int b = p.add_binary("b", 13.0);
+  p.add_constraint("w", LinearExpr().add(a, 3.0).add(b, 4.0).add(fixed, 1.0),
+                   Sense::kLessEqual, 8.0);
+  auto plain = solve_milp(p);
+  auto pre = with_presolve.solve(p);
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(plain.objective, pre.objective, 1e-6);
+  EXPECT_NEAR(pre.x[static_cast<std::size_t>(fixed)], 2.0, 1e-9);
+}
+
+TEST(Milp, PresolveDetectsInfeasibleBeforeSearch) {
+  BranchAndBoundOptions opts;
+  opts.use_presolve = true;
+  BranchAndBoundSolver solver(opts);
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 1.0, 1.0, VarType::kInteger);
+  p.add_constraint("hi", LinearExpr().add(x, 1.0), Sense::kGreaterEqual, 3.0);
+  auto sol = solver.solve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Milp, PresolveFractionalIntegerFixingFallsBack) {
+  // The singleton row fixes the integer x at 2.5; presolve must not emit
+  // that as a solution — the plain search proves infeasibility.
+  BranchAndBoundOptions opts;
+  opts.use_presolve = true;
+  BranchAndBoundSolver solver(opts);
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 5.0, 1.0, VarType::kInteger);
+  p.add_constraint("half", LinearExpr().add(x, 2.0), Sense::kEqual, 5.0);
+  auto sol = solver.solve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Milp, DivingDisabledStillOptimal) {
+  BranchAndBoundOptions opts;
+  opts.diving_heuristic = false;
+  BranchAndBoundSolver solver(opts);
+  Problem p(Objective::kMaximize);
+  int a = p.add_binary("a", 10.0);
+  int b = p.add_binary("b", 13.0);
+  int c = p.add_binary("c", 7.0);
+  p.add_constraint("w", LinearExpr().add(a, 3.0).add(b, 4.0).add(c, 2.0),
+                   Sense::kLessEqual, 6.0);
+  auto sol = solver.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 20.0, 1e-6);
+}
+
+TEST(Milp, DivingSeedsIncumbentUnderTinyNodeBudget) {
+  // With one node the search proves nothing, but the dive alone can find a
+  // feasible (if suboptimal) plan: the incumbent survives with
+  // kIterationLimit status.
+  BranchAndBoundOptions opts;
+  opts.max_nodes = 1;
+  BranchAndBoundSolver solver(opts);
+  Problem p(Objective::kMaximize);
+  LinearExpr sum;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    sum.add(p.add_binary("b", rng.uniform(1.0, 2.0)), rng.uniform(1.0, 2.0));
+  }
+  p.add_constraint("w", std::move(sum), Sense::kLessEqual, 7.0);
+  auto sol = solver.solve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kIterationLimit);
+  EXPECT_FALSE(sol.x.empty());  // the dive's incumbent is reported
+  EXPECT_TRUE(p.is_feasible(sol.x, 1e-6));
+}
+
+TEST(Milp, FixedIntegerDualsRecovered) {
+  // Facility problem: after fixing open=1, the LP duals price the linking
+  // constraint like any continuous model.
+  Problem p(Objective::kMaximize);
+  int open = p.add_binary("open", -10.0);
+  // Loose variable bound so the linking row is the unique binder (avoids a
+  // degenerate dual split between the row and the bound).
+  int flow = p.add_variable("flow", 0.0, 20.0, 3.0);
+  p.add_constraint("link", LinearExpr().add(flow, 1.0).add(open, -8.0),
+                   Sense::kLessEqual, 0.0);
+  auto plain = solve_milp(p);
+  auto with_duals = solve_milp_with_duals(p);
+  ASSERT_EQ(with_duals.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(with_duals.objective, plain.objective, 1e-6);
+  ASSERT_EQ(with_duals.duals.size(), 1u);
+  // With open fixed at 1, the link row is flow <= 8, binding with dual 3.
+  EXPECT_NEAR(with_duals.duals[0], 3.0, 1e-6);
+  EXPECT_TRUE(plain.duals.empty());  // the plain MILP clears duals
+}
+
+TEST(Milp, FixedIntegerDualsInfeasiblePassesThrough) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 1.0, 1.0, VarType::kInteger);
+  p.add_constraint("odd", LinearExpr().add(x, 2.0), Sense::kEqual, 3.0);
+  auto sol = solve_milp_with_duals(p);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+// Brute-force cross-check: random binary knapsacks with <= 12 items,
+// B&B must match exhaustive enumeration exactly.
+class MilpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpVsBruteForce, MatchesEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  const int n = 4 + static_cast<int>(rng.uniform_index(9));
+  std::vector<double> value(static_cast<std::size_t>(n));
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    value[static_cast<std::size_t>(i)] = rng.uniform(-5.0, 10.0);
+    weight[static_cast<std::size_t>(i)] = rng.uniform(0.5, 5.0);
+  }
+  const double budget = rng.uniform(2.0, 12.0);
+
+  Problem p(Objective::kMaximize);
+  LinearExpr wsum;
+  for (int i = 0; i < n; ++i) {
+    int b = p.add_binary("b", value[static_cast<std::size_t>(i)]);
+    wsum.add(b, weight[static_cast<std::size_t>(i)]);
+  }
+  p.add_constraint("budget", std::move(wsum), Sense::kLessEqual, budget);
+  auto sol = solve_milp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+
+  double best = 0.0;  // empty set always feasible
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        v += value[static_cast<std::size_t>(i)];
+        w += weight[static_cast<std::size_t>(i)];
+      }
+    }
+    if (w <= budget + 1e-9) best = std::max(best, v);
+  }
+  EXPECT_NEAR(sol.objective, best, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpVsBruteForce, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace gridsec::lp

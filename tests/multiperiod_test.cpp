@@ -1,0 +1,142 @@
+// Tests for the time-domain extension (§II-D5).
+#include "gridsec/flow/multiperiod.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/sim/scenario.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::flow {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+Network simple_market() {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 20.0);   // edge 0
+  net.add_demand("load", h, 60.0, 50.0);   // edge 1
+  return net;
+}
+
+TEST(MultiPeriod, SinglePeriodMatchesSocialWelfare) {
+  Network net = simple_market();
+  const PeriodSpec one[] = {{"only", 1.0, 1.0, 1.0}};
+  auto mp = solve_multi_period(net, one);
+  auto sw = solve_social_welfare(net);
+  ASSERT_TRUE(mp.optimal());
+  ASSERT_TRUE(sw.optimal());
+  EXPECT_NEAR(mp.total_welfare, sw.welfare, kTol);
+}
+
+TEST(MultiPeriod, DurationWeightsWelfare) {
+  Network net = simple_market();
+  const PeriodSpec hours[] = {{"h", 5.0, 1.0, 1.0}};
+  auto mp = solve_multi_period(net, hours);
+  ASSERT_TRUE(mp.optimal());
+  // Welfare per hour = (50-20)*60 = 1800; over 5 hours = 9000.
+  EXPECT_NEAR(mp.total_welfare, 9000.0, kTol);
+}
+
+TEST(MultiPeriod, DemandScalingPerPeriod) {
+  Network net = simple_market();
+  const PeriodSpec periods[] = {{"night", 1.0, 0.5, 1.0},
+                                {"peak", 1.0, 1.0, 1.0}};
+  auto mp = solve_multi_period(net, periods);
+  ASSERT_TRUE(mp.optimal());
+  EXPECT_NEAR(mp.period_flow[0][1], 30.0, kTol);  // half demand at night
+  EXPECT_NEAR(mp.period_flow[1][1], 60.0, kTol);
+  EXPECT_NEAR(mp.total_welfare, 30.0 * 30.0 + 30.0 * 60.0, kTol);
+}
+
+TEST(MultiPeriod, PeriodWelfareSumsToTotal) {
+  Network net = simple_market();
+  auto periods = daily_periods();
+  auto mp = solve_multi_period(net, periods);
+  ASSERT_TRUE(mp.optimal());
+  double sum = 0.0;
+  for (double w : mp.period_welfare) sum += w;
+  EXPECT_NEAR(sum, mp.total_welfare, kTol);
+}
+
+TEST(MultiPeriod, RampConstraintLimitsSwing) {
+  // Demand swings 10 -> 100 but the generator may only ramp 20% of its
+  // 100 capacity between periods: second-period output <= 10 + 20 = 30.
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 1.0);    // edge 0
+  net.add_demand("load", h, 100.0, 50.0);  // edge 1
+  const PeriodSpec periods[] = {{"low", 1.0, 0.1, 1.0},
+                                {"high", 1.0, 1.0, 1.0}};
+  RampSpec ramp;
+  ramp.limit_fraction = 0.2;
+  auto mp = solve_multi_period(net, periods, ramp);
+  ASSERT_TRUE(mp.optimal());
+  EXPECT_NEAR(mp.period_flow[0][0], 10.0, kTol);
+  EXPECT_NEAR(mp.period_flow[1][0], 30.0, kTol);
+  // Without the ramp limit the high period would serve all 100.
+  auto unlimited = solve_multi_period(net, periods);
+  ASSERT_TRUE(unlimited.optimal());
+  EXPECT_NEAR(unlimited.period_flow[1][0], 100.0, kTol);
+  EXPECT_GT(unlimited.total_welfare, mp.total_welfare);
+}
+
+TEST(MultiPeriod, RampCanMakeEarlyRunningWorthwhile) {
+  // With a binding ramp, the optimum may *over-produce* early (relative to
+  // myopic dispatch) to be allowed a high output later. Expensive gen, low
+  // first-period demand value, high second-period value.
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 30.0);
+  net.add_demand("load", h, 100.0, 35.0);
+  const PeriodSpec periods[] = {{"early", 1.0, 0.0, 1.0},  // no demand
+                                {"late", 1.0, 1.0, 1.0}};
+  RampSpec ramp;
+  ramp.limit_fraction = 0.4;
+  auto mp = solve_multi_period(net, periods, ramp);
+  ASSERT_TRUE(mp.optimal());
+  // Early demand is zero, so early output is zero regardless; late output
+  // is then capped at 40 by the ramp.
+  EXPECT_NEAR(mp.period_flow[0][0], 0.0, kTol);
+  EXPECT_NEAR(mp.period_flow[1][0], 40.0, kTol);
+}
+
+TEST(MultiPeriod, WesternUsDailyHorizonSolves) {
+  auto m = sim::build_western_us();
+  auto periods = daily_periods();
+  RampSpec ramp;
+  ramp.limit_fraction = 0.5;
+  auto mp = solve_multi_period(m.network, periods, ramp);
+  ASSERT_TRUE(mp.optimal());
+  EXPECT_GT(mp.total_welfare, 0.0);
+  EXPECT_EQ(mp.period_flow.size(), 4u);
+}
+
+TEST(MultiPeriod, AttackImpactAcrossHorizon) {
+  // An outage persisting over the horizon costs the duration-weighted sum
+  // of the per-period losses.
+  Network net = simple_market();
+  auto periods = daily_periods();
+  auto base = solve_multi_period(net, periods);
+  ASSERT_TRUE(base.optimal());
+  Network hit = net;
+  hit.set_capacity(0, 0.0);  // generator outage
+  auto after = solve_multi_period(hit, periods);
+  ASSERT_TRUE(after.optimal());
+  EXPECT_NEAR(after.total_welfare, 0.0, kTol);
+  EXPECT_LT(after.total_welfare, base.total_welfare);
+}
+
+TEST(MultiPeriod, SupplyScaleModelsAvailability) {
+  // Solar-style: supply halves at night.
+  Network net = simple_market();
+  const PeriodSpec periods[] = {{"night", 1.0, 1.0, 0.3},
+                                {"day", 1.0, 1.0, 1.0}};
+  auto mp = solve_multi_period(net, periods);
+  ASSERT_TRUE(mp.optimal());
+  EXPECT_NEAR(mp.period_flow[0][0], 30.0, kTol);  // capped at 30% of 100
+  EXPECT_NEAR(mp.period_flow[1][0], 60.0, kTol);  // demand-bound
+}
+
+}  // namespace
+}  // namespace gridsec::flow

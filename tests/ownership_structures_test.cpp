@@ -1,0 +1,104 @@
+// Tests for structured ownership models.
+#include "gridsec/sim/ownership_structures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/cps/impact.hpp"
+#include "gridsec/sim/gulf_coast.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+TEST(OwnershipByState, OneActorPerState) {
+  auto m = build_western_us();
+  auto own = ownership_by_state(m);
+  EXPECT_EQ(own.num_actors(), 6);
+  EXPECT_EQ(own.active_actors(), 6);
+  EXPECT_EQ(own.num_assets(), m.network.num_edges());
+}
+
+TEST(OwnershipByState, InStateAssetsBelongToTheState) {
+  auto m = build_western_us();
+  auto own = ownership_by_state(m);
+  // CA is state index 2 in the table; its converter belongs to actor 2.
+  auto conv = m.network.find_edge("CA.gas2elec");
+  ASSERT_TRUE(conv.is_ok());
+  EXPECT_EQ(own.owner(conv.value()), 2);
+  auto load = m.network.find_edge("CA.elec.load");
+  ASSERT_TRUE(load.is_ok());
+  EXPECT_EQ(own.owner(load.value()), 2);
+}
+
+TEST(OwnershipByState, LongHaulBelongsToOrigin) {
+  auto m = build_western_us();
+  auto own = ownership_by_state(m);
+  auto pipe = m.network.find_edge("WA-OR.pipe");
+  ASSERT_TRUE(pipe.is_ok());
+  EXPECT_EQ(own.owner(pipe.value()), 0);  // WA is state 0
+}
+
+TEST(OwnershipBySector, ThreeSectorsCoverEverything) {
+  auto m = build_western_us();
+  auto own = ownership_by_sector(m);
+  EXPECT_EQ(own.num_actors(), 3);
+  EXPECT_EQ(own.active_actors(), 3);
+}
+
+TEST(OwnershipBySector, ClassificationSpotChecks) {
+  auto m = build_western_us();
+  auto own = ownership_by_sector(m);
+  auto gas_prod = m.network.find_edge("UT.gas.prod");
+  auto pipe = m.network.find_edge("WA-OR.pipe");
+  auto hydro = m.network.find_edge("WA.elec.hydro");
+  auto conv = m.network.find_edge("CA.gas2elec");
+  auto line = m.network.find_edge("OR-CA.line");
+  auto eload = m.network.find_edge("CA.elec.load");
+  ASSERT_TRUE(gas_prod.is_ok() && pipe.is_ok() && hydro.is_ok() &&
+              conv.is_ok() && line.is_ok() && eload.is_ok());
+  EXPECT_EQ(own.owner(gas_prod.value()), 0);
+  EXPECT_EQ(own.owner(pipe.value()), 0);
+  EXPECT_EQ(own.owner(hydro.value()), 1);
+  EXPECT_EQ(own.owner(conv.value()), 1);
+  EXPECT_EQ(own.owner(line.value()), 2);
+  EXPECT_EQ(own.owner(eload.value()), 2);
+}
+
+TEST(OwnershipConcentrated, FirstActorDominates) {
+  Rng rng(7);
+  auto own = ownership_concentrated(4000, 6, rng);
+  std::vector<int> counts(6, 0);
+  for (int e = 0; e < 4000; ++e) {
+    ++counts[static_cast<std::size_t>(own.owner(e))];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[5], 0);  // the fringe still owns something
+}
+
+TEST(OwnershipConcentrated, Reproducible) {
+  Rng a(9), b(9);
+  auto oa = ownership_concentrated(100, 4, a);
+  auto ob = ownership_concentrated(100, 4, b);
+  for (int e = 0; e < 100; ++e) EXPECT_EQ(oa.owner(e), ob.owner(e));
+}
+
+TEST(OwnershipStructures, WorkOnGulfCoastToo) {
+  auto m = build_gulf_coast();
+  auto by_state = ownership_by_state(m);
+  EXPECT_EQ(by_state.num_actors(), 4);
+  auto by_sector = ownership_by_sector(m);
+  EXPECT_EQ(by_sector.active_actors(), 3);
+}
+
+TEST(OwnershipStructures, ImpactPipelineAccepts) {
+  auto m = build_western_us();
+  for (const auto& own :
+       {ownership_by_state(m), ownership_by_sector(m)}) {
+    auto im = cps::compute_impact_matrix(m.network, own);
+    ASSERT_TRUE(im.is_ok());
+    EXPECT_GE(im->matrix.aggregate_gain(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gridsec::sim

@@ -1,0 +1,64 @@
+// Tests for the actor-ownership model.
+#include "gridsec/cps/ownership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsec::cps {
+namespace {
+
+TEST(Ownership, ExplicitAssignment) {
+  Ownership o({0, 1, 1, 2}, 3);
+  EXPECT_EQ(o.num_actors(), 3);
+  EXPECT_EQ(o.num_assets(), 4);
+  EXPECT_EQ(o.owner(0), 0);
+  EXPECT_EQ(o.owner(2), 1);
+}
+
+TEST(Ownership, AssetsOfActor) {
+  Ownership o({0, 1, 1, 2, 1}, 3);
+  EXPECT_EQ(o.assets_of(1), (std::vector<flow::EdgeId>{1, 2, 4}));
+  EXPECT_EQ(o.assets_of(0), (std::vector<flow::EdgeId>{0}));
+  EXPECT_TRUE(o.assets_of(2).size() == 1);
+}
+
+TEST(Ownership, MonolithicSingleActor) {
+  auto o = Ownership::monolithic(7);
+  EXPECT_EQ(o.num_actors(), 1);
+  EXPECT_EQ(o.num_assets(), 7);
+  for (int e = 0; e < 7; ++e) EXPECT_EQ(o.owner(e), 0);
+}
+
+TEST(Ownership, RandomIsReproducibleAndInRange) {
+  Rng a(5), b(5);
+  auto oa = Ownership::random(50, 4, a);
+  auto ob = Ownership::random(50, 4, b);
+  for (int e = 0; e < 50; ++e) {
+    EXPECT_EQ(oa.owner(e), ob.owner(e));
+    EXPECT_GE(oa.owner(e), 0);
+    EXPECT_LT(oa.owner(e), 4);
+  }
+}
+
+TEST(Ownership, RandomIsApproximatelyUniform) {
+  Rng rng(99);
+  auto o = Ownership::random(4000, 4, rng);
+  std::vector<int> counts(4, 0);
+  for (int e = 0; e < 4000; ++e) ++counts[static_cast<std::size_t>(o.owner(e))];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 120);  // ~4 sigma
+}
+
+TEST(Ownership, ActiveActorsCountsOnlyOwners) {
+  Ownership o({0, 0, 2}, 5);
+  EXPECT_EQ(o.active_actors(), 2);
+}
+
+TEST(Ownership, RandomWithMoreActorsThanAssets) {
+  Rng rng(3);
+  auto o = Ownership::random(3, 10, rng);
+  EXPECT_LE(o.active_actors(), 3);
+}
+
+}  // namespace
+}  // namespace gridsec::cps

@@ -1,0 +1,141 @@
+// Tests for the divide-and-conquer strategic adversary (§II-E4).
+#include "gridsec/core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(PartitionImpact, BlockDiagonalSplits) {
+  // Actors {0,1} interact with targets {0,1}; actor 2 with target 2.
+  cps::ImpactMatrix im(3, 3);
+  im.set(0, 0, 10.0);
+  im.set(1, 0, -5.0);
+  im.set(0, 1, -2.0);
+  im.set(2, 2, 7.0);
+  auto parts = partition_impact(im);
+  EXPECT_EQ(parts.num_components, 2);
+  EXPECT_EQ(parts.component_of_target[0], parts.component_of_target[1]);
+  EXPECT_NE(parts.component_of_target[0], parts.component_of_target[2]);
+  EXPECT_EQ(parts.component_of_actor[0], parts.component_of_actor[1]);
+  EXPECT_EQ(parts.component_of_actor[2], parts.component_of_target[2]);
+}
+
+TEST(PartitionImpact, ZeroColumnsAreIsolated) {
+  cps::ImpactMatrix im(2, 3);
+  im.set(0, 0, 1.0);
+  // target 1 touches nobody; target 2 touches actor 1.
+  im.set(1, 2, -1.0);
+  auto parts = partition_impact(im);
+  EXPECT_EQ(parts.component_of_target[1], -1);
+  EXPECT_EQ(parts.num_components, 2);
+}
+
+TEST(PartitionImpact, FullyCoupledIsOneComponent) {
+  cps::ImpactMatrix im(2, 2);
+  for (int a = 0; a < 2; ++a) {
+    for (int t = 0; t < 2; ++t) im.set(a, t, 1.0);
+  }
+  auto parts = partition_impact(im);
+  EXPECT_EQ(parts.num_components, 1);
+}
+
+TEST(PartitionImpact, MemberListsConsistent) {
+  cps::ImpactMatrix im(3, 4);
+  im.set(0, 0, 1.0);
+  im.set(1, 1, 1.0);
+  im.set(2, 2, 1.0);
+  im.set(2, 3, 1.0);
+  auto parts = partition_impact(im);
+  ASSERT_EQ(parts.num_components, 3);
+  int total_targets = 0;
+  for (int c = 0; c < parts.num_components; ++c) {
+    total_targets += static_cast<int>(parts.targets_in(c).size());
+    EXPECT_EQ(parts.actors_in(c).size(), 1u);
+  }
+  EXPECT_EQ(total_targets, 4);
+}
+
+TEST(PlanPartitioned, MatchesMonolithicOnBlockDiagonal) {
+  // Two independent 2x2 blocks with distinct values.
+  cps::ImpactMatrix im(4, 4);
+  im.set(0, 0, 50.0);
+  im.set(1, 0, -20.0);
+  im.set(0, 1, -10.0);
+  im.set(1, 1, 30.0);
+  im.set(2, 2, 40.0);
+  im.set(3, 2, -5.0);
+  im.set(2, 3, -15.0);
+  im.set(3, 3, 25.0);
+  AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  StrategicAdversary sa(cfg);
+  auto mono = sa.plan(im);
+  auto part = plan_partitioned(im, cfg);
+  ASSERT_TRUE(mono.optimal());
+  EXPECT_NEAR(part.anticipated_return, mono.anticipated_return, kTol);
+}
+
+class PartitionedVsMonolithic : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionedVsMonolithic, AgreeOnRandomBlockMatrices) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  // 2-4 independent blocks of 2x3 each.
+  const int blocks = 2 + static_cast<int>(rng.uniform_index(3));
+  const int na = blocks * 2;
+  const int nt = blocks * 3;
+  cps::ImpactMatrix im(na, nt);
+  for (int b = 0; b < blocks; ++b) {
+    for (int a = 0; a < 2; ++a) {
+      for (int t = 0; t < 3; ++t) {
+        if (rng.bernoulli(0.7)) {
+          im.set(b * 2 + a, b * 3 + t, rng.uniform(-30.0, 30.0));
+        }
+      }
+    }
+  }
+  AdversaryConfig cfg;
+  cfg.max_targets = 1 + static_cast<int>(rng.uniform_index(4));
+  StrategicAdversary sa(cfg);
+  auto mono = sa.plan(im);
+  auto part = plan_partitioned(im, cfg);
+  ASSERT_TRUE(mono.optimal());
+  EXPECT_NEAR(part.anticipated_return, mono.anticipated_return, kTol)
+      << "blocks=" << blocks << " cap=" << cfg.max_targets;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionedVsMonolithic,
+                         ::testing::Range(0, 15));
+
+TEST(PlanPartitioned, UniformCostsAndBudgetRespected) {
+  cps::ImpactMatrix im(2, 4);
+  im.set(0, 0, 50.0);
+  im.set(0, 1, 40.0);
+  im.set(1, 2, 30.0);
+  im.set(1, 3, 20.0);
+  AdversaryConfig cfg;
+  cfg.max_targets = 4;
+  cfg.attack_cost.assign(4, 10.0);
+  cfg.budget = 20.0;  // two attacks affordable
+  auto part = plan_partitioned(im, cfg);
+  EXPECT_EQ(part.targets.size(), 2u);
+  EXPECT_NEAR(part.anticipated_return, 50.0 + 40.0 - 20.0, kTol);
+}
+
+TEST(PlanPartitioned, EmptyWhenNothingProfits) {
+  cps::ImpactMatrix im(2, 2);
+  im.set(0, 0, -1.0);
+  im.set(1, 1, -1.0);
+  AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  auto part = plan_partitioned(im, cfg);
+  EXPECT_TRUE(part.targets.empty());
+  EXPECT_NEAR(part.anticipated_return, 0.0, kTol);
+}
+
+}  // namespace
+}  // namespace gridsec::core

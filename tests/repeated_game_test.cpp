@@ -1,0 +1,140 @@
+// Tests for the repeated attack-defense game with defender learning.
+#include "gridsec/core/repeated_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/sim/scenario.hpp"
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+RepeatedGameConfig base_config(int n_edges, int n_actors) {
+  RepeatedGameConfig cfg;
+  cfg.game.adversary.max_targets = 1;
+  cfg.game.defender.defense_cost.assign(static_cast<std::size_t>(n_edges),
+                                        10.0);
+  cfg.game.defender.budget.assign(static_cast<std::size_t>(n_actors), 10.0);
+  cfg.game.collaborative = true;
+  cfg.rounds = 5;
+  return cfg;
+}
+
+TEST(RepeatedGame, RunsRequestedRounds) {
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  Rng rng(1);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(res->rounds.size(), 5u);
+  EXPECT_EQ(res->final_pa.size(), static_cast<std::size_t>(net.num_edges()));
+}
+
+TEST(RepeatedGame, PerfectInformationNeutralizesEveryRound) {
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  Rng rng(2);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  for (const auto& r : res->rounds) {
+    EXPECT_NEAR(r.adversary_gain, 0.0, kTol);
+    EXPECT_NEAR(r.defender_losses, 0.0, kTol);
+  }
+}
+
+TEST(RepeatedGame, LearningConcentratesPaOnRepeatedTarget) {
+  // The defender starts with a *wrong* model (heavy noise in its own view
+  // and Pa estimate), but the adversary attacks the same best target with
+  // perfect knowledge each round: the blended Pa must concentrate there.
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  cfg.game.defender_noise.sigma = 0.8;  // badly informed defender
+  cfg.game.speculated_adversary_noise.sigma = 0.8;
+  cfg.rounds = 12;
+  cfg.learning_rate = 0.5;
+  Rng rng(3);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  // The SA (perfect knowledge) always hits edge 1 ("dear" generator).
+  for (const auto& r : res->rounds) {
+    ASSERT_EQ(r.attack.targets.size(), 1u);
+    EXPECT_EQ(r.attack.targets[0], 1);
+  }
+  double max_other = 0.0;
+  for (std::size_t t = 0; t < res->final_pa.size(); ++t) {
+    if (t != 1) max_other = std::max(max_other, res->final_pa[t]);
+  }
+  EXPECT_GT(res->final_pa[1], 0.8);
+  EXPECT_GT(res->final_pa[1], max_other);
+}
+
+TEST(RepeatedGame, LaterRoundsNoWorseWithLearning) {
+  // With learning against a stationary attacker, the defender's realized
+  // losses in the last round must not exceed the first round's.
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  cfg.game.defender_noise.sigma = 0.8;
+  cfg.game.speculated_adversary_noise.sigma = 0.8;
+  cfg.rounds = 10;
+  cfg.learning_rate = 0.5;
+  Rng rng(11);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_GE(res->rounds.back().defender_losses,
+            res->rounds.front().defender_losses - kTol);
+}
+
+TEST(RepeatedGame, ZeroLearningKeepsModelPa) {
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  cfg.learning_rate = 0.0;
+  cfg.rounds = 4;
+  Rng rng(5);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  // With zero noise the model Pa is exactly the SA's deterministic target.
+  EXPECT_NEAR(res->final_pa[1], 1.0, kTol);
+}
+
+TEST(RepeatedGame, DeterministicPerSeed) {
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  cfg.game.adversary_noise.sigma = 0.3;
+  Rng a(7), b(7);
+  auto ra = play_repeated_game(net, own, cfg, a);
+  auto rb = play_repeated_game(net, own, cfg, b);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_DOUBLE_EQ(ra->total_adversary_gain(), rb->total_adversary_gain());
+  EXPECT_DOUBLE_EQ(ra->total_defender_losses(),
+                   rb->total_defender_losses());
+}
+
+TEST(RepeatedGame, TotalsAggregateRounds) {
+  flow::Network net = sim::make_duopoly();
+  cps::Ownership own({0, 1, 2}, 3);
+  auto cfg = base_config(net.num_edges(), 3);
+  cfg.game.defender.budget.assign(3, 0.0);  // defenseless: attacks land
+  Rng rng(9);
+  auto res = play_repeated_game(net, own, cfg, rng);
+  ASSERT_TRUE(res.is_ok());
+  double gain = 0.0, losses = 0.0;
+  for (const auto& r : res->rounds) {
+    gain += r.adversary_gain;
+    losses += r.defender_losses;
+  }
+  EXPECT_DOUBLE_EQ(res->total_adversary_gain(), gain);
+  EXPECT_DOUBLE_EQ(res->total_defender_losses(), losses);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(losses, 0.0);
+}
+
+}  // namespace
+}  // namespace gridsec::core

@@ -1,0 +1,129 @@
+// Tests for the deterministic RNG stack.
+#include "gridsec/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gridsec/util/stats.hpp"
+
+namespace gridsec {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ZeroStddevNormalIsDegenerate) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndStable) {
+  Rng parent(1234);
+  Rng s0 = parent.derive_stream(0);
+  Rng s1 = parent.derive_stream(1);
+  Rng s0_again = parent.derive_stream(0);
+  // Stable: same index -> same stream.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s0.next(), s0_again.next());
+  // Distinct indices -> unrelated streams.
+  Rng t0 = parent.derive_stream(0);
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (t0.next() == s1.next()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, DeriveStreamIndependentOfParentConsumption) {
+  Rng a(99);
+  Rng b(99);
+  (void)b.next();  // consuming the parent must not change derived streams
+  Rng da = a.derive_stream(5);
+  Rng db = b.derive_stream(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(da.next(), db.next());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::vector<int> resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+}  // namespace
+}  // namespace gridsec

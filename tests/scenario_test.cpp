@@ -1,0 +1,80 @@
+// Tests for the parametric scenario generators.
+#include "gridsec/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+TEST(Scenario, ChainStructureAndEconomics) {
+  auto net = make_chain(/*segments=*/3, /*supply_cost=*/10.0, /*price=*/40.0,
+                        /*capacity=*/50.0, /*segment_cost=*/1.0);
+  // 1 supply + 3 segments + 1 demand.
+  EXPECT_EQ(net.num_edges(), 5);
+  EXPECT_TRUE(net.validate().is_ok());
+  auto sol = flow::solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // Margin = 40 - 10 - 3 = 27 per unit on 50 units.
+  EXPECT_NEAR(sol.welfare, 27.0 * 50.0, 1e-6);
+}
+
+TEST(Scenario, ZeroSegmentChainIsDirectSale) {
+  auto net = make_chain(0, 5.0, 20.0, 10.0);
+  EXPECT_EQ(net.num_edges(), 2);
+  auto sol = flow::solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.welfare, 150.0, 1e-6);
+}
+
+TEST(Scenario, LossyChainGrossesUpSupply) {
+  auto net = make_chain(2, 0.0, 10.0, 100.0, 0.0, 0.1);
+  auto sol = flow::solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // The supply injects its full 100; two 10%-lossy segments deliver
+  // 100 * 0.9 * 0.9 = 81 to the consumer.
+  EXPECT_NEAR(sol.flow[0], 100.0, 1e-6);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(net.num_edges() - 1)], 81.0,
+              1e-6);
+}
+
+TEST(Scenario, DuopolyDefaultsMatchDocumentedCase) {
+  auto net = make_duopoly();
+  auto sol = flow::solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // 60 cheap + 20 dear serve the 80 demand.
+  EXPECT_NEAR(sol.flow[0], 60.0, 1e-6);
+  EXPECT_NEAR(sol.flow[1], 20.0, 1e-6);
+}
+
+class RandomGridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGridProperty, AlwaysValidatesAndSolves) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  RandomGridOptions opt;
+  opt.hubs = 3 + static_cast<int>(rng.uniform_index(6));
+  auto net = make_random_grid(opt, rng);
+  const Status st = net.validate();
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  auto sol = flow::solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_GE(sol.welfare, -1e-9);  // serving nobody is always an option
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGridProperty, ::testing::Range(0, 20));
+
+TEST(Scenario, RandomGridDeterministicPerSeed) {
+  RandomGridOptions opt;
+  Rng a(7), b(7);
+  auto na = make_random_grid(opt, a);
+  auto nb = make_random_grid(opt, b);
+  ASSERT_EQ(na.num_edges(), nb.num_edges());
+  for (int e = 0; e < na.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(na.edge(e).capacity, nb.edge(e).capacity);
+    EXPECT_DOUBLE_EQ(na.edge(e).cost, nb.edge(e).cost);
+  }
+}
+
+}  // namespace
+}  // namespace gridsec::sim

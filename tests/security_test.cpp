@@ -1,0 +1,158 @@
+// Tests for layered security postures and the layered defender.
+#include "gridsec/cps/security.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/core/adversary.hpp"
+
+namespace gridsec::cps {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+SecurityModel model() {
+  SecurityModel m;
+  m.base_success_prob = 0.8;
+  m.success_decay_per_layer = 0.5;
+  m.base_attack_cost = 2.0;
+  m.attack_cost_per_layer = 3.0;
+  return m;
+}
+
+TEST(SecurityPosture, LayersScalePsAndCatk) {
+  SecurityPosture p(3, model());
+  EXPECT_NEAR(p.success_prob(0), 0.8, kTol);
+  EXPECT_NEAR(p.attack_cost(0), 2.0, kTol);
+  p.set_layers(0, 2);
+  EXPECT_NEAR(p.success_prob(0), 0.8 * 0.25, kTol);
+  EXPECT_NEAR(p.attack_cost(0), 2.0 + 6.0, kTol);
+  p.add_layer(0);
+  EXPECT_EQ(p.layers(0), 3);
+}
+
+TEST(SecurityPosture, VectorsMaterialize) {
+  SecurityPosture p(2, model());
+  p.set_layers(1, 1);
+  auto ps = p.success_prob_vector();
+  auto cost = p.attack_cost_vector();
+  EXPECT_NEAR(ps[0], 0.8, kTol);
+  EXPECT_NEAR(ps[1], 0.4, kTol);
+  EXPECT_NEAR(cost[0], 2.0, kTol);
+  EXPECT_NEAR(cost[1], 5.0, kTol);
+}
+
+TEST(SecurityPosture, FeedsAdversaryConfig) {
+  // Layering a target makes the SA prefer the unprotected one.
+  ImpactMatrix im(1, 2);
+  im.set(0, 0, 100.0);
+  im.set(0, 1, 100.0);
+  SecurityPosture p(2, model());
+  p.set_layers(0, 3);  // Ps 0.1, cost 11
+
+  core::AdversaryConfig cfg;
+  cfg.success_prob = p.success_prob_vector();
+  cfg.attack_cost = p.attack_cost_vector();
+  cfg.max_targets = 1;
+  core::StrategicAdversary sa(cfg);
+  auto plan = sa.plan(im);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.targets, (std::vector<int>{1}));
+  EXPECT_NEAR(plan.anticipated_return, 100.0 * 0.8 - 2.0, 1e-6);
+}
+
+TEST(DefendLayered, InvestsWhereExpectedLossJustifies) {
+  ImpactMatrix im(1, 2);
+  im.set(0, 0, -1000.0);  // big self-loss
+  im.set(0, 1, -1.0);     // negligible
+  Ownership own({0, 0}, 1);
+  SecurityPosture posture(2, model());
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.max_layers_per_target = 3;
+  cfg.budget = {100.0};
+  auto plan = defend_layered(im, own, {1.0, 1.0}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.added_layers[0], 3);  // stack the max on the big asset
+  EXPECT_EQ(plan.added_layers[1], 0);  // 10 > 0.8*1*0.5: not worth a layer
+  EXPECT_NEAR(plan.spending[0], 30.0, kTol);
+}
+
+TEST(DefendLayered, DiminishingReturnsStopInvestment) {
+  // First layer avoids 0.8*0.5*L, second 0.8*0.25*L, ... with L=40 and
+  // layer cost 10: layer1 avoids 16, layer2 avoids 8, layer3 avoids 4 —
+  // only layers 1 and 2 clear the 10 cost? layer2 avoids 8 < 10: only 1.
+  ImpactMatrix im(1, 1);
+  im.set(0, 0, -40.0);
+  Ownership own({0}, 1);
+  SecurityPosture posture(1, model());
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.budget = {100.0};
+  auto plan = defend_layered(im, own, {1.0}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.added_layers[0], 1);
+}
+
+TEST(DefendLayered, BudgetCapsLayers) {
+  ImpactMatrix im(1, 1);
+  im.set(0, 0, -10000.0);
+  Ownership own({0}, 1);
+  SecurityPosture posture(1, model());
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.max_layers_per_target = 5;
+  cfg.budget = {25.0};  // only two layers affordable
+  auto plan = defend_layered(im, own, {1.0}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.added_layers[0], 2);
+  EXPECT_NEAR(plan.spending[0], 20.0, kTol);
+}
+
+TEST(DefendLayered, ExistingLayersReduceMarginalValue) {
+  // A target already behind 2 layers has Ps = 0.2; the next layer avoids
+  // only 0.2*0.5*L. With L=80 and cost 10: avoids 8 < 10 -> no investment.
+  ImpactMatrix im(1, 1);
+  im.set(0, 0, -80.0);
+  Ownership own({0}, 1);
+  SecurityPosture posture(1, model());
+  posture.set_layers(0, 2);
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.budget = {100.0};
+  auto plan = defend_layered(im, own, {1.0}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.added_layers[0], 0);
+}
+
+TEST(DefendLayered, OnlyOwnAssetsConsidered) {
+  ImpactMatrix im(2, 2);
+  im.set(0, 0, -1000.0);
+  im.set(1, 1, -1000.0);
+  Ownership own({0, 1}, 2);
+  SecurityPosture posture(2, model());
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.budget = {100.0, 0.0};  // actor 1 has no budget
+  auto plan = defend_layered(im, own, {1.0, 1.0}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_GT(plan.added_layers[0], 0);
+  EXPECT_EQ(plan.added_layers[1], 0);
+  EXPECT_NEAR(plan.spending[1], 0.0, kTol);
+}
+
+TEST(DefendLayered, AttackProbabilityGates) {
+  ImpactMatrix im(1, 1);
+  im.set(0, 0, -1000.0);
+  Ownership own({0}, 1);
+  SecurityPosture posture(1, model());
+  LayeredDefenseConfig cfg;
+  cfg.layer_cost = 10.0;
+  cfg.budget = {100.0};
+  // Pa = 0.01: expected avoided loss of layer 1 = 0.01*0.8*0.5*1000 = 4 < 10.
+  auto plan = defend_layered(im, own, {0.01}, posture, cfg);
+  ASSERT_TRUE(plan.optimal());
+  EXPECT_EQ(plan.total_layers(), 0);
+}
+
+}  // namespace
+}  // namespace gridsec::cps

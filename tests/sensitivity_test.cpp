@@ -1,0 +1,195 @@
+// Tests for post-optimal sensitivity analysis (simplex ranging).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/lp/simplex.hpp"
+#include "gridsec/sim/western_us.hpp"
+#include "gridsec/util/rng.hpp"
+
+namespace gridsec::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Classic Hillier & Lieberman: max 3x + 5y; x <= 4, 2y <= 12, 3x+2y <= 18.
+Problem wyndor() {
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, kInfinity, 3.0);
+  int y = p.add_variable("y", 0.0, kInfinity, 5.0);
+  p.add_constraint("c1", LinearExpr().add(x, 1.0), Sense::kLessEqual, 4.0);
+  p.add_constraint("c2", LinearExpr().add(y, 2.0), Sense::kLessEqual, 12.0);
+  p.add_constraint("c3", LinearExpr().add(x, 3.0).add(y, 2.0),
+                   Sense::kLessEqual, 18.0);
+  return p;
+}
+
+TEST(Sensitivity, WyndorObjectiveRanges) {
+  auto report = analyze_sensitivity(wyndor());
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  // Textbook ranges: c_x in [0, 7.5], c_y in [2, +inf).
+  EXPECT_NEAR(report.objective_range[0].lo, 0.0, kTol);
+  EXPECT_NEAR(report.objective_range[0].hi, 7.5, kTol);
+  EXPECT_NEAR(report.objective_range[1].lo, 2.0, kTol);
+  EXPECT_TRUE(std::isinf(report.objective_range[1].hi));
+}
+
+TEST(Sensitivity, WyndorRhsRanges) {
+  auto report = analyze_sensitivity(wyndor());
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  // Textbook: b2 in [6, 18], b3 in [12, 24]; b1 in [2, +inf).
+  EXPECT_NEAR(report.rhs_range[1].lo, 6.0, kTol);
+  EXPECT_NEAR(report.rhs_range[1].hi, 18.0, kTol);
+  EXPECT_NEAR(report.rhs_range[2].lo, 12.0, kTol);
+  EXPECT_NEAR(report.rhs_range[2].hi, 24.0, kTol);
+  EXPECT_NEAR(report.rhs_range[0].lo, 2.0, kTol);
+  EXPECT_TRUE(std::isinf(report.rhs_range[0].hi));
+}
+
+TEST(Sensitivity, RangesContainCurrentValues) {
+  auto p = wyndor();
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  for (int j = 0; j < p.num_variables(); ++j) {
+    const auto& r = report.objective_range[static_cast<std::size_t>(j)];
+    EXPECT_LE(r.lo, p.variable(j).objective + kTol);
+    EXPECT_GE(r.hi, p.variable(j).objective - kTol);
+  }
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    const auto& r = report.rhs_range[static_cast<std::size_t>(i)];
+    EXPECT_LE(r.lo, p.constraint(i).rhs + kTol);
+    EXPECT_GE(r.hi, p.constraint(i).rhs - kTol);
+  }
+}
+
+TEST(Sensitivity, ObjectiveRangePredictsUnchangedOptimum) {
+  // Inside the range (strictly), the optimal point must not move.
+  auto p = wyndor();
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  const auto& r = report.objective_range[0];
+  const double inside = 0.5 * (std::max(r.lo, 0.0) + std::min(r.hi, 7.0));
+  Problem q = p;
+  q.set_objective_coef(0, inside);
+  auto sol = solve_lp(q);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], report.solution.x[0], 1e-5);
+  EXPECT_NEAR(sol.x[1], report.solution.x[1], 1e-5);
+}
+
+TEST(Sensitivity, BeyondObjectiveRangeOptimumMoves) {
+  auto p = wyndor();
+  auto report = analyze_sensitivity(p);
+  const auto& r = report.objective_range[0];
+  ASSERT_TRUE(std::isfinite(r.hi));
+  Problem q = p;
+  q.set_objective_coef(0, r.hi + 1.0);  // past the breakpoint
+  auto sol = solve_lp(q);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  const bool moved = std::fabs(sol.x[0] - report.solution.x[0]) > 1e-6 ||
+                     std::fabs(sol.x[1] - report.solution.x[1]) > 1e-6;
+  EXPECT_TRUE(moved);
+}
+
+TEST(Sensitivity, RhsRangePredictsLinearObjectiveChange) {
+  auto p = wyndor();
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  // Move b3 within its range: objective must change by dual * delta.
+  const double delta = 2.0;  // 18 -> 20, inside [12, 24]
+  Problem q = p;
+  q.set_rhs(2, 18.0 + delta);
+  auto sol = solve_lp(q);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective - report.solution.objective,
+              report.solution.duals[2] * delta, 1e-6);
+}
+
+TEST(Sensitivity, MinimizationRangesWork) {
+  // min 2x + 3y s.t. x + y >= 10 -> all from x (cheaper): x=10.
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, kInfinity, 2.0);
+  int y = p.add_variable("y", 0.0, kInfinity, 3.0);
+  p.add_constraint("cover", LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Sense::kGreaterEqual, 10.0);
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(report.solution.x[static_cast<std::size_t>(x)], 10.0, kTol);
+  // c_x may rise to 3 (y's cost) before the basis changes.
+  EXPECT_NEAR(report.objective_range[static_cast<std::size_t>(x)].hi, 3.0,
+              kTol);
+  // y nonbasic at lower: c_y may fall to 2 before y enters.
+  EXPECT_NEAR(report.objective_range[static_cast<std::size_t>(y)].lo, 2.0,
+              kTol);
+}
+
+TEST(Sensitivity, FailureCarriesEmptyRanges) {
+  Problem p(Objective::kMinimize);
+  int x = p.add_variable("x", 0.0, 1.0, 1.0);
+  p.add_constraint("bad", LinearExpr().add(x, 1.0), Sense::kGreaterEqual,
+                   5.0);
+  auto report = analyze_sensitivity(p);
+  EXPECT_EQ(report.solution.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(report.objective_range.empty());
+  EXPECT_TRUE(report.rhs_range.empty());
+}
+
+// Property: on random LPs, probing just inside each finite range edge keeps
+// the optimum; the rhs dual-rate prediction holds inside the range.
+class SensitivityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitivityProperty, RhsRateHoldsInsideRange) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  Problem p(Objective::kMinimize);
+  const int nv = 3;
+  for (int j = 0; j < nv; ++j) {
+    p.add_variable("x", 0.0, rng.uniform(5.0, 20.0), rng.uniform(1.0, 8.0));
+  }
+  LinearExpr cover;
+  for (int j = 0; j < nv; ++j) cover.add(j, rng.uniform(0.5, 2.0));
+  p.add_constraint("cover", std::move(cover), Sense::kGreaterEqual,
+                   rng.uniform(3.0, 10.0));
+  LinearExpr cap;
+  for (int j = 0; j < nv; ++j) cap.add(j, 1.0);
+  p.add_constraint("cap", std::move(cap), Sense::kLessEqual,
+                   rng.uniform(15.0, 40.0));
+
+  auto report = analyze_sensitivity(p);
+  if (report.solution.status != SolveStatus::kOptimal) GTEST_SKIP();
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    const auto& r = report.rhs_range[static_cast<std::size_t>(i)];
+    const double rhs = p.constraint(i).rhs;
+    // Step 25% toward the upper edge (or +1 if infinite).
+    double delta = std::isfinite(r.hi) ? 0.25 * (r.hi - rhs) : 1.0;
+    if (delta < 1e-9) continue;  // degenerate
+    Problem q = p;
+    q.set_rhs(i, rhs + delta);
+    auto sol = solve_lp(q);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective - report.solution.objective,
+                report.solution.duals[static_cast<std::size_t>(i)] * delta,
+                1e-5)
+        << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivityProperty, ::testing::Range(0, 15));
+
+TEST(Sensitivity, WesternUsLmpStability) {
+  // Economic reading: the rhs range of a hub's conservation row tells how
+  // much extra net injection the current price regime survives.
+  auto m = sim::build_western_us();
+  Problem p = flow::build_social_welfare_lp(m.network);
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  ASSERT_EQ(report.rhs_range.size(),
+            static_cast<std::size_t>(p.num_constraints()));
+  for (const auto& r : report.rhs_range) {
+    EXPECT_LE(r.lo, 0.0 + kTol);  // all conservation rows have rhs 0
+    EXPECT_GE(r.hi, 0.0 - kTol);
+  }
+}
+
+}  // namespace
+}  // namespace gridsec::lp

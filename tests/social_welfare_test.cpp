@@ -1,0 +1,180 @@
+// Tests for the social-welfare LP (paper Eqs 1-7).
+#include "gridsec/flow/social_welfare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridsec::flow {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SocialWelfare, SingleProducerConsumer) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 20.0);
+  net.add_demand("load", h, 60.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // Serve all 60 units: welfare = (50 - 20) * 60.
+  EXPECT_NEAR(sol.welfare, 1800.0, kTol);
+  EXPECT_NEAR(sol.flow[0], 60.0, kTol);
+  EXPECT_NEAR(sol.flow[1], 60.0, kTol);
+}
+
+TEST(SocialWelfare, UnprofitableDemandNotServed) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 80.0);
+  net.add_demand("load", h, 60.0, 50.0);  // price < cost
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.welfare, 0.0, kTol);
+  EXPECT_NEAR(sol.flow[0], 0.0, kTol);
+}
+
+TEST(SocialWelfare, CheapestGeneratorDispatchedFirst) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  const EdgeId cheap = net.add_supply("cheap", h, 40.0, 10.0);
+  const EdgeId dear = net.add_supply("dear", h, 100.0, 30.0);
+  net.add_demand("load", h, 70.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(cheap)], 40.0, kTol);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(dear)], 30.0, kTol);
+  EXPECT_NEAR(sol.welfare, 40.0 * 40.0 + 30.0 * 20.0, kTol);
+}
+
+TEST(SocialWelfare, TransmissionCapacityBinds) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen.A", a, 100.0, 10.0);
+  const EdgeId line =
+      net.add_edge("line", EdgeKind::kTransmission, a, b, 25.0, 1.0);
+  net.add_demand("load.B", b, 60.0, 40.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(line)], 25.0, kTol);
+  EXPECT_NEAR(sol.welfare, 25.0 * (40.0 - 10.0 - 1.0), kTol);
+}
+
+TEST(SocialWelfare, LossyConservationGrossesUpInput) {
+  // 20% loss: delivering f requires f/0.8 at the sending hub.
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  const EdgeId gen = net.add_supply("gen.A", a, 100.0, 10.0);
+  const EdgeId line =
+      net.add_edge("line", EdgeKind::kTransmission, a, b, 100.0, 0.0, 0.2);
+  const EdgeId load = net.add_demand("load.B", b, 40.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(load)], 40.0, kTol);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(line)], 40.0, kTol);
+  // The generator must deliver 40/(1-0.2) = 50 into hub A.
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(gen)], 50.0, kTol);
+  EXPECT_NEAR(sol.welfare, 50.0 * 40.0 - 10.0 * 50.0, kTol);
+}
+
+TEST(SocialWelfare, LossMakesDistantSupplyUncompetitive) {
+  // Local dear generator vs remote cheap one across a very lossy line:
+  // high loss means the remote energy effectively costs cost/(1-l).
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  const EdgeId remote = net.add_supply("remote", a, 100.0, 20.0);
+  const EdgeId local = net.add_supply("local", b, 100.0, 30.0);
+  net.add_edge("line", EdgeKind::kTransmission, a, b, 100.0, 0.0, 0.5);
+  net.add_demand("load", b, 50.0, 100.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // Remote effective cost = 20/(1-0.5) = 40 > 30 local: local wins.
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(local)], 50.0, kTol);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(remote)], 0.0, kTol);
+}
+
+TEST(SocialWelfare, NodePricesReflectMarginalCost) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 100.0, 20.0);
+  net.add_demand("load", h, 60.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // Marginal unit comes from the (uncapped) generator: LMP = 20.
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(h)], 20.0, kTol);
+}
+
+TEST(SocialWelfare, ScarcityRaisesNodePriceToDemandValue) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  net.add_supply("gen", h, 40.0, 20.0);  // scarce
+  net.add_demand("load", h, 60.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // All supply consumed; marginal value of one more unit = consumer's 50.
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(h)], 50.0, kTol);
+}
+
+TEST(SocialWelfare, CongestionSeparatesPrices) {
+  Network net;
+  const NodeId a = net.add_hub("A");
+  const NodeId b = net.add_hub("B");
+  net.add_supply("gen.A", a, 1000.0, 10.0);
+  net.add_supply("gen.B", b, 1000.0, 45.0);
+  net.add_edge("line", EdgeKind::kTransmission, a, b, 30.0, 0.0);
+  net.add_demand("load.B", b, 100.0, 60.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  // Line congested: price at A stays at its generator cost, price at B
+  // rises to the local generator's 45.
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(a)], 10.0, kTol);
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(b)], 45.0, kTol);
+}
+
+TEST(SocialWelfare, EmptyNetworkIsZeroWelfare) {
+  Network net;
+  net.add_hub("lonely");
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.welfare, 0.0, kTol);
+}
+
+TEST(SocialWelfare, ZeroCapacityEdgeCarriesNothing) {
+  Network net;
+  const NodeId h = net.add_hub("H");
+  const EdgeId gen = net.add_supply("gen", h, 0.0, 10.0);
+  net.add_demand("load", h, 60.0, 50.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(gen)], 0.0, kTol);
+  EXPECT_NEAR(sol.welfare, 0.0, kTol);
+}
+
+TEST(SocialWelfare, GasElectricConversionChain) {
+  // Gas hub feeds an electric hub through a conversion edge with thermal
+  // loss; the electric consumer's price must cover the grossed-up gas cost.
+  Network net;
+  const NodeId gas = net.add_hub("gas");
+  const NodeId elec = net.add_hub("elec");
+  const EdgeId well = net.add_supply("well", gas, 200.0, 15.0);
+  const EdgeId conv =
+      net.add_edge("ccgt", EdgeKind::kConversion, gas, elec, 100.0, 3.0, 0.5);
+  const EdgeId load = net.add_demand("city", elec, 50.0, 80.0);
+  auto sol = solve_social_welfare(net);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(load)], 50.0, kTol);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(conv)], 50.0, kTol);
+  EXPECT_NEAR(sol.flow[static_cast<std::size_t>(well)], 100.0, kTol);
+  // Welfare = 50*80 - 100*15 - 50*3.
+  EXPECT_NEAR(sol.welfare, 4000.0 - 1500.0 - 150.0, kTol);
+  // Electric LMP = gas LMP grossed up by conversion loss plus adder:
+  // 15/(1-0.5) + 3 = 33.
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(elec)], 33.0, kTol);
+  EXPECT_NEAR(sol.node_price[static_cast<std::size_t>(gas)], 15.0, kTol);
+}
+
+}  // namespace
+}  // namespace gridsec::flow

@@ -1,0 +1,141 @@
+// Tests for the Stackelberg (leader-follower) defense extension.
+#include "gridsec/core/stackelberg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridsec::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+cps::ImpactMatrix make_im(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const int na = static_cast<int>(rows.size());
+  const int nt = static_cast<int>(rows.begin()->size());
+  cps::ImpactMatrix im(na, nt);
+  int a = 0;
+  for (const auto& row : rows) {
+    int t = 0;
+    for (double v : row) im.set(a, t++, v);
+    ++a;
+  }
+  return im;
+}
+
+TEST(FollowerBestResponse, UndefendedEqualsPlainPlan) {
+  auto im = make_im({{100.0, 40.0}});
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  std::vector<bool> none(2, false);
+  auto resp = follower_best_response(im, none, adv, 1.0);
+  StrategicAdversary sa(adv);
+  auto plain = sa.plan(im);
+  EXPECT_EQ(resp.targets, plain.targets);
+  EXPECT_NEAR(resp.anticipated_return, plain.anticipated_return, kTol);
+}
+
+TEST(FollowerBestResponse, DefendedTargetLosesValue) {
+  auto im = make_im({{100.0, 40.0}});
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  std::vector<bool> defended{true, false};
+  auto resp = follower_best_response(im, defended, adv, 1.0);
+  // The 100-target is neutralized: the follower shifts to the 40-target.
+  EXPECT_EQ(resp.targets, (std::vector<int>{1}));
+  EXPECT_NEAR(resp.anticipated_return, 40.0, kTol);
+}
+
+TEST(FollowerBestResponse, PartialMitigationScales) {
+  auto im = make_im({{100.0, 40.0}});
+  AdversaryConfig adv;
+  adv.max_targets = 1;
+  std::vector<bool> defended{true, false};
+  auto resp = follower_best_response(im, defended, adv, 0.4);
+  // 100 * 0.6 = 60 still beats 40.
+  EXPECT_EQ(resp.targets, (std::vector<int>{0}));
+  EXPECT_NEAR(resp.anticipated_return, 60.0, kTol);
+}
+
+TEST(Stackelberg, CoversTargetsInValueOrder) {
+  auto im = make_im({{100.0, 80.0, 10.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 1;
+  cfg.defense_cost = 1.0;
+  cfg.budget = 2.0;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_TRUE(plan.defended[0]);
+  EXPECT_TRUE(plan.defended[1]);
+  EXPECT_FALSE(plan.defended[2]);
+  EXPECT_NEAR(plan.undefended_return, 100.0, kTol);
+  EXPECT_NEAR(plan.follower_return, 10.0, kTol);
+  EXPECT_EQ(plan.rounds, 2);
+}
+
+TEST(Stackelberg, StopsWhenNoCommitmentHelps) {
+  // One valuable target; once covered, the rest are worthless: spending
+  // must stop even though budget remains.
+  auto im = make_im({{100.0, -5.0, -7.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 2;
+  cfg.defense_cost = 1.0;
+  cfg.budget = 3.0;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_TRUE(plan.defended[0]);
+  EXPECT_EQ(plan.rounds, 1);
+  EXPECT_NEAR(plan.spending, 1.0, kTol);
+  EXPECT_NEAR(plan.follower_return, 0.0, kTol);
+}
+
+TEST(Stackelberg, ZeroBudgetDoesNothing) {
+  auto im = make_im({{100.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 1;
+  cfg.defense_cost = 5.0;
+  cfg.budget = 0.0;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_EQ(plan.rounds, 0);
+  EXPECT_NEAR(plan.follower_return, plan.undefended_return, kTol);
+}
+
+TEST(Stackelberg, AnticipatesFollowerShift) {
+  // Static defense guided by the *initial* attack would defend target 0
+  // only; the Stackelberg leader sees the follower shift to target 1 of
+  // near-equal value and covers both within budget.
+  auto im = make_im({{100.0, 99.0, 1.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 1;
+  cfg.defense_cost = 1.0;
+  cfg.budget = 2.0;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_TRUE(plan.defended[0]);
+  EXPECT_TRUE(plan.defended[1]);
+  EXPECT_NEAR(plan.follower_return, 1.0, kTol);
+}
+
+TEST(Stackelberg, MultiTargetFollower) {
+  // Follower takes two targets; leader with budget 2 should remove the two
+  // most valuable, leaving the follower the tail.
+  auto im = make_im({{60.0, 50.0, 40.0, 30.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 2;
+  cfg.defense_cost = 1.0;
+  cfg.budget = 2.0;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_NEAR(plan.undefended_return, 110.0, kTol);
+  EXPECT_NEAR(plan.follower_return, 70.0, kTol);  // 40 + 30 remain
+}
+
+TEST(Stackelberg, MitigationBelowOneKeepsResidualValue) {
+  auto im = make_im({{100.0}});
+  StackelbergConfig cfg;
+  cfg.adversary.max_targets = 1;
+  cfg.defense_cost = 1.0;
+  cfg.budget = 1.0;
+  cfg.mitigation = 0.7;
+  auto plan = stackelberg_defense(im, cfg);
+  EXPECT_TRUE(plan.defended[0]);
+  EXPECT_NEAR(plan.follower_return, 30.0, kTol);
+}
+
+}  // namespace
+}  // namespace gridsec::core

@@ -1,0 +1,102 @@
+// Tests for the thread pool and parallel_for.
+#include "gridsec/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gridsec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(&pool, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsSerially) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(&pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  // Deterministic reduction: each index contributes a fixed value, so sums
+  // must agree across pool sizes.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    const std::size_t n = 500;
+    std::vector<double> out(n);
+    parallel_for(&pool, n, [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i % 97);
+    });
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double s1 = run(1);
+  const double s4 = run(4);
+  EXPECT_DOUBLE_EQ(s1, s4);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(&pool, 8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridsec

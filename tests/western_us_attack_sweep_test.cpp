@@ -1,0 +1,109 @@
+// Exhaustive single-asset attack sweep over the western-US model: every
+// outage must leave a solvable market, and the qualitative propagation
+// directions must hold asset class by asset class.
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/sim/western_us.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+class WesternUsSweep : public ::testing::Test {
+ protected:
+  static const WesternUsModel& model() {
+    static const WesternUsModel m = build_western_us();
+    return m;
+  }
+  static const flow::FlowSolution& base() {
+    static const flow::FlowSolution sol =
+        flow::solve_social_welfare(model().network);
+    return sol;
+  }
+};
+
+TEST_F(WesternUsSweep, EveryOutageSolvesAndNeverImprovesWelfare) {
+  ASSERT_TRUE(base().optimal());
+  for (int e = 0; e < model().network.num_edges(); ++e) {
+    flow::Network hit = model().network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    ASSERT_TRUE(sol.optimal()) << model().network.edge(e).name;
+    EXPECT_LE(sol.welfare, base().welfare + 1e-6)
+        << model().network.edge(e).name;
+  }
+}
+
+TEST_F(WesternUsSweep, ConsumerOutagesCostTheirSurplusExactly) {
+  // Knocking out a demand edge removes exactly that consumer's surplus
+  // plus the rents its purchases supported; welfare drop is at least its
+  // surplus at current prices and never exceeds its gross willingness.
+  for (int e = 0; e < model().network.num_edges(); ++e) {
+    const auto& edge = model().network.edge(e);
+    if (edge.kind != flow::EdgeKind::kDemand) continue;
+    const double flow = base().flow[static_cast<std::size_t>(e)];
+    if (flow <= 1e-9) continue;
+    flow::Network hit = model().network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    ASSERT_TRUE(sol.optimal());
+    const double drop = base().welfare - sol.welfare;
+    EXPECT_GT(drop, 0.0) << edge.name;
+    EXPECT_LE(drop, -edge.cost * flow + 1e-6) << edge.name;
+  }
+}
+
+TEST_F(WesternUsSweep, SupplyOutagesRaiseSomeLocalPrice) {
+  // Any flowing generator's outage must weakly raise the LMP at its hub
+  // (less merit-order supply can never lower the marginal cost).
+  for (int e = 0; e < model().network.num_edges(); ++e) {
+    const auto& edge = model().network.edge(e);
+    if (edge.kind != flow::EdgeKind::kSupply) continue;
+    if (base().flow[static_cast<std::size_t>(e)] <= 1e-9) continue;
+    flow::Network hit = model().network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    ASSERT_TRUE(sol.optimal());
+    const auto hub = static_cast<std::size_t>(edge.to);
+    EXPECT_GE(sol.node_price[hub], base().node_price[hub] - 1e-6)
+        << edge.name;
+  }
+}
+
+TEST_F(WesternUsSweep, ConverterOutagesNeverLowerElectricPrices) {
+  for (flow::EdgeId e : model().converters) {
+    if (base().flow[static_cast<std::size_t>(e)] <= 1e-9) continue;
+    flow::Network hit = model().network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    ASSERT_TRUE(sol.optimal());
+    const auto hub = static_cast<std::size_t>(model().network.edge(e).to);
+    EXPECT_GE(sol.node_price[hub], base().node_price[hub] - 1e-6)
+        << model().network.edge(e).name;
+  }
+}
+
+TEST_F(WesternUsSweep, LongHaulOutagesSeparateEndpointPrices) {
+  // Cutting a flowing long-haul edge weakly widens the LMP spread across
+  // it (the cheap side loses an export outlet, the dear side an import).
+  int checked = 0;
+  for (flow::EdgeId e : model().long_haul) {
+    if (base().flow[static_cast<std::size_t>(e)] <= 1e-6) continue;
+    const auto& edge = model().network.edge(e);
+    flow::Network hit = model().network;
+    hit.set_capacity(e, 0.0);
+    auto sol = flow::solve_social_welfare(hit);
+    ASSERT_TRUE(sol.optimal());
+    const auto from = static_cast<std::size_t>(edge.from);
+    const auto to = static_cast<std::size_t>(edge.to);
+    const double spread_before =
+        base().node_price[to] - base().node_price[from];
+    const double spread_after = sol.node_price[to] - sol.node_price[from];
+    EXPECT_GE(spread_after, spread_before - 1e-6) << edge.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);  // most interstate edges flow in the peak model
+}
+
+}  // namespace
+}  // namespace gridsec::sim

@@ -1,0 +1,165 @@
+// Tests for the six-state western-US gas-electric model (§III-A).
+#include "gridsec/sim/western_us.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsec/flow/social_welfare.hpp"
+
+namespace gridsec::sim {
+namespace {
+
+TEST(WesternUs, StructureMatchesPaper) {
+  auto m = build_western_us();
+  EXPECT_EQ(m.states.size(), 6u);
+  EXPECT_EQ(m.gas_hub.size(), 6u);
+  EXPECT_EQ(m.elec_hub.size(), 6u);
+  // 12 hubs (plus terminals created by supply/demand helpers).
+  int hubs = 0;
+  for (const auto& n : m.network.nodes()) {
+    if (n.kind == flow::NodeKind::kHub) ++hubs;
+  }
+  EXPECT_EQ(hubs, 12);
+  // 18 long-haul edges (9 gas pipelines, 9 interties).
+  EXPECT_EQ(m.long_haul.size(), 18u);
+  // One gas->electric converter per state.
+  EXPECT_EQ(m.converters.size(), 6u);
+  // Two consumers per state.
+  int demands = 0;
+  for (const auto& e : m.network.edges()) {
+    if (e.kind == flow::EdgeKind::kDemand) ++demands;
+  }
+  EXPECT_EQ(demands, 12);
+}
+
+TEST(WesternUs, Validates) {
+  auto m = build_western_us();
+  const Status st = m.network.validate();
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+TEST(WesternUs, SolvesWithPositiveWelfare) {
+  auto m = build_western_us();
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_GT(sol.welfare, 0.0);
+}
+
+TEST(WesternUs, ChallengingModelHasModestSpareCapacity) {
+  // The paper calibrates to ~15% electric spare capacity. Check the solved
+  // system: total served electric demand should be most of the demand cap,
+  // and supply headroom should be modest.
+  auto m = build_western_us();
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  double served = 0.0, demand_cap = 0.0;
+  for (int e = 0; e < m.network.num_edges(); ++e) {
+    const auto& edge = m.network.edge(e);
+    if (edge.kind == flow::EdgeKind::kDemand &&
+        edge.name.find(".elec.") != std::string::npos) {
+      served += sol.flow[static_cast<std::size_t>(e)];
+      demand_cap += edge.capacity;
+    }
+  }
+  // Peak demand is nearly fully served (deliverability, not generation,
+  // binds in a ~15%-spare system).
+  EXPECT_GT(served / demand_cap, 0.9);
+}
+
+TEST(WesternUs, BaselineServesEverythingEasily) {
+  WesternUsOptions opt;
+  opt.apply_adjustments = false;
+  auto m = build_western_us(opt);
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  for (int e = 0; e < m.network.num_edges(); ++e) {
+    const auto& edge = m.network.edge(e);
+    if (edge.kind == flow::EdgeKind::kDemand) {
+      EXPECT_NEAR(sol.flow[static_cast<std::size_t>(e)], edge.capacity, 1e-4)
+          << edge.name << " unserved in the baseline model";
+    }
+  }
+}
+
+TEST(WesternUs, AdjustmentsReduceWelfareHeadroom) {
+  WesternUsOptions base;
+  base.apply_adjustments = false;
+  auto baseline = build_western_us(base);
+  auto challenged = build_western_us();
+  auto sol_b = flow::solve_social_welfare(baseline.network);
+  auto sol_c = flow::solve_social_welfare(challenged.network);
+  ASSERT_TRUE(sol_b.optimal());
+  ASSERT_TRUE(sol_c.optimal());
+  // More demand at fixed prices: absolute welfare rises, but scarcity must
+  // show up as higher average electric LMPs.
+  double lmp_b = 0.0, lmp_c = 0.0;
+  for (std::size_t i = 0; i < challenged.elec_hub.size(); ++i) {
+    lmp_b += sol_b.node_price[static_cast<std::size_t>(baseline.elec_hub[i])];
+    lmp_c +=
+        sol_c.node_price[static_cast<std::size_t>(challenged.elec_hub[i])];
+  }
+  EXPECT_GT(lmp_c, lmp_b);
+}
+
+TEST(WesternUs, GasElectricInterdependencyActive) {
+  // The converters must actually run: gas flows into electricity.
+  auto m = build_western_us();
+  auto sol = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(sol.optimal());
+  double converted = 0.0;
+  for (flow::EdgeId e : m.converters) {
+    converted += sol.flow[static_cast<std::size_t>(e)];
+  }
+  EXPECT_GT(converted, 0.0);
+}
+
+TEST(WesternUs, GasOutagePropagatesToElectricSide) {
+  // Knocking out the big UT gas field must hurt electric consumers or
+  // producers somewhere — the interdependency the paper is about.
+  auto m = build_western_us();
+  auto base = flow::solve_social_welfare(m.network);
+  ASSERT_TRUE(base.optimal());
+  auto ut_prod = m.network.find_edge("UT.gas.prod");
+  ASSERT_TRUE(ut_prod.is_ok());
+  flow::Network hit = m.network;
+  hit.set_capacity(ut_prod.value(), 0.0);
+  auto after = flow::solve_social_welfare(hit);
+  ASSERT_TRUE(after.optimal());
+  EXPECT_LT(after.welfare, base.welfare);
+  // Some electric hub's price must rise (gas-fired generation got scarcer).
+  double max_rise = 0.0;
+  for (flow::NodeId h : m.elec_hub) {
+    max_rise = std::max(max_rise,
+                        after.node_price[static_cast<std::size_t>(h)] -
+                            base.node_price[static_cast<std::size_t>(h)]);
+  }
+  EXPECT_GT(max_rise, 0.5);
+}
+
+TEST(WesternUs, LossesFollowDistanceRule) {
+  EXPECT_NEAR(loss_from_distance(400.0), 0.01, 1e-12);
+  EXPECT_NEAR(loss_from_distance(1000.0), 0.025, 1e-12);
+  // WA->OR is ~390 km by centroid: loss just under 1%.
+  auto m = build_western_us();
+  auto e = m.network.find_edge("WA-OR.pipe");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_GT(m.network.edge(e.value()).loss, 0.005);
+  EXPECT_LT(m.network.edge(e.value()).loss, 0.015);
+}
+
+TEST(WesternUs, HaversineSanity) {
+  // Seattle to Portland is roughly 230 km.
+  const double km = haversine_km(47.6, -122.3, 45.5, -122.7);
+  EXPECT_GT(km, 200.0);
+  EXPECT_LT(km, 260.0);
+  EXPECT_NEAR(haversine_km(10.0, 20.0, 10.0, 20.0), 0.0, 1e-9);
+}
+
+TEST(WesternUs, ImportsPriced25PercentBelowRetail) {
+  auto m = build_western_us();
+  auto imp = m.network.find_edge("WA.gas.import");
+  ASSERT_TRUE(imp.is_ok());
+  EXPECT_NEAR(m.network.edge(imp.value()).cost, 0.75 * 22.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gridsec::sim
