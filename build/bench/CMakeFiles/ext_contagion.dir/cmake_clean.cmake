@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_contagion.dir/ext_contagion.cpp.o"
+  "CMakeFiles/ext_contagion.dir/ext_contagion.cpp.o.d"
+  "ext_contagion"
+  "ext_contagion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_contagion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

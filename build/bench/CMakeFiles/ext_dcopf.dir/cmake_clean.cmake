@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dcopf.dir/ext_dcopf.cpp.o"
+  "CMakeFiles/ext_dcopf.dir/ext_dcopf.cpp.o.d"
+  "ext_dcopf"
+  "ext_dcopf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dcopf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deception.dir/ext_deception.cpp.o"
+  "CMakeFiles/ext_deception.dir/ext_deception.cpp.o.d"
+  "ext_deception"
+  "ext_deception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_deception.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_elasticity.dir/ext_elasticity.cpp.o"
+  "CMakeFiles/ext_elasticity.dir/ext_elasticity.cpp.o.d"
+  "ext_elasticity"
+  "ext_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_layers.dir/ext_layers.cpp.o"
+  "CMakeFiles/ext_layers.dir/ext_layers.cpp.o.d"
+  "ext_layers"
+  "ext_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_learning.dir/ext_learning.cpp.o"
+  "CMakeFiles/ext_learning.dir/ext_learning.cpp.o.d"
+  "ext_learning"
+  "ext_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiperiod.dir/ext_multiperiod.cpp.o"
+  "CMakeFiles/ext_multiperiod.dir/ext_multiperiod.cpp.o.d"
+  "ext_multiperiod"
+  "ext_multiperiod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiperiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

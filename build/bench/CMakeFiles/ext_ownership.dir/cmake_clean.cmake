@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ownership.dir/ext_ownership.cpp.o"
+  "CMakeFiles/ext_ownership.dir/ext_ownership.cpp.o.d"
+  "ext_ownership"
+  "ext_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scarcity.dir/ext_scarcity.cpp.o"
+  "CMakeFiles/ext_scarcity.dir/ext_scarcity.cpp.o.d"
+  "ext_scarcity"
+  "ext_scarcity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scarcity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

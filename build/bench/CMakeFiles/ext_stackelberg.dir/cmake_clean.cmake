@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stackelberg.dir/ext_stackelberg.cpp.o"
+  "CMakeFiles/ext_stackelberg.dir/ext_stackelberg.cpp.o.d"
+  "ext_stackelberg"
+  "ext_stackelberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stackelberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topology_vs_impact.dir/ext_topology_vs_impact.cpp.o"
+  "CMakeFiles/ext_topology_vs_impact.dir/ext_topology_vs_impact.cpp.o.d"
+  "ext_topology_vs_impact"
+  "ext_topology_vs_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topology_vs_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_model_dump.dir/fig1_model_dump.cpp.o"
+  "CMakeFiles/fig1_model_dump.dir/fig1_model_dump.cpp.o.d"
+  "fig1_model_dump"
+  "fig1_model_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_model_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

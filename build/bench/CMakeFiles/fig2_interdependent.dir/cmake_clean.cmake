@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interdependent.dir/fig2_interdependent.cpp.o"
+  "CMakeFiles/fig2_interdependent.dir/fig2_interdependent.cpp.o.d"
+  "fig2_interdependent"
+  "fig2_interdependent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interdependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_anticipated_vs_observed.dir/fig4_anticipated_vs_observed.cpp.o"
+  "CMakeFiles/fig4_anticipated_vs_observed.dir/fig4_anticipated_vs_observed.cpp.o.d"
+  "fig4_anticipated_vs_observed"
+  "fig4_anticipated_vs_observed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_anticipated_vs_observed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_defense_effectiveness.dir/fig5_defense_effectiveness.cpp.o"
+  "CMakeFiles/fig5_defense_effectiveness.dir/fig5_defense_effectiveness.cpp.o.d"
+  "fig5_defense_effectiveness"
+  "fig5_defense_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_defense_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_collaboration_actors.dir/fig7_collaboration_actors.cpp.o"
+  "CMakeFiles/fig7_collaboration_actors.dir/fig7_collaboration_actors.cpp.o.d"
+  "fig7_collaboration_actors"
+  "fig7_collaboration_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_collaboration_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

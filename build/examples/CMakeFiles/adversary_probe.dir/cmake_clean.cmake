@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_probe.dir/adversary_probe.cpp.o"
+  "CMakeFiles/adversary_probe.dir/adversary_probe.cpp.o.d"
+  "adversary_probe"
+  "adversary_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

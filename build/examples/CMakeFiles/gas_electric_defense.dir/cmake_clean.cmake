@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_electric_defense.dir/gas_electric_defense.cpp.o"
+  "CMakeFiles/gas_electric_defense.dir/gas_electric_defense.cpp.o.d"
+  "gas_electric_defense"
+  "gas_electric_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_electric_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_cli.dir/gridsec_cli.cpp.o"
+  "CMakeFiles/gridsec_cli.dir/gridsec_cli.cpp.o.d"
+  "gridsec_cli"
+  "gridsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_sensitivity.dir/market_sensitivity.cpp.o"
+  "CMakeFiles/market_sensitivity.dir/market_sensitivity.cpp.o.d"
+  "market_sensitivity"
+  "market_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_market.dir/series_market.cpp.o"
+  "CMakeFiles/series_market.dir/series_market.cpp.o.d"
+  "series_market"
+  "series_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for series_market.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/gridsec_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/deception.cpp" "src/core/CMakeFiles/gridsec_core.dir/deception.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/deception.cpp.o.d"
+  "/root/repo/src/core/defender.cpp" "src/core/CMakeFiles/gridsec_core.dir/defender.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/defender.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/gridsec_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/gridsec_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/repeated_game.cpp" "src/core/CMakeFiles/gridsec_core.dir/repeated_game.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/repeated_game.cpp.o.d"
+  "/root/repo/src/core/stackelberg.cpp" "src/core/CMakeFiles/gridsec_core.dir/stackelberg.cpp.o" "gcc" "src/core/CMakeFiles/gridsec_core.dir/stackelberg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cps/CMakeFiles/gridsec_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gridsec_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gridsec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_core.dir/adversary.cpp.o"
+  "CMakeFiles/gridsec_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/deception.cpp.o"
+  "CMakeFiles/gridsec_core.dir/deception.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/defender.cpp.o"
+  "CMakeFiles/gridsec_core.dir/defender.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/game.cpp.o"
+  "CMakeFiles/gridsec_core.dir/game.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/partition.cpp.o"
+  "CMakeFiles/gridsec_core.dir/partition.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/repeated_game.cpp.o"
+  "CMakeFiles/gridsec_core.dir/repeated_game.cpp.o.d"
+  "CMakeFiles/gridsec_core.dir/stackelberg.cpp.o"
+  "CMakeFiles/gridsec_core.dir/stackelberg.cpp.o.d"
+  "libgridsec_core.a"
+  "libgridsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

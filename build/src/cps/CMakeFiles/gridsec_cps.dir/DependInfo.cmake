@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cps/contagion.cpp" "src/cps/CMakeFiles/gridsec_cps.dir/contagion.cpp.o" "gcc" "src/cps/CMakeFiles/gridsec_cps.dir/contagion.cpp.o.d"
+  "/root/repo/src/cps/impact.cpp" "src/cps/CMakeFiles/gridsec_cps.dir/impact.cpp.o" "gcc" "src/cps/CMakeFiles/gridsec_cps.dir/impact.cpp.o.d"
+  "/root/repo/src/cps/ownership.cpp" "src/cps/CMakeFiles/gridsec_cps.dir/ownership.cpp.o" "gcc" "src/cps/CMakeFiles/gridsec_cps.dir/ownership.cpp.o.d"
+  "/root/repo/src/cps/perturbation.cpp" "src/cps/CMakeFiles/gridsec_cps.dir/perturbation.cpp.o" "gcc" "src/cps/CMakeFiles/gridsec_cps.dir/perturbation.cpp.o.d"
+  "/root/repo/src/cps/security.cpp" "src/cps/CMakeFiles/gridsec_cps.dir/security.cpp.o" "gcc" "src/cps/CMakeFiles/gridsec_cps.dir/security.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/gridsec_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gridsec_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_cps.dir/contagion.cpp.o"
+  "CMakeFiles/gridsec_cps.dir/contagion.cpp.o.d"
+  "CMakeFiles/gridsec_cps.dir/impact.cpp.o"
+  "CMakeFiles/gridsec_cps.dir/impact.cpp.o.d"
+  "CMakeFiles/gridsec_cps.dir/ownership.cpp.o"
+  "CMakeFiles/gridsec_cps.dir/ownership.cpp.o.d"
+  "CMakeFiles/gridsec_cps.dir/perturbation.cpp.o"
+  "CMakeFiles/gridsec_cps.dir/perturbation.cpp.o.d"
+  "CMakeFiles/gridsec_cps.dir/security.cpp.o"
+  "CMakeFiles/gridsec_cps.dir/security.cpp.o.d"
+  "libgridsec_cps.a"
+  "libgridsec_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/allocation.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/allocation.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/allocation.cpp.o.d"
+  "/root/repo/src/flow/analysis.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/analysis.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/analysis.cpp.o.d"
+  "/root/repo/src/flow/dcopf.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/dcopf.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/dcopf.cpp.o.d"
+  "/root/repo/src/flow/elastic.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/elastic.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/elastic.cpp.o.d"
+  "/root/repo/src/flow/io.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/io.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/io.cpp.o.d"
+  "/root/repo/src/flow/marginal_cost.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/marginal_cost.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/marginal_cost.cpp.o.d"
+  "/root/repo/src/flow/multiperiod.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/multiperiod.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/multiperiod.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/network.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/network.cpp.o.d"
+  "/root/repo/src/flow/series.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/series.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/series.cpp.o.d"
+  "/root/repo/src/flow/social_welfare.cpp" "src/flow/CMakeFiles/gridsec_flow.dir/social_welfare.cpp.o" "gcc" "src/flow/CMakeFiles/gridsec_flow.dir/social_welfare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/gridsec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

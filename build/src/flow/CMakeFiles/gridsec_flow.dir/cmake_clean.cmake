@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_flow.dir/allocation.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/allocation.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/analysis.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/analysis.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/dcopf.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/dcopf.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/elastic.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/elastic.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/io.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/io.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/marginal_cost.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/marginal_cost.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/multiperiod.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/multiperiod.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/network.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/network.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/series.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/series.cpp.o.d"
+  "CMakeFiles/gridsec_flow.dir/social_welfare.cpp.o"
+  "CMakeFiles/gridsec_flow.dir/social_welfare.cpp.o.d"
+  "libgridsec_flow.a"
+  "libgridsec_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

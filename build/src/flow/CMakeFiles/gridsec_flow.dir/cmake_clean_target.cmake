@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridsec_flow.a"
+)

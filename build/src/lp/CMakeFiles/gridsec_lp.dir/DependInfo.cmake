@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/lp_io.cpp" "src/lp/CMakeFiles/gridsec_lp.dir/lp_io.cpp.o" "gcc" "src/lp/CMakeFiles/gridsec_lp.dir/lp_io.cpp.o.d"
+  "/root/repo/src/lp/milp.cpp" "src/lp/CMakeFiles/gridsec_lp.dir/milp.cpp.o" "gcc" "src/lp/CMakeFiles/gridsec_lp.dir/milp.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/lp/CMakeFiles/gridsec_lp.dir/presolve.cpp.o" "gcc" "src/lp/CMakeFiles/gridsec_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/lp/problem.cpp" "src/lp/CMakeFiles/gridsec_lp.dir/problem.cpp.o" "gcc" "src/lp/CMakeFiles/gridsec_lp.dir/problem.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/gridsec_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/gridsec_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_lp.dir/lp_io.cpp.o"
+  "CMakeFiles/gridsec_lp.dir/lp_io.cpp.o.d"
+  "CMakeFiles/gridsec_lp.dir/milp.cpp.o"
+  "CMakeFiles/gridsec_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/gridsec_lp.dir/presolve.cpp.o"
+  "CMakeFiles/gridsec_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/gridsec_lp.dir/problem.cpp.o"
+  "CMakeFiles/gridsec_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/gridsec_lp.dir/simplex.cpp.o"
+  "CMakeFiles/gridsec_lp.dir/simplex.cpp.o.d"
+  "libgridsec_lp.a"
+  "libgridsec_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gridsec_lp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiments.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/experiments.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/experiments.cpp.o.d"
+  "/root/repo/src/sim/gulf_coast.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/gulf_coast.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/gulf_coast.cpp.o.d"
+  "/root/repo/src/sim/montecarlo.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/montecarlo.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/sim/ownership_structures.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/ownership_structures.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/ownership_structures.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/western_us.cpp" "src/sim/CMakeFiles/gridsec_sim.dir/western_us.cpp.o" "gcc" "src/sim/CMakeFiles/gridsec_sim.dir/western_us.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/gridsec_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gridsec_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gridsec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_sim.dir/experiments.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/gridsec_sim.dir/gulf_coast.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/gulf_coast.cpp.o.d"
+  "CMakeFiles/gridsec_sim.dir/montecarlo.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/gridsec_sim.dir/ownership_structures.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/ownership_structures.cpp.o.d"
+  "CMakeFiles/gridsec_sim.dir/scenario.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/gridsec_sim.dir/western_us.cpp.o"
+  "CMakeFiles/gridsec_sim.dir/western_us.cpp.o.d"
+  "libgridsec_sim.a"
+  "libgridsec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

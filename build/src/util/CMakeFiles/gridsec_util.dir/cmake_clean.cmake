@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsec_util.dir/error.cpp.o"
+  "CMakeFiles/gridsec_util.dir/error.cpp.o.d"
+  "CMakeFiles/gridsec_util.dir/matrix.cpp.o"
+  "CMakeFiles/gridsec_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/gridsec_util.dir/rng.cpp.o"
+  "CMakeFiles/gridsec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gridsec_util.dir/stats.cpp.o"
+  "CMakeFiles/gridsec_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gridsec_util.dir/table.cpp.o"
+  "CMakeFiles/gridsec_util.dir/table.cpp.o.d"
+  "CMakeFiles/gridsec_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gridsec_util.dir/thread_pool.cpp.o.d"
+  "libgridsec_util.a"
+  "libgridsec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gridsec_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/contagion_test.cpp" "tests/CMakeFiles/contagion_test.dir/contagion_test.cpp.o" "gcc" "tests/CMakeFiles/contagion_test.dir/contagion_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gridsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gridsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/gridsec_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gridsec_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gridsec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

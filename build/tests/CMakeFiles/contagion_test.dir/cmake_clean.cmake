@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contagion_test.dir/contagion_test.cpp.o"
+  "CMakeFiles/contagion_test.dir/contagion_test.cpp.o.d"
+  "contagion_test"
+  "contagion_test.pdb"
+  "contagion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contagion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

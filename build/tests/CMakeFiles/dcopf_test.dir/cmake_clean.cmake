@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcopf_test.dir/dcopf_test.cpp.o"
+  "CMakeFiles/dcopf_test.dir/dcopf_test.cpp.o.d"
+  "dcopf_test"
+  "dcopf_test.pdb"
+  "dcopf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcopf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

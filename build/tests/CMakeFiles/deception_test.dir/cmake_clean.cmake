@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deception_test.dir/deception_test.cpp.o"
+  "CMakeFiles/deception_test.dir/deception_test.cpp.o.d"
+  "deception_test"
+  "deception_test.pdb"
+  "deception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_test.dir/defender_test.cpp.o"
+  "CMakeFiles/defender_test.dir/defender_test.cpp.o.d"
+  "defender_test"
+  "defender_test.pdb"
+  "defender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_test.dir/elastic_test.cpp.o"
+  "CMakeFiles/elastic_test.dir/elastic_test.cpp.o.d"
+  "elastic_test"
+  "elastic_test.pdb"
+  "elastic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gulf_coast_test.dir/gulf_coast_test.cpp.o"
+  "CMakeFiles/gulf_coast_test.dir/gulf_coast_test.cpp.o.d"
+  "gulf_coast_test"
+  "gulf_coast_test.pdb"
+  "gulf_coast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gulf_coast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

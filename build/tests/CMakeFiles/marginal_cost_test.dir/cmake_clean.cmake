@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginal_cost_test.dir/marginal_cost_test.cpp.o"
+  "CMakeFiles/marginal_cost_test.dir/marginal_cost_test.cpp.o.d"
+  "marginal_cost_test"
+  "marginal_cost_test.pdb"
+  "marginal_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginal_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

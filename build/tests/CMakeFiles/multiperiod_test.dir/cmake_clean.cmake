@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiperiod_test.dir/multiperiod_test.cpp.o"
+  "CMakeFiles/multiperiod_test.dir/multiperiod_test.cpp.o.d"
+  "multiperiod_test"
+  "multiperiod_test.pdb"
+  "multiperiod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiperiod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

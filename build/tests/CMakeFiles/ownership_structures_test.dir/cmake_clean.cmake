@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_structures_test.dir/ownership_structures_test.cpp.o"
+  "CMakeFiles/ownership_structures_test.dir/ownership_structures_test.cpp.o.d"
+  "ownership_structures_test"
+  "ownership_structures_test.pdb"
+  "ownership_structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

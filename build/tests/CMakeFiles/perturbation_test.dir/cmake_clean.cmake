@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturbation_test.dir/perturbation_test.cpp.o"
+  "CMakeFiles/perturbation_test.dir/perturbation_test.cpp.o.d"
+  "perturbation_test"
+  "perturbation_test.pdb"
+  "perturbation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturbation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeated_game_test.dir/repeated_game_test.cpp.o"
+  "CMakeFiles/repeated_game_test.dir/repeated_game_test.cpp.o.d"
+  "repeated_game_test"
+  "repeated_game_test.pdb"
+  "repeated_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeated_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_welfare_test.dir/social_welfare_test.cpp.o"
+  "CMakeFiles/social_welfare_test.dir/social_welfare_test.cpp.o.d"
+  "social_welfare_test"
+  "social_welfare_test.pdb"
+  "social_welfare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_welfare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

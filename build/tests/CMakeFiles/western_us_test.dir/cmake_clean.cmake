@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/western_us_test.dir/western_us_test.cpp.o"
+  "CMakeFiles/western_us_test.dir/western_us_test.cpp.o.d"
+  "western_us_test"
+  "western_us_test.pdb"
+  "western_us_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/western_us_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
