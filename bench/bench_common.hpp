@@ -1,13 +1,15 @@
 // Shared plumbing for the figure-reproduction benches: flag parsing and
-// dual table/CSV emission.
+// dual table/CSV emission, plus an optional metrics-JSON sidecar.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "gridsec/obs/metrics.hpp"
 #include "gridsec/util/table.hpp"
 #include "gridsec/util/thread_pool.hpp"
 
@@ -18,29 +20,79 @@ struct BenchArgs {
   std::uint64_t seed = 2015;
   bool csv_only = false;
   std::size_t threads = 0;  // 0 = hardware concurrency
+  // --json[=FILE]: after the bench, dump the metrics registry as JSON to
+  // FILE (default BENCH_<prog>.json). Empty = off.
+  std::string json_file;
 };
+
+[[noreturn]] inline void usage_exit(const char* prog, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--trials=N] [--seed=S] [--threads=T] [--csv] "
+               "[--json[=FILE]]\n",
+               prog);
+  std::exit(code);
+}
+
+inline std::string default_json_name(const char* argv0) {
+  std::string base = argv0;
+  const std::size_t slash = base.find_last_of("/\\");
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return "BENCH_" + base + ".json";
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
+  // Whole-value numeric parsing: reject trailing junk like --trials=5x.
+  const auto parse_long = [&](const char* s, long* out) {
+    char* end = nullptr;
+    *out = std::strtol(s, &end, 10);
+    return end != s && *end == '\0';
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const auto value = [&a](const char* prefix) -> const char* {
       const std::size_t n = std::strlen(prefix);
       return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
     };
-    if (const char* v = value("--trials=")) {
-      args.trials = std::atoi(v);
-    } else if (const char* v = value("--seed=")) {
-      args.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--threads=")) {
-      args.threads = static_cast<std::size_t>(std::atoi(v));
+    long v = 0;
+    if (const char* s = value("--trials=")) {
+      if (!parse_long(s, &v) || v <= 0) {
+        std::fprintf(stderr, "%s: malformed value in '%s'\n", argv[0],
+                     a.c_str());
+        usage_exit(argv[0], 2);
+      }
+      args.trials = static_cast<int>(v);
+    } else if (const char* s = value("--seed=")) {
+      char* end = nullptr;
+      args.seed = static_cast<std::uint64_t>(std::strtoull(s, &end, 10));
+      if (end == s || *end != '\0') {
+        std::fprintf(stderr, "%s: malformed value in '%s'\n", argv[0],
+                     a.c_str());
+        usage_exit(argv[0], 2);
+      }
+    } else if (const char* s = value("--threads=")) {
+      if (!parse_long(s, &v) || v < 0) {
+        std::fprintf(stderr, "%s: malformed value in '%s'\n", argv[0],
+                     a.c_str());
+        usage_exit(argv[0], 2);
+      }
+      args.threads = static_cast<std::size_t>(v);
+    } else if (const char* s = value("--json=")) {
+      args.json_file = s;
+      if (args.json_file.empty()) {
+        std::fprintf(stderr, "%s: malformed value in '%s'\n", argv[0],
+                     a.c_str());
+        usage_exit(argv[0], 2);
+      }
+    } else if (a == "--json") {
+      args.json_file = default_json_name(argv[0]);
     } else if (a == "--csv") {
       args.csv_only = true;
     } else if (a == "--help" || a == "-h") {
-      std::printf(
-          "usage: %s [--trials=N] [--seed=S] [--threads=T] [--csv]\n",
-          argv[0]);
-      std::exit(0);
+      usage_exit(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a.c_str());
+      usage_exit(argv[0], 2);
     }
   }
   return args;
@@ -54,6 +106,23 @@ inline void emit(const Table& table, const BenchArgs& args,
     std::cout << "\n# CSV\n";
   }
   table.print_csv(std::cout);
+}
+
+/// Writes `{"bench":...,"trials":...,"seed":...,"metrics":{...}}` to
+/// args.json_file when --json was given. Call once, after the bench ran.
+inline void emit_metrics_json(const BenchArgs& args, const char* title) {
+  if (args.json_file.empty()) return;
+  std::ofstream out(args.json_file);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                 args.json_file.c_str());
+    return;
+  }
+  out << "{\"bench\":\"" << title << "\",\"trials\":" << args.trials
+      << ",\"seed\":" << args.seed << ",\"metrics\":";
+  obs::default_registry().write_json(out);
+  out << "}\n";
+  std::fprintf(stderr, "metrics -> %s\n", args.json_file.c_str());
 }
 
 }  // namespace gridsec::bench

@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
               << "  (" << m.long_haul.size() << " long-haul edges, "
               << m.network.num_edges() << " assets)\n";
   }
+  bench::emit_metrics_json(args, "fig1_model_dump");
   return 0;
 }

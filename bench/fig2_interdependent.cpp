@@ -29,5 +29,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 2: gain/loss vs actor count (western US model)");
+  bench::emit_metrics_json(args, "fig2_interdependent");
   return 0;
 }

@@ -26,5 +26,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 3: SA profitability vs noise and actors");
+  bench::emit_metrics_json(args, "fig3_adversary_noise");
   return 0;
 }

@@ -31,5 +31,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 4: anticipated vs observed SA profit (6 actors)");
+  bench::emit_metrics_json(args, "fig4_anticipated_vs_observed");
   return 0;
 }

@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 5: defense effectiveness vs defender noise");
+  bench::emit_metrics_json(args, "fig5_defense_effectiveness");
   return 0;
 }

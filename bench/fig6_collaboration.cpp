@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 6: collaboration vs individual defense (4 actors)");
+  bench::emit_metrics_json(args, "fig6_collaboration");
   return 0;
 }

@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 7: collaboration benefit vs actor count");
+  bench::emit_metrics_json(args, "fig7_collaboration_actors");
   return 0;
 }

@@ -15,12 +15,15 @@
 //   --collab       collaborative defense (defend)
 //   --cost=C       per-asset defense cost (defend; default 2000)
 //   --budget=B     system defense budget in assets (defend; default 12)
+//   --trace=FILE   write a Chrome trace-event JSON of the run to FILE
+//   --metrics      dump the metrics registry as JSON to stdout after the run
 //
 // Network file format: see include/gridsec/flow/io.hpp.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,6 +33,8 @@
 #include "gridsec/flow/io.hpp"
 #include "gridsec/flow/marginal_cost.hpp"
 #include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
 #include "gridsec/util/table.hpp"
 
 namespace {
@@ -45,6 +50,8 @@ struct CliArgs {
   bool collab = false;
   double cost = 2000.0;
   double budget_assets = 12.0;
+  std::string trace_file;  // empty = tracing off
+  bool metrics = false;
 };
 
 int usage() {
@@ -52,8 +59,33 @@ int usage() {
                "usage: gridsec_cli "
                "{dump|impact|attack|defend|rents|stackelberg} <file> "
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
-               "[--cost=C] [--budget=B]\n");
+               "[--cost=C] [--budget=B] [--trace=FILE] [--metrics]\n");
   return 2;
+}
+
+// Strict numeric parsers: the whole value must parse, or we reject the flag.
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
 cps::Ownership load_ownership(const flow::ParsedNetwork& parsed,
@@ -229,6 +261,16 @@ int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   return 0;
 }
 
+int run_command(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  if (args.command == "dump") return cmd_dump(parsed);
+  if (args.command == "impact") return cmd_impact(parsed, args);
+  if (args.command == "attack") return cmd_attack(parsed, args);
+  if (args.command == "defend") return cmd_defend(parsed, args);
+  if (args.command == "rents") return cmd_rents(parsed);
+  if (args.command == "stackelberg") return cmd_stackelberg(parsed, args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,19 +284,31 @@ int main(int argc, char** argv) {
       const std::size_t n = std::strlen(prefix);
       return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
     };
+    bool ok = true;
     if (const char* v = value("--actors=")) {
-      args.actors = std::atoi(v);
+      ok = parse_int(v, &args.actors);
     } else if (const char* v = value("--seed=")) {
-      args.seed = std::strtoull(v, nullptr, 10);
+      ok = parse_u64(v, &args.seed);
     } else if (const char* v = value("--targets=")) {
-      args.targets = std::atoi(v);
+      ok = parse_int(v, &args.targets);
     } else if (const char* v = value("--cost=")) {
-      args.cost = std::atof(v);
+      ok = parse_double(v, &args.cost);
     } else if (const char* v = value("--budget=")) {
-      args.budget_assets = std::atof(v);
+      ok = parse_double(v, &args.budget_assets);
+    } else if (const char* v = value("--trace=")) {
+      args.trace_file = v;
+      ok = !args.trace_file.empty();
     } else if (a == "--collab") {
       args.collab = true;
+    } else if (a == "--metrics") {
+      args.metrics = true;
     } else {
+      std::fprintf(stderr, "gridsec_cli: unknown option '%s'\n", a.c_str());
+      return usage();
+    }
+    if (!ok) {
+      std::fprintf(stderr, "gridsec_cli: malformed value in '%s'\n",
+                   a.c_str());
       return usage();
     }
   }
@@ -265,11 +319,25 @@ int main(int argc, char** argv) {
                  parsed.status().to_string().c_str());
     return 1;
   }
-  if (args.command == "dump") return cmd_dump(*parsed);
-  if (args.command == "impact") return cmd_impact(*parsed, args);
-  if (args.command == "attack") return cmd_attack(*parsed, args);
-  if (args.command == "defend") return cmd_defend(*parsed, args);
-  if (args.command == "rents") return cmd_rents(*parsed);
-  if (args.command == "stackelberg") return cmd_stackelberg(*parsed, args);
-  return usage();
+
+  if (!args.trace_file.empty()) gridsec::obs::Tracer::start();
+  const int rc = run_command(*parsed, args);
+  if (!args.trace_file.empty()) {
+    gridsec::obs::Tracer::stop();
+    std::ofstream out(args.trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   args.trace_file.c_str());
+      return 1;
+    }
+    gridsec::obs::Tracer::write_chrome_json(out);
+    std::fprintf(stderr, "trace: %zu events -> %s\n",
+                 gridsec::obs::Tracer::event_count(),
+                 args.trace_file.c_str());
+  }
+  if (args.metrics) {
+    gridsec::obs::default_registry().write_json(std::cout);
+    std::cout << "\n";
+  }
+  return rc;
 }

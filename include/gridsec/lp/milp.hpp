@@ -12,6 +12,7 @@
 
 #include "gridsec/lp/problem.hpp"
 #include "gridsec/lp/simplex.hpp"
+#include "gridsec/obs/solver_events.hpp"
 
 namespace gridsec::lp {
 
@@ -28,13 +29,13 @@ struct BranchAndBoundOptions {
   /// round the most fractional integer and re-solve — to seed an incumbent
   /// early. Never affects optimality, only pruning speed.
   bool diving_heuristic = true;
+  /// Optional event stream: called for every node explored / pruned /
+  /// incumbent found. Empty (the default) costs one branch per node.
+  obs::BnBObserver observer;
 };
 
-struct BranchAndBoundStats {
-  long nodes_explored = 0;
-  long lp_solves = 0;
-  long incumbent_updates = 0;
-};
+// BranchAndBoundStats lives in problem.hpp so Solution can embed it; the
+// same counters are also available here via BranchAndBoundSolver::stats().
 
 class BranchAndBoundSolver {
  public:
@@ -45,11 +46,14 @@ class BranchAndBoundSolver {
   /// Solution::duals is empty (MILP duals are not well defined).
   /// status == kIterationLimit means the node budget was exhausted; the
   /// returned incumbent (if any) is feasible but possibly suboptimal.
+  /// Solution::bnb carries the search counters (same values as stats()).
   [[nodiscard]] Solution solve(const Problem& problem) const;
 
   [[nodiscard]] const BranchAndBoundStats& stats() const { return stats_; }
 
  private:
+  [[nodiscard]] Solution solve_search(const Problem& problem) const;
+
   BranchAndBoundOptions options_;
   mutable BranchAndBoundStats stats_;
 };

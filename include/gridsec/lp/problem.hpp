@@ -126,6 +126,14 @@ enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 std::string_view to_string(SolveStatus s);
 
+/// Branch-and-bound search counters. Lives here (not milp.hpp) so Solution
+/// can carry a copy back to one-shot solve_milp() callers.
+struct BranchAndBoundStats {
+  long nodes_explored = 0;
+  long lp_solves = 0;
+  long incumbent_updates = 0;
+};
+
 /// A primal (and for LP, dual) solution.
 struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
@@ -133,7 +141,9 @@ struct Solution {
   std::vector<double> x;           // primal values, per variable
   std::vector<double> duals;       // per constraint (LP only; empty for MILP)
   std::vector<double> reduced_costs;  // per variable (LP only)
-  long iterations = 0;
+  long iterations = 0;             // simplex pivots (LP; 0 for MILP solves)
+  /// Filled by BranchAndBoundSolver; all-zero for plain LP solves.
+  BranchAndBoundStats bnb;
 
   [[nodiscard]] bool optimal() const {
     return status == SolveStatus::kOptimal;

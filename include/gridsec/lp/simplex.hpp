@@ -14,6 +14,7 @@
 #pragma once
 
 #include "gridsec/lp/problem.hpp"
+#include "gridsec/obs/solver_events.hpp"
 
 namespace gridsec::lp {
 
@@ -22,6 +23,9 @@ struct SimplexOptions {
   double optimality_tol = 1e-9;    // reduced-cost threshold
   long max_iterations = 0;         // 0 = automatic (scales with size)
   long bland_after = 0;            // 0 = automatic; switch to Bland's rule
+  /// Optional event stream: called once per completed pivot (including
+  /// bound flips). Empty (the default) costs one branch per iteration.
+  obs::SimplexObserver observer;
 };
 
 class SimplexSolver {

@@ -9,6 +9,8 @@
 #include <functional>
 #include <vector>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
 #include "gridsec/util/rng.hpp"
 #include "gridsec/util/stats.hpp"
 #include "gridsec/util/thread_pool.hpp"
@@ -22,9 +24,14 @@ template <typename T>
 std::vector<T> run_trials(ThreadPool* pool, std::size_t n,
                           std::uint64_t seed,
                           const std::function<T(std::size_t, Rng&)>& fn) {
+  GRIDSEC_TRACE_SPAN("sim.run_trials");
+  static obs::Counter& c_trials =
+      obs::default_registry().counter("sim.montecarlo.trials");
+  c_trials.add(static_cast<std::int64_t>(n));
   std::vector<T> results(n);
   const Rng parent(seed);
   parallel_for(pool, n, [&](std::size_t i) {
+    GRIDSEC_TRACE_SPAN("sim.trial");
     Rng rng = parent.derive_stream(i);
     results[i] = fn(i, rng);
   });

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <string>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::core {
 namespace {
 
@@ -51,6 +54,11 @@ double StrategicAdversary::evaluate_target_set(
 }
 
 AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
+  GRIDSEC_TRACE_SPAN("core.adversary.plan");
+  auto& reg = obs::default_registry();
+  static obs::Counter& c_plans = reg.counter("core.adversary.plans");
+  static obs::Counter& c_nodes = reg.counter("core.adversary.search_nodes");
+  c_plans.add();
   validate_config(config_, im.num_targets());
   const int nt = im.num_targets();
   const int na = im.num_actors();
@@ -151,6 +159,7 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
     }
   };
   dfs(dfs, 0, 0.0);
+  c_nodes.add(nodes);
 
   if (exhausted) {
     // Keep whichever is better: the incumbent or the greedy plan.
@@ -169,6 +178,7 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
 }
 
 AttackPlan StrategicAdversary::plan_milp(const cps::ImpactMatrix& im) const {
+  GRIDSEC_TRACE_SPAN("core.adversary.plan_milp");
   validate_config(config_, im.num_targets());
   const int nt = im.num_targets();
   const int na = im.num_actors();

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::core {
 namespace {
 
@@ -45,6 +48,10 @@ DefensePlan defend_individual(
     const cps::ImpactMatrix& im, const cps::Ownership& ownership,
     const std::vector<std::vector<double>>& pa_per_actor,
     const DefenderConfig& config) {
+  GRIDSEC_TRACE_SPAN("core.defender.individual");
+  static obs::Counter& c_plans =
+      obs::default_registry().counter("core.defender.individual_plans");
+  c_plans.add();
   const int nt = im.num_targets();
   const int na = im.num_actors();
   validate_config(config, nt, na);
@@ -104,6 +111,10 @@ DefensePlan defend_collaborative(
     const cps::ImpactMatrix& im, const cps::Ownership& ownership,
     const std::vector<std::vector<double>>& pa_per_actor,
     const DefenderConfig& config) {
+  GRIDSEC_TRACE_SPAN("core.defender.collaborative");
+  static obs::Counter& c_plans =
+      obs::default_registry().counter("core.defender.collaborative_plans");
+  c_plans.add();
   const int nt = im.num_targets();
   const int na = im.num_actors();
   validate_config(config, nt, na);
@@ -202,6 +213,7 @@ StatusOr<std::vector<double>> estimate_attack_probabilities(
     const flow::Network& defender_view, const cps::Ownership& ownership,
     const AdversaryConfig& adversary, const cps::NoiseSpec& speculated_noise,
     int num_samples, Rng& rng, const cps::ImpactOptions& impact_options) {
+  GRIDSEC_TRACE_SPAN("core.defender.estimate_pa");
   GRIDSEC_ASSERT(num_samples > 0);
   std::vector<double> pa(static_cast<std::size_t>(defender_view.num_edges()),
                          0.0);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::core {
 
 double GameOutcome::total_loss_undefended() const {
@@ -49,8 +52,14 @@ double evaluate_attack_with_defense(const cps::ImpactMatrix& truth,
 StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
                                         const cps::Ownership& ownership,
                                         const GameConfig& config, Rng& rng) {
+  GRIDSEC_TRACE_SPAN("core.game.play");
+  static obs::Counter& c_games =
+      obs::default_registry().counter("core.game.plays");
+  c_games.add();
   GameOutcome out;
 
+  {  // Defender phase (steps 1-3); the span closes before the SA plans.
+  GRIDSEC_TRACE_SPAN("core.game.defender_phase");
   if (!config.per_defender_views) {
     // 1. One shared noisy view and its impact matrix I'.
     flow::Network defender_view =
@@ -111,18 +120,22 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
   if (!out.defense.optimal()) {
     return Status::internal("play_defense_game: defense MILP failed");
   }
+  }  // end defender phase
 
   // 4. The actual adversary plans on its own view.
-  flow::Network adversary_view =
-      cps::perturb_knowledge(truth, config.adversary_noise, rng);
-  auto adversary_im =
-      cps::compute_impact_matrix(adversary_view, ownership, config.impact);
-  if (!adversary_im.is_ok()) return adversary_im.status();
-  StrategicAdversary sa(config.adversary);
-  out.attack = sa.plan(adversary_im->matrix);
-  if (out.attack.status == lp::SolveStatus::kInfeasible ||
-      out.attack.status == lp::SolveStatus::kUnbounded) {
-    return Status::internal("play_defense_game: adversary plan failed");
+  {
+    GRIDSEC_TRACE_SPAN("core.game.adversary_phase");
+    flow::Network adversary_view =
+        cps::perturb_knowledge(truth, config.adversary_noise, rng);
+    auto adversary_im =
+        cps::compute_impact_matrix(adversary_view, ownership, config.impact);
+    if (!adversary_im.is_ok()) return adversary_im.status();
+    StrategicAdversary sa(config.adversary);
+    out.attack = sa.plan(adversary_im->matrix);
+    if (out.attack.status == lp::SolveStatus::kInfeasible ||
+        out.attack.status == lp::SolveStatus::kUnbounded) {
+      return Status::internal("play_defense_game: adversary plan failed");
+    }
   }
 
   // 5. Realize the attack against the ground truth, with and without the

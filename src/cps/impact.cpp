@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <ostream>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::cps {
 
 ImpactMatrix::ImpactMatrix(int num_actors, int num_targets)
@@ -46,6 +49,10 @@ double ImpactMatrix::aggregate_loss() const {
 StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
                                              const Ownership& ownership,
                                              const ImpactOptions& options) {
+  GRIDSEC_TRACE_SPAN("cps.impact.matrix");
+  static obs::Counter& c_computes =
+      obs::default_registry().counter("cps.impact.matrix_computes");
+  c_computes.add();
   if (ownership.num_assets() != net.num_edges()) {
     return Status::invalid_argument(
         "compute_impact_matrix: ownership size != edge count");

@@ -1,5 +1,8 @@
 #include "gridsec/flow/social_welfare.hpp"
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::flow {
 
 lp::Problem build_social_welfare_lp(const Network& net) {
@@ -30,6 +33,10 @@ lp::Problem build_social_welfare_lp(const Network& net) {
 
 FlowSolution solve_social_welfare(const Network& net,
                                   const SocialWelfareOptions& options) {
+  GRIDSEC_TRACE_SPAN("flow.social_welfare.solve");
+  static obs::Counter& c_solves =
+      obs::default_registry().counter("flow.social_welfare.solves");
+  c_solves.add();
   lp::Problem p = build_social_welfare_lp(net);
   lp::SimplexSolver solver(options.simplex);
   lp::Solution lp_sol = solver.solve(p);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "gridsec/lp/presolve.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
 
 namespace gridsec::lp {
 namespace {
@@ -44,6 +46,16 @@ int most_fractional(const Problem& problem, const std::vector<double>& x,
 }  // namespace
 
 Solution BranchAndBoundSolver::solve(const Problem& problem) const {
+  GRIDSEC_TRACE_SPAN("lp.bnb.solve");
+  static obs::Counter& c_solves =
+      obs::default_registry().counter("lp.bnb.solves");
+  c_solves.add();
+  Solution sol = solve_search(problem);
+  sol.bnb = stats_;
+  return sol;
+}
+
+Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
   stats_ = {};
 
   // Optional root presolve. Only usable when it does not fix any integer
@@ -135,6 +147,29 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
   double incumbent_internal = kInfinity;
   bool any_node_hit_limit = false;
 
+  auto& reg = obs::default_registry();
+  static obs::Counter& c_nodes = reg.counter("lp.bnb.nodes");
+  static obs::Counter& c_lp_solves = reg.counter("lp.bnb.lp_solves");
+  static obs::Counter& c_incumbents = reg.counter("lp.bnb.incumbents");
+  static obs::Counter& c_pruned = reg.counter("lp.bnb.pruned");
+
+  const bool observed = static_cast<bool>(options_.observer);
+  const auto emit = [&](obs::BnBNodeEvent::Kind kind, double bound_internal,
+                        int depth, int branch_var = -1) {
+    if (!observed) return;
+    obs::BnBNodeEvent ev;
+    ev.kind = kind;
+    ev.node = stats_.nodes_explored;
+    ev.depth = depth;
+    ev.bound = maximize ? -bound_internal : bound_internal;
+    ev.has_incumbent = incumbent.status == SolveStatus::kOptimal;
+    ev.incumbent = ev.has_incumbent ? incumbent.objective : 0.0;
+    ev.gap = ev.has_incumbent ? std::fabs(incumbent_internal - bound_internal)
+                              : 0.0;
+    ev.branch_var = branch_var;
+    options_.observer(ev);
+  };
+
   if (options_.diving_heuristic && problem.has_integer_variables()) {
     // One rounding dive from the root: cheap, and a feasible incumbent
     // prunes the best-first search dramatically.
@@ -143,6 +178,7 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
     for (;;) {
       Solution relax = lp.solve(work);
       ++stats_.lp_solves;
+      c_lp_solves.add();
       if (relax.status != SolveStatus::kOptimal) break;
       const int frac =
           most_fractional(problem, relax.x, options_.integrality_tol);
@@ -159,6 +195,9 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
         incumbent = relax;
         incumbent_internal = internal(relax.objective);
         ++stats_.incumbent_updates;
+        c_incumbents.add();
+        emit(obs::BnBNodeEvent::Kind::kIncumbent, incumbent_internal,
+             static_cast<int>(dive.size()));
         break;
       }
       const double v = relax.x[static_cast<std::size_t>(frac)];
@@ -188,14 +227,25 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
     Node node = open.top();
     open.pop();
     if (node.bound >= incumbent_internal - options_.absolute_gap) {
+      c_pruned.add();
+      emit(obs::BnBNodeEvent::Kind::kPrunedByBound, node.bound,
+           static_cast<int>(node.changes.size()));
       continue;  // cannot improve the incumbent
     }
     ++stats_.nodes_explored;
+    c_nodes.add();
+    emit(obs::BnBNodeEvent::Kind::kNodeExplored, node.bound,
+         static_cast<int>(node.changes.size()));
 
     apply(node.changes);
     Solution relax = lp.solve(work);
     ++stats_.lp_solves;
-    if (relax.status == SolveStatus::kInfeasible) continue;
+    c_lp_solves.add();
+    if (relax.status == SolveStatus::kInfeasible) {
+      emit(obs::BnBNodeEvent::Kind::kInfeasible, node.bound,
+           static_cast<int>(node.changes.size()));
+      continue;
+    }
     if (relax.status == SolveStatus::kUnbounded) {
       // Unbounded relaxation at the root means the MILP is unbounded (our
       // binaries cannot bound it); deeper nodes inherit it too.
@@ -208,7 +258,12 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
       continue;
     }
     const double node_internal = internal(relax.objective);
-    if (node_internal >= incumbent_internal - options_.absolute_gap) continue;
+    if (node_internal >= incumbent_internal - options_.absolute_gap) {
+      c_pruned.add();
+      emit(obs::BnBNodeEvent::Kind::kPrunedByBound, node_internal,
+           static_cast<int>(node.changes.size()));
+      continue;
+    }
 
     const int branch_var =
         most_fractional(problem, relax.x, options_.integrality_tol);
@@ -226,8 +281,14 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
       incumbent = relax;
       incumbent_internal = internal(relax.objective);
       ++stats_.incumbent_updates;
+      c_incumbents.add();
+      emit(obs::BnBNodeEvent::Kind::kIncumbent, node_internal,
+           static_cast<int>(node.changes.size()));
       continue;
     }
+
+    emit(obs::BnBNodeEvent::Kind::kBranched, node_internal,
+         static_cast<int>(node.changes.size()), branch_var);
 
     const double v = relax.x[static_cast<std::size_t>(branch_var)];
     const double floor_v = std::floor(v);
@@ -275,6 +336,7 @@ Solution solve_milp_with_duals(const Problem& problem,
   Solution refined = lp.solve(fixed);
   if (refined.status != SolveStatus::kOptimal) return incumbent;
   refined.status = incumbent.status;  // keep the proof status of the search
+  refined.bnb = incumbent.bnb;        // and the search counters
   return refined;
 }
 

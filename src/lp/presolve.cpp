@@ -2,14 +2,40 @@
 
 #include <cmath>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::lp {
 namespace {
 
 constexpr double kFeasTol = 1e-9;
 
+/// Reduction counts go to the registry so B&B root presolve shows up in a
+/// `--metrics` dump alongside node/pivot counters.
+void record_presolve_metrics(const Presolved& p) {
+  auto& reg = obs::default_registry();
+  static obs::Counter& runs = reg.counter("lp.presolve.runs");
+  static obs::Counter& fixed = reg.counter("lp.presolve.fixed_variables");
+  static obs::Counter& rows = reg.counter("lp.presolve.removed_rows");
+  static obs::Counter& bounds = reg.counter("lp.presolve.tightened_bounds");
+  static obs::Counter& free_fixed =
+      reg.counter("lp.presolve.free_variables_fixed");
+  static obs::Counter& passes = reg.counter("lp.presolve.passes");
+  runs.add();
+  fixed.add(p.stats().fixed_variables);
+  rows.add(p.stats().removed_rows);
+  bounds.add(p.stats().tightened_bounds);
+  free_fixed.add(p.stats().free_variables_fixed);
+  passes.add(p.stats().passes);
+}
+
 }  // namespace
 
 Presolved presolve(const Problem& problem) {
+  GRIDSEC_TRACE_SPAN("lp.presolve");
+  // The reduction loop lives in a lambda so every early return (infeasible /
+  // unbounded verdicts) still flows through the metrics recording below.
+  Presolved out = [&problem]() -> Presolved {
   Presolved out;
   out.original_ = &problem;
   const int nv = problem.num_variables();
@@ -188,6 +214,9 @@ Presolved presolve(const Problem& problem) {
       out.verdict_ == Presolved::Verdict::kReduced) {
     out.verdict_ = Presolved::Verdict::kSolved;
   }
+  return out;
+  }();
+  record_presolve_metrics(out);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/trace.hpp"
 #include "gridsec/util/matrix.hpp"
 
 namespace gridsec::lp {
@@ -30,6 +32,9 @@ struct Tableau {
 struct IterationOutcome {
   SolveStatus status = SolveStatus::kOptimal;
   long iterations = 0;
+  long degenerate_pivots = 0;
+  long bound_flips = 0;
+  long bland_pivots = 0;  // pivots taken under Bland's rule
 };
 
 /// Extracts the basis matrix B (m x m) from the tableau.
@@ -78,12 +83,15 @@ StatusOr<std::vector<double>> multipliers(const Tableau& t) {
 }
 
 /// Runs primal simplex pivots on `t` with the current cost vector until
-/// optimal / unbounded / iteration budget exhausted.
+/// optimal / unbounded / iteration budget exhausted. `phase` and
+/// `iter_base` only label observer events (cumulative iteration ids).
 IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
-                         long max_iters, long bland_after) {
+                         long max_iters, long bland_after, int phase,
+                         long iter_base) {
   IterationOutcome out;
   const double dtol = opt.optimality_tol;
   const double eps = 1e-11;
+  const bool observed = static_cast<bool>(opt.observer);
 
   for (long iter = 0; iter < max_iters; ++iter) {
     const bool bland = iter >= bland_after;
@@ -206,10 +214,27 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
     }
     t.x[eq] += enter_dir * t_limit;
 
+    const bool degenerate = t_limit <= eps;
+    if (degenerate) ++out.degenerate_pivots;
+    if (bland) ++out.bland_pivots;
+
     if (leaving_row < 0) {
       // Bound flip: entering variable traverses to its opposite bound.
       t.state[eq] = enter_dir > 0 ? VarState::kAtUpper : VarState::kAtLower;
       t.x[eq] = enter_dir > 0 ? t.upper[eq] : t.lower[eq];
+      ++out.bound_flips;
+      if (observed) {
+        obs::SimplexIterationEvent ev;
+        ev.iteration = iter_base + iter;
+        ev.phase = phase;
+        ev.entering = entering;
+        ev.leaving = -1;
+        ev.step = t_limit;
+        ev.bound_flip = true;
+        ev.degenerate = degenerate;
+        ev.bland = bland;
+        opt.observer(ev);
+      }
       continue;
     }
 
@@ -220,18 +245,69 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
     t.x[lcol] = leaving_bound < 0 ? t.lower[lcol] : t.upper[lcol];
     t.basis[lrow] = entering;
     t.state[eq] = VarState::kBasic;
+    if (observed) {
+      obs::SimplexIterationEvent ev;
+      ev.iteration = iter_base + iter;
+      ev.phase = phase;
+      ev.entering = entering;
+      ev.leaving = static_cast<int>(lcol);
+      ev.step = t_limit;
+      ev.degenerate = degenerate;
+      ev.bland = bland;
+      opt.observer(ev);
+    }
   }
   out.status = SolveStatus::kIterationLimit;
   out.iterations = max_iters;
   return out;
 }
 
-}  // namespace
+/// Flushes per-solve pivot totals into the default metric registry on every
+/// exit path. Registry handles are resolved once per process (function-local
+/// statics), so the steady-state cost is a handful of relaxed atomic adds
+/// per *solve* — never per iteration.
+struct SimplexMetricsGuard {
+  long pivots = 0;
+  long degenerate = 0;
+  long bound_flips = 0;
+  long bland = 0;
+  SolveStatus status = SolveStatus::kOptimal;
+
+  ~SimplexMetricsGuard() {
+    auto& reg = obs::default_registry();
+    static obs::Counter& solves = reg.counter("lp.simplex.solves");
+    static obs::Counter& c_pivots = reg.counter("lp.simplex.pivots");
+    static obs::Counter& c_degen =
+        reg.counter("lp.simplex.degenerate_pivots");
+    static obs::Counter& c_flips = reg.counter("lp.simplex.bound_flips");
+    static obs::Counter& c_bland = reg.counter("lp.simplex.bland_pivots");
+    static obs::Counter& c_failed = reg.counter("lp.simplex.non_optimal");
+    static obs::Histogram& h_pivots = reg.histogram(
+        "lp.simplex.pivots_per_solve",
+        {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0});
+    solves.add();
+    c_pivots.add(pivots);
+    c_degen.add(degenerate);
+    c_flips.add(bound_flips);
+    c_bland.add(bland);
+    if (status != SolveStatus::kOptimal) c_failed.add();
+    h_pivots.observe(static_cast<double>(pivots));
+  }
+
+  void absorb(const IterationOutcome& out) {
+    pivots += out.iterations;
+    degenerate += out.degenerate_pivots;
+    bound_flips += out.bound_flips;
+    bland += out.bland_pivots;
+  }
+};
 
 /// Full solve; when `final_tableau` is non-null and the solve is optimal,
 /// the cleaned final tableau is copied out for post-optimal analysis.
-Solution solve_impl(const Problem& problem, const SimplexOptions& options,
-                    Tableau* final_tableau) {
+Solution solve_impl_inner(const Problem& problem,
+                          const SimplexOptions& options,
+                          Tableau* final_tableau,
+                          SimplexMetricsGuard& metrics) {
   Solution sol;
   const int n = problem.num_variables();
   const int m = problem.num_constraints();
@@ -338,8 +414,10 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
         t.cost[static_cast<std::size_t>(art_base + i)] = 1.0;
       }
     }
-    auto outcome = iterate(t, options, max_iters, bland_after);
+    auto outcome = iterate(t, options, max_iters, bland_after, /*phase=*/1,
+                           /*iter_base=*/0);
     total_iters += outcome.iterations;
+    metrics.absorb(outcome);
     if (outcome.status == SolveStatus::kIterationLimit) {
       sol.status = SolveStatus::kIterationLimit;
       sol.iterations = total_iters;
@@ -372,8 +450,10 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
     const double c = problem.variable(j).objective;
     t.cost[static_cast<std::size_t>(j)] = maximize ? -c : c;
   }
-  auto outcome = iterate(t, options, max_iters, bland_after);
+  auto outcome = iterate(t, options, max_iters, bland_after, /*phase=*/2,
+                         /*iter_base=*/total_iters);
   total_iters += outcome.iterations;
+  metrics.absorb(outcome);
   sol.iterations = total_iters;
   if (outcome.status != SolveStatus::kOptimal) {
     sol.status = outcome.status;
@@ -421,6 +501,17 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
     }
   }
   if (final_tableau != nullptr) *final_tableau = t;
+  return sol;
+}
+
+}  // namespace
+
+Solution solve_impl(const Problem& problem, const SimplexOptions& options,
+                    Tableau* final_tableau) {
+  GRIDSEC_TRACE_SPAN("lp.simplex.solve");
+  SimplexMetricsGuard metrics;
+  Solution sol = solve_impl_inner(problem, options, final_tableau, metrics);
+  metrics.status = sol.status;
   return sol;
 }
 

@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <atomic>
 
+#include "gridsec/obs/metrics.hpp"
 #include "gridsec/util/error.hpp"
 
 namespace gridsec {
+namespace {
+
+/// Pool gauges live in the default registry. Queue depth and active-worker
+/// count are written under the pool mutex the code already holds, so the
+/// extra cost is two relaxed stores per task transition.
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::default_registry().gauge("util.threadpool.queue_depth");
+  obs::Gauge& active =
+      obs::default_registry().gauge("util.threadpool.active_workers");
+  obs::Counter& submitted =
+      obs::default_registry().counter("util.threadpool.tasks_submitted");
+  obs::Counter& completed =
+      obs::default_registry().counter("util.threadpool.tasks_completed");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -33,6 +56,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     GRIDSEC_ASSERT_MSG(!stop_, "submit after shutdown");
     queue_.push_back(std::move(pt));
+    pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+    pool_metrics().submitted.add();
   }
   cv_.notify_one();
   return fut;
@@ -53,11 +78,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+      pool_metrics().active.set(static_cast<double>(active_));
     }
     task();  // exceptions are captured in the packaged_task's future
     {
       std::lock_guard lock(mutex_);
       --active_;
+      pool_metrics().active.set(static_cast<double>(active_));
+      pool_metrics().completed.add();
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }

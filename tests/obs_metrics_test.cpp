@@ -1,0 +1,184 @@
+// Metrics registry: concurrency safety, histogram bucket edges, export
+// shapes, and reset semantics.
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/util/thread_pool.hpp"
+
+namespace gridsec::obs {
+namespace {
+
+TEST(MetricRegistry, FindOrCreateReturnsSameInstrument) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(MetricRegistry, CounterConcurrentHammerExactTotal) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("hammer.count");
+  Gauge& g = reg.gauge("hammer.gauge");
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 10000;
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    futs.push_back(pool.submit([&c, &g] {
+      for (int i = 0; i < kAddsPerTask; ++i) {
+        c.add();
+        g.add(1.0);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kTasks) * kAddsPerTask);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kTasks) * kAddsPerTask);
+}
+
+TEST(MetricRegistry, ConcurrentFindOrCreateSingleInstrument) {
+  MetricRegistry reg;
+  constexpr int kTasks = 32;
+  ThreadPool pool(8);
+  std::atomic<Counter*> first{nullptr};
+  std::atomic<int> mismatches{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < kTasks; ++t) {
+    futs.push_back(pool.submit([&] {
+      Counter& c = reg.counter("race.count");
+      c.add();
+      Counter* expected = nullptr;
+      if (!first.compare_exchange_strong(expected, &c) && expected != &c) {
+        mismatches.fetch_add(1);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(reg.counter("race.count").value(), kTasks);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("h", {0.0, 10.0, 100.0});
+  // Bucket semantics: counts[i] holds observations <= bounds[i] (first
+  // matching bucket); the final slot is the overflow bucket.
+  h.observe(-5.0);   // <= 0        -> bucket 0
+  h.observe(0.0);    // <= 0        -> bucket 0 (edge is inclusive)
+  h.observe(0.001);  // <= 10       -> bucket 1
+  h.observe(10.0);   // <= 10       -> bucket 1 (edge)
+  h.observe(10.001);  // <= 100     -> bucket 2
+  h.observe(100.0);  // <= 100      -> bucket 2 (edge)
+  h.observe(100.001);  // overflow  -> bucket 3
+  h.observe(1e9);      // overflow  -> bucket 3
+  const std::vector<std::int64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 8);
+}
+
+TEST(Histogram, ConcurrentObservePreservesTotal) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("conc", {1.0, 2.0, 3.0});
+  constexpr int kTasks = 16;
+  constexpr int kObsPerTask = 5000;
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < kTasks; ++t) {
+    futs.push_back(pool.submit([&h, t] {
+      for (int i = 0; i < kObsPerTask; ++i) {
+        h.observe(static_cast<double>((t + i) % 5));
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kTasks) * kObsPerTask);
+}
+
+TEST(Timer, SnapshotTracksObservations) {
+  MetricRegistry reg;
+  Timer& t = reg.timer("t");
+  t.observe_seconds(1.0);
+  t.observe_seconds(3.0);
+  const RunningStats snap = t.snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 3.0);
+}
+
+TEST(Timer, ScopedTimerRecordsAndToleratesNull) {
+  MetricRegistry reg;
+  Timer& t = reg.timer("scoped");
+  {
+    ScopedTimer s(&t);
+  }
+  EXPECT_EQ(t.snapshot().count(), 1u);
+  {
+    ScopedTimer s(nullptr);  // must be a no-op, not a crash
+  }
+}
+
+TEST(MetricRegistry, ResetZeroesWithoutInvalidatingReferences) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("r.count");
+  Gauge& g = reg.gauge("r.gauge");
+  Histogram& h = reg.histogram("r.hist", {1.0});
+  c.add(7);
+  g.set(4.5);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+  c.add();  // old reference still writes into the registry
+  EXPECT_EQ(reg.counter("r.count").value(), 1);
+}
+
+TEST(MetricRegistry, JsonExportContainsAllKinds) {
+  MetricRegistry reg;
+  reg.counter("c.one").add(5);
+  reg.gauge("g.one").set(2.5);
+  reg.histogram("h.one", {1.0, 2.0}).observe(1.5);
+  reg.timer("t.one").observe_seconds(0.25);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"c.one\":5"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"g.one\""), std::string::npos);
+  EXPECT_NE(j.find("\"h.one\""), std::string::npos);
+  EXPECT_NE(j.find("\"bounds\":[1,2]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"t.one\""), std::string::npos);
+}
+
+TEST(MetricRegistry, CsvExportHasKindNameFieldValueRows) {
+  MetricRegistry reg;
+  reg.counter("c.two").add(3);
+  reg.gauge("g.two").set(1.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("counter,c.two,value,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gauge,g.two,value,1.5"), std::string::npos) << csv;
+}
+
+TEST(MetricRegistry, DefaultRegistryIsProcessGlobal) {
+  MetricRegistry& a = default_registry();
+  MetricRegistry& b = default_registry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace gridsec::obs
