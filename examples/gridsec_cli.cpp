@@ -17,6 +17,10 @@
 //   --budget=B     system defense budget in assets (defend; default 12)
 //   --trace=FILE   write a Chrome trace-event JSON of the run to FILE
 //   --metrics      dump the metrics registry as JSON to stdout after the run
+//   --time-limit-ms=N  wall-clock budget per solve (LP pivoting, B&B nodes,
+//                  adversary search); expiry degrades to the best incumbent
+//   --fail-fast    treat any non-optimal solver verdict as a hard error
+//                  instead of degrading to budget-limited incumbents
 //
 // Network file format: see include/gridsec/flow/io.hpp.
 #include <algorithm>
@@ -52,14 +56,25 @@ struct CliArgs {
   double budget_assets = 12.0;
   std::string trace_file;  // empty = tracing off
   bool metrics = false;
+  double time_limit_ms = 0.0;  // 0 = unlimited
+  bool fail_fast = false;
 };
+
+/// Impact options with the CLI's wall-clock budget threaded down to every
+/// simplex invocation (impact targets, allocation probes, defense MILPs).
+cps::ImpactOptions impact_options(const CliArgs& args) {
+  cps::ImpactOptions impact;
+  impact.allocation.welfare.simplex.time_limit_ms = args.time_limit_ms;
+  return impact;
+}
 
 int usage() {
   std::fprintf(stderr,
                "usage: gridsec_cli "
                "{dump|impact|attack|defend|rents|stackelberg} <file> "
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
-               "[--cost=C] [--budget=B] [--trace=FILE] [--metrics]\n");
+               "[--cost=C] [--budget=B] [--trace=FILE] [--metrics] "
+               "[--time-limit-ms=N] [--fail-fast]\n");
   return 2;
 }
 
@@ -103,8 +118,10 @@ cps::Ownership load_ownership(const flow::ParsedNetwork& parsed,
   return cps::Ownership::random(parsed.network.num_edges(), args.actors, rng);
 }
 
-int cmd_dump(const flow::ParsedNetwork& parsed) {
-  auto sol = flow::solve_social_welfare(parsed.network);
+int cmd_dump(const flow::ParsedNetwork& parsed, const CliArgs& args) {
+  flow::SocialWelfareOptions options;
+  options.simplex.time_limit_ms = args.time_limit_ms;
+  auto sol = flow::solve_social_welfare(parsed.network, options);
   if (!sol.optimal()) {
     std::fprintf(stderr, "model failed to solve: %s\n",
                  std::string(lp::to_string(sol.status)).c_str());
@@ -124,7 +141,8 @@ int cmd_dump(const flow::ParsedNetwork& parsed) {
 
 int cmd_impact(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   auto own = load_ownership(parsed, args);
-  auto im = cps::compute_impact_matrix(parsed.network, own);
+  auto im = cps::compute_impact_matrix(parsed.network, own,
+                                       impact_options(args));
   if (!im.is_ok()) {
     std::fprintf(stderr, "impact failed: %s\n",
                  im.status().to_string().c_str());
@@ -150,7 +168,8 @@ int cmd_impact(const flow::ParsedNetwork& parsed, const CliArgs& args) {
 
 int cmd_attack(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   auto own = load_ownership(parsed, args);
-  auto im = cps::compute_impact_matrix(parsed.network, own);
+  auto im = cps::compute_impact_matrix(parsed.network, own,
+                                       impact_options(args));
   if (!im.is_ok()) {
     std::fprintf(stderr, "impact failed: %s\n",
                  im.status().to_string().c_str());
@@ -158,8 +177,14 @@ int cmd_attack(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   }
   core::AdversaryConfig cfg;
   cfg.max_targets = args.targets;
+  cfg.time_limit_ms = args.time_limit_ms;
   core::StrategicAdversary sa(cfg);
   auto plan = sa.plan(im->matrix);
+  if (args.fail_fast && !plan.optimal()) {
+    std::fprintf(stderr, "attack plan not optimal (--fail-fast): %s\n",
+                 std::string(lp::to_string(plan.status)).c_str());
+    return 1;
+  }
   std::printf("status: %s\n", std::string(lp::to_string(plan.status)).c_str());
   std::printf("anticipated return: %.2f\n", plan.anticipated_return);
   std::printf("targets:");
@@ -176,6 +201,8 @@ int cmd_defend(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   auto own = load_ownership(parsed, args);
   core::GameConfig game;
   game.adversary.max_targets = args.targets;
+  game.adversary.time_limit_ms = args.time_limit_ms;
+  game.impact = impact_options(args);
   game.collaborative = args.collab;
   game.defender.defense_cost.assign(
       static_cast<std::size_t>(parsed.network.num_edges()), args.cost);
@@ -188,6 +215,21 @@ int cmd_defend(const flow::ParsedNetwork& parsed, const CliArgs& args) {
     std::fprintf(stderr, "game failed: %s\n",
                  outcome.status().to_string().c_str());
     return 1;
+  }
+  // The game degrades to budget-limited incumbents by default; --fail-fast
+  // promotes any unproven plan to a hard error.
+  if (args.fail_fast &&
+      (!outcome->defense.optimal() || !outcome->attack.optimal())) {
+    std::fprintf(stderr,
+                 "non-optimal plan (--fail-fast): defense=%s attack=%s\n",
+                 std::string(lp::to_string(outcome->defense.status)).c_str(),
+                 std::string(lp::to_string(outcome->attack.status)).c_str());
+    return 1;
+  }
+  if (!outcome->defense.optimal() || !outcome->attack.optimal()) {
+    std::printf("status: defense=%s attack=%s\n",
+                std::string(lp::to_string(outcome->defense.status)).c_str(),
+                std::string(lp::to_string(outcome->attack.status)).c_str());
   }
   std::printf("attack:");
   for (int t : outcome->attack.targets) {
@@ -234,7 +276,8 @@ int cmd_rents(const flow::ParsedNetwork& parsed) {
 
 int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   auto own = load_ownership(parsed, args);
-  auto im = cps::compute_impact_matrix(parsed.network, own);
+  auto im = cps::compute_impact_matrix(parsed.network, own,
+                                       impact_options(args));
   if (!im.is_ok()) {
     std::fprintf(stderr, "impact failed: %s\n",
                  im.status().to_string().c_str());
@@ -242,6 +285,7 @@ int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   }
   core::StackelbergConfig cfg;
   cfg.adversary.max_targets = args.targets;
+  cfg.adversary.time_limit_ms = args.time_limit_ms;
   cfg.defense_cost = 1.0;
   cfg.budget = args.budget_assets;
   auto plan = core::stackelberg_defense(im->matrix, cfg);
@@ -262,7 +306,7 @@ int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
 }
 
 int run_command(const flow::ParsedNetwork& parsed, const CliArgs& args) {
-  if (args.command == "dump") return cmd_dump(parsed);
+  if (args.command == "dump") return cmd_dump(parsed, args);
   if (args.command == "impact") return cmd_impact(parsed, args);
   if (args.command == "attack") return cmd_attack(parsed, args);
   if (args.command == "defend") return cmd_defend(parsed, args);
@@ -298,8 +342,12 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--trace=")) {
       args.trace_file = v;
       ok = !args.trace_file.empty();
+    } else if (const char* v = value("--time-limit-ms=")) {
+      ok = parse_double(v, &args.time_limit_ms) && args.time_limit_ms >= 0.0;
     } else if (a == "--collab") {
       args.collab = true;
+    } else if (a == "--fail-fast") {
+      args.fail_fast = true;
     } else if (a == "--metrics") {
       args.metrics = true;
     } else {

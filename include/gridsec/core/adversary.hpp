@@ -42,6 +42,10 @@ struct AdversaryConfig {
   /// Search-node budget for plan(); exhausted => kIterationLimit with the
   /// best incumbent found (still a valid, feasible attack).
   long max_nodes = 5'000'000;
+  /// Wall-clock budget for plan() / plan_milp() in milliseconds; 0 = no
+  /// limit. Expiry => kTimeLimit with the best incumbent found (feasible,
+  /// not proven optimal).
+  double time_limit_ms = 0.0;
 };
 
 struct AttackPlan {

@@ -95,7 +95,11 @@ class Network {
     return in_[static_cast<std::size_t>(id)];
   }
 
-  /// Mutators used by attack/noise perturbations.
+  /// Mutators used by attack/noise perturbations and fault injection.
+  /// Deliberately unchecked beyond the edge id: perturbed values may land
+  /// outside the valid domain (negative capacity, NaN cost, loss >= 1) and
+  /// validate() / solve_social_welfare report that as a typed status
+  /// instead of aborting here.
   void set_capacity(EdgeId id, double capacity);
   void set_cost(EdgeId id, double cost);
   void set_loss(EdgeId id, double loss);

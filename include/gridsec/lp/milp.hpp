@@ -22,6 +22,10 @@ struct BranchAndBoundOptions {
   /// Absolute optimality gap at which search stops.
   double absolute_gap = 1e-9;
   long max_nodes = 200000;
+  /// Wall-clock deadline in milliseconds, checked once per node (and in the
+  /// diving heuristic). 0 = no limit. Expiry returns the incumbent (if any)
+  /// with SolveStatus::kTimeLimit — feasible but not proven optimal.
+  double time_limit_ms = 0.0;
   /// Run LP presolve at the root (bound tightening propagates into every
   /// node because nodes only shrink bounds further).
   bool use_presolve = false;
@@ -44,8 +48,10 @@ class BranchAndBoundSolver {
 
   /// Solves `problem` to proven optimality (within absolute_gap).
   /// Solution::duals is empty (MILP duals are not well defined).
-  /// status == kIterationLimit means the node budget was exhausted; the
-  /// returned incumbent (if any) is feasible but possibly suboptimal.
+  /// status == kIterationLimit / kTimeLimit means the node or wall-clock
+  /// budget was exhausted; the returned incumbent (if any) is feasible but
+  /// possibly suboptimal. kNumericalError means the data is NaN/Inf-poisoned
+  /// or every relaxation wedged numerically; no incumbent is returned then.
   /// Solution::bnb carries the search counters (same values as stats()).
   [[nodiscard]] Solution solve(const Problem& problem) const;
 

@@ -122,9 +122,33 @@ class Problem {
 };
 
 /// Solver verdicts shared by LP and MILP layers.
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,       // wall-clock deadline hit; any returned point is feasible
+  kNumericalError,  // NaN/Inf input data or a numerically wedged basis
+};
 
 std::string_view to_string(SolveStatus s);
+
+/// Maps a solver verdict to the shared Status vocabulary (kOptimal -> ok).
+/// `context` prefixes the message, e.g. "solve_milp".
+Status to_status(SolveStatus s, std::string_view context);
+
+/// True for verdicts that still carry a usable feasible point when x is
+/// non-empty (budget exhaustion, not model pathology).
+[[nodiscard]] constexpr bool is_budget_limited(SolveStatus s) {
+  return s == SolveStatus::kIterationLimit || s == SolveStatus::kTimeLimit;
+}
+
+/// Input validation shared by every solver entry point: rejects NaN/Inf
+/// objective coefficients, constraint coefficients and rhs, non-finite or
+/// inconsistent bounds (NaN, lower > upper, infinite lower), and
+/// out-of-range constraint variable indices — via Status instead of
+/// undefined behaviour inside the pivoting arithmetic.
+[[nodiscard]] Status validate_problem(const Problem& problem);
 
 /// Branch-and-bound search counters. Lives here (not milp.hpp) so Solution
 /// can carry a copy back to one-shot solve_milp() callers.

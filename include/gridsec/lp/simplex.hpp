@@ -23,6 +23,14 @@ struct SimplexOptions {
   double optimality_tol = 1e-9;    // reduced-cost threshold
   long max_iterations = 0;         // 0 = automatic (scales with size)
   long bland_after = 0;            // 0 = automatic; switch to Bland's rule
+  /// Wall-clock deadline in milliseconds, checked once per pivot (a pivot
+  /// refactorizes the basis, so the clock read is noise). 0 = no limit.
+  /// Expiry returns SolveStatus::kTimeLimit.
+  double time_limit_ms = 0.0;
+  /// Consecutive degenerate pivots tolerated before the pricing rule is
+  /// forced to Bland's rule for the rest of the solve (cycling detection;
+  /// Bland guarantees termination). 0 = automatic (scales with size).
+  long cycle_streak_limit = 0;
   /// Optional event stream: called once per completed pivot (including
   /// bound flips). Empty (the default) costs one branch per iteration.
   obs::SimplexObserver observer;
@@ -34,7 +42,9 @@ class SimplexSolver {
 
   /// Solves the continuous relaxation of `problem` (integrality markers are
   /// ignored). Never throws for solver outcomes; the status field reports
-  /// infeasible/unbounded/iteration-limit.
+  /// infeasible/unbounded/iteration-limit/time-limit/numerical-error.
+  /// NaN/Inf coefficients and inconsistent bounds are rejected up front as
+  /// kNumericalError (see validate_problem) instead of corrupting pivots.
   [[nodiscard]] Solution solve(const Problem& problem) const;
 
  private:

@@ -19,6 +19,12 @@ struct ExperimentOptions {
   std::uint64_t seed = 2015; // venue year; any fixed value works
   ThreadPool* pool = nullptr;
   cps::ImpactOptions impact;
+  /// Per-trial failure policy. Failed trials are dropped from a point's
+  /// statistics — the point reports partial results plus failed_trials —
+  /// with the failure breakdown recorded in the obs metrics
+  /// (sim.montecarlo.failed_trials / sim.montecarlo.failed.<CODE>).
+  /// Set robust.fail_fast to abort a sweep on the first failure instead.
+  RobustTrialOptions robust;
 };
 
 // ---------------------------------------------------------------------------
@@ -31,6 +37,7 @@ struct GainLossPoint {
   double mean_net = 0.0;   // gain + loss = Σ_t system impact (ownership-free)
   double se_gain = 0.0;
   double se_loss = 0.0;
+  int failed_trials = 0;  // trials excluded from the statistics above
 };
 
 std::vector<GainLossPoint> experiment_gain_loss(
@@ -53,6 +60,7 @@ struct AdversaryNoisePoint {
   double observed = 0.0;     // realized on the ground truth (Figs 3-4)
   double se_anticipated = 0.0;
   double se_observed = 0.0;
+  int failed_trials = 0;  // trials excluded from the statistics above
 };
 
 std::vector<AdversaryNoisePoint> experiment_adversary_noise(
@@ -104,6 +112,7 @@ struct DefensePoint {
   /// lucrative as actor count grows.
   double relative_effectiveness = 0.0;
   double se_relative = 0.0;
+  int failed_trials = 0;  // trials excluded from the statistics above
 };
 
 std::vector<DefensePoint> experiment_defense(

@@ -1,0 +1,40 @@
+// Wall-clock guardrail shared by the solver loops (simplex pivots, B&B
+// nodes, the adversary's target search). A default-constructed Deadline
+// never expires, so unguarded call sites cost one branch.
+#pragma once
+
+#include <chrono>
+
+namespace gridsec {
+
+struct Deadline {
+  bool armed = false;
+  std::chrono::steady_clock::time_point at{};
+
+  /// Deadline `ms` milliseconds from now; ms <= 0 means "never expires".
+  static Deadline in_ms(double ms) {
+    Deadline d;
+    if (ms > 0.0) {
+      d.armed = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return armed && std::chrono::steady_clock::now() >= at;
+  }
+
+  /// Milliseconds left, clamped at zero; a huge value when unarmed. Used to
+  /// hand the remaining budget down to sub-solves.
+  [[nodiscard]] double remaining_ms() const {
+    if (!armed) return 1e18;
+    const auto left = std::chrono::duration<double, std::milli>(
+        at - std::chrono::steady_clock::now());
+    return left.count() > 0.0 ? left.count() : 0.0;
+  }
+};
+
+}  // namespace gridsec

@@ -13,6 +13,30 @@
 #include <utility>
 
 namespace gridsec {
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+}  // namespace detail
+}  // namespace gridsec
+
+/// Contract check: aborts with location info when violated. Always on —
+/// the solvers here are small enough that the checks are cheap relative to
+/// the arithmetic they guard.
+#define GRIDSEC_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+#define GRIDSEC_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)
+
+namespace gridsec {
 
 /// Coarse classification of a recoverable failure.
 enum class ErrorCode {
@@ -23,6 +47,8 @@ enum class ErrorCode {
   kIterationLimit,
   kNotFound,
   kInternal,
+  kTimeLimit,       // wall-clock deadline expired before completion
+  kNumericalError,  // NaN/Inf data or a numerically wedged solve
 };
 
 /// Human-readable name of an ErrorCode (stable, for logs and tests).
@@ -54,6 +80,12 @@ class Status {
   static Status internal(std::string msg) {
     return {ErrorCode::kInternal, std::move(msg)};
   }
+  static Status time_limit(std::string msg) {
+    return {ErrorCode::kTimeLimit, std::move(msg)};
+  }
+  static Status numerical_error(std::string msg) {
+    return {ErrorCode::kNumericalError, std::move(msg)};
+  }
 
   [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
   [[nodiscard]] ErrorCode code() const { return code_; }
@@ -68,6 +100,10 @@ class Status {
 };
 
 /// A value or a Status explaining why there is none.
+///
+/// Accessing the value on an error state is a contract violation: every
+/// accessor asserts is_ok() first, so a forgotten status check aborts with a
+/// location instead of dereferencing an empty optional (UB).
 template <typename T>
 class StatusOr {
  public:
@@ -77,40 +113,39 @@ class StatusOr {
   [[nodiscard]] bool is_ok() const { return value_.has_value(); }
   [[nodiscard]] const Status& status() const { return status_; }
 
-  [[nodiscard]] const T& value() const& { return *value_; }
-  [[nodiscard]] T& value() & { return *value_; }
-  [[nodiscard]] T&& value() && { return std::move(*value_); }
+  [[nodiscard]] const T& value() const& {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::value() on error state");
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::value() on error state");
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::value() on error state");
+    return std::move(*value_);
+  }
 
-  [[nodiscard]] const T& operator*() const& { return *value_; }
-  [[nodiscard]] T& operator*() & { return *value_; }
-  [[nodiscard]] const T* operator->() const { return &*value_; }
-  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T& operator*() const& {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::operator* on error state");
+    return *value_;
+  }
+  [[nodiscard]] T& operator*() & {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::operator* on error state");
+    return *value_;
+  }
+  [[nodiscard]] const T* operator->() const {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::operator-> on error state");
+    return &*value_;
+  }
+  [[nodiscard]] T* operator->() {
+    GRIDSEC_ASSERT_MSG(is_ok(), "StatusOr::operator-> on error state");
+    return &*value_;
+  }
 
  private:
   std::optional<T> value_;
   Status status_;
 };
 
-namespace detail {
-[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
-                              const char* msg);
-}  // namespace detail
-
 }  // namespace gridsec
-
-/// Contract check: aborts with location info when violated. Always on —
-/// the solvers here are small enough that the checks are cheap relative to
-/// the arithmetic they guard.
-#define GRIDSEC_ASSERT(expr)                                              \
-  do {                                                                    \
-    if (!(expr)) {                                                        \
-      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
-    }                                                                     \
-  } while (false)
-
-#define GRIDSEC_ASSERT_MSG(expr, msg)                                  \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      ::gridsec::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
-    }                                                                  \
-  } while (false)

@@ -6,6 +6,7 @@
 
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
+#include "gridsec/util/deadline.hpp"
 
 namespace gridsec::core {
 namespace {
@@ -101,6 +102,10 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
   std::vector<int> current;
   long nodes = 0;
   bool exhausted = false;
+  bool timed_out = false;
+  // Checked every 1024 nodes: a steady_clock read per node would dominate
+  // the (very cheap) bound arithmetic on big searches.
+  const Deadline deadline = Deadline::in_ms(config_.time_limit_ms);
 
   const auto value_of_swings = [&](double spent) {
     double v = -spent;
@@ -112,6 +117,11 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
     if (exhausted) return;
     if (++nodes > config_.max_nodes) {
       exhausted = true;
+      return;
+    }
+    if ((nodes & 1023) == 0 && deadline.expired()) {
+      exhausted = true;
+      timed_out = true;
       return;
     }
     const double value = value_of_swings(spent);
@@ -167,7 +177,8 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
     if (greedy.anticipated_return > best.anticipated_return) {
       best = std::move(greedy);
     }
-    best.status = lp::SolveStatus::kIterationLimit;
+    best.status = timed_out ? lp::SolveStatus::kTimeLimit
+                            : lp::SolveStatus::kIterationLimit;
     best.anticipated_return =
         evaluate_target_set(im, best.targets, &best.actors);
     return best;
@@ -243,10 +254,17 @@ AttackPlan StrategicAdversary::plan_milp(const cps::ImpactMatrix& im) const {
                      static_cast<double>(config_.max_targets));
   }
 
-  lp::Solution sol = lp::solve_milp(p);
+  lp::BranchAndBoundOptions bnb;
+  bnb.time_limit_ms = config_.time_limit_ms;
+  lp::Solution sol = lp::BranchAndBoundSolver(bnb).solve(p);
   AttackPlan out;
   out.status = sol.status;
-  if (!sol.optimal()) return out;
+  // A budget-limited solve still carries a feasible incumbent target set;
+  // extract it (status stays non-optimal so callers know it is unproven).
+  if (!sol.optimal() &&
+      !(lp::is_budget_limited(sol.status) && !sol.x.empty())) {
+    return out;
+  }
 
   for (int i = 0; i < nt; ++i) {
     if (sol.x[static_cast<std::size_t>(tvar[static_cast<std::size_t>(i)])] >

@@ -225,9 +225,10 @@ StatusOr<std::vector<double>> estimate_attack_probabilities(
     auto im = cps::compute_impact_matrix(adv_view, ownership, impact_options);
     if (!im.is_ok()) return im.status();
     AttackPlan plan = sa.plan(im->matrix);
-    if (plan.status == lp::SolveStatus::kInfeasible ||
-        plan.status == lp::SolveStatus::kUnbounded) {
-      return Status::internal("estimate_attack_probabilities: SA plan failed");
+    // Budget-limited plans are feasible samples of the SA's behaviour;
+    // anything else (infeasible / unbounded / numerical) is a typed error.
+    if (!plan.optimal() && !lp::is_budget_limited(plan.status)) {
+      return lp::to_status(plan.status, "estimate_attack_probabilities");
     }
     for (int t : plan.targets) {
       pa[static_cast<std::size_t>(t)] += 1.0;

@@ -117,8 +117,13 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
                       : defend_individual(composite, ownership, pa_rows,
                                           config.defender);
   }
-  if (!out.defense.optimal()) {
-    return Status::internal("play_defense_game: defense MILP failed");
+  // Budget-limited defenses (node or wall-clock) still carry a feasible
+  // investment; degrade to the incumbent rather than failing the game.
+  // Hard verdicts (infeasible / unbounded / numerical) surface typed.
+  if (!out.defense.optimal() &&
+      !(lp::is_budget_limited(out.defense.status) &&
+        !out.defense.defended.empty())) {
+    return lp::to_status(out.defense.status, "play_defense_game: defense");
   }
   }  // end defender phase
 
@@ -132,9 +137,9 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
     if (!adversary_im.is_ok()) return adversary_im.status();
     StrategicAdversary sa(config.adversary);
     out.attack = sa.plan(adversary_im->matrix);
-    if (out.attack.status == lp::SolveStatus::kInfeasible ||
-        out.attack.status == lp::SolveStatus::kUnbounded) {
-      return Status::internal("play_defense_game: adversary plan failed");
+    // A budget-limited plan is a feasible (just unproven) attack — keep it.
+    if (!out.attack.optimal() && !lp::is_budget_limited(out.attack.status)) {
+      return lp::to_status(out.attack.status, "play_defense_game: adversary");
     }
   }
 

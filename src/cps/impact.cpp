@@ -63,7 +63,10 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
   flow::AllocationResult base = flow::allocate_profits(
       net, ownership.owners(), n_actors, options.allocation);
   if (!base.optimal()) {
-    return Status::infeasible("compute_impact_matrix: base model not solvable");
+    // Preserve the failure class (time limit / numerical / infeasible) so
+    // robust sweeps can apply the right retry policy.
+    return lp::to_status(base.status,
+                         "compute_impact_matrix: base model not solvable");
   }
 
   ImpactResult out{ImpactMatrix(n_actors, n_targets), base.actor_profit,

@@ -85,7 +85,18 @@ AllocationResult allocate_profits(const Network& net,
     auto probed =
         probe_node_prices(net, base, options.probe_fraction, options.welfare);
     if (!probed.is_ok()) {
-      out.status = lp::SolveStatus::kIterationLimit;
+      // Preserve the failure class so callers can distinguish a wall-clock
+      // or numerical bail-out from plain budget exhaustion.
+      switch (probed.status().code()) {
+        case ErrorCode::kTimeLimit:
+          out.status = lp::SolveStatus::kTimeLimit;
+          break;
+        case ErrorCode::kNumericalError:
+          out.status = lp::SolveStatus::kNumericalError;
+          break;
+        default:
+          out.status = lp::SolveStatus::kIterationLimit;
+      }
       return out;
     }
     out.node_price = std::move(probed.value());

@@ -70,9 +70,13 @@ EdgeId Network::add_demand(std::string name, NodeId hub, double capacity,
                   -unit_price, loss);
 }
 
+// The perturbation mutators intentionally accept out-of-domain values
+// (negative capacity, NaN cost, loss >= 1): attack/noise models and the
+// fault injector may drive edges into invalid states, and the contract is
+// that validate() / solve_social_welfare reject such data with a typed
+// status rather than the process aborting inside a setter.
 void Network::set_capacity(EdgeId id, double capacity) {
   GRIDSEC_ASSERT(id >= 0 && id < num_edges());
-  GRIDSEC_ASSERT_MSG(capacity >= 0.0, "negative capacity");
   edges_[static_cast<std::size_t>(id)].capacity = capacity;
 }
 
@@ -83,7 +87,6 @@ void Network::set_cost(EdgeId id, double cost) {
 
 void Network::set_loss(EdgeId id, double loss) {
   GRIDSEC_ASSERT(id >= 0 && id < num_edges());
-  GRIDSEC_ASSERT_MSG(loss >= 0.0 && loss < 1.0, "loss outside [0,1)");
   edges_[static_cast<std::size_t>(id)].loss = loss;
 }
 

@@ -1,5 +1,7 @@
 #include "gridsec/flow/social_welfare.hpp"
 
+#include <cmath>
+
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 
@@ -37,6 +39,22 @@ FlowSolution solve_social_welfare(const Network& net,
   static obs::Counter& c_solves =
       obs::default_registry().counter("flow.social_welfare.solves");
   c_solves.add();
+  // Guardrail: perturbations may have driven edge data out of domain
+  // (negative capacity, NaN cost, loss >= 1). Building the LP from such
+  // data would trip Problem's bound invariants, so gate here and report a
+  // typed verdict instead.
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    if (!std::isfinite(edge.cost) || std::isnan(edge.capacity) ||
+        edge.capacity < 0.0 || !(edge.loss >= 0.0 && edge.loss < 1.0)) {
+      static obs::Counter& c_bad = obs::default_registry().counter(
+          "flow.social_welfare.invalid_data");
+      c_bad.add();
+      FlowSolution bad;
+      bad.status = lp::SolveStatus::kNumericalError;
+      return bad;
+    }
+  }
   lp::Problem p = build_social_welfare_lp(net);
   lp::SimplexSolver solver(options.simplex);
   lp::Solution lp_sol = solver.solve(p);

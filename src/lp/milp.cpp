@@ -8,6 +8,7 @@
 #include "gridsec/lp/presolve.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
+#include "gridsec/util/deadline.hpp"
 
 namespace gridsec::lp {
 namespace {
@@ -58,6 +59,15 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
 Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
   stats_ = {};
 
+  // Guardrails: reject NaN/Inf-poisoned data before presolve or any LP
+  // arithmetic touches it, and arm the wall-clock deadline for the search.
+  if (!validate_problem(problem).is_ok()) {
+    Solution out;
+    out.status = SolveStatus::kNumericalError;
+    return out;
+  }
+  const Deadline deadline = Deadline::in_ms(options_.time_limit_ms);
+
   // Optional root presolve. Only usable when it does not fix any integer
   // variable at a fractional value (then its reductions are MILP-valid:
   // bounds only ever shrink further down the tree).
@@ -95,6 +105,9 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
         if (integral_fixings) {
           BranchAndBoundOptions inner = options_;
           inner.use_presolve = false;
+          if (inner.time_limit_ms > 0.0) {
+            inner.time_limit_ms = deadline.remaining_ms();
+          }
           BranchAndBoundSolver solver(inner);
           Solution reduced_sol = solver.solve(pre.reduced());
           stats_ = solver.stats();
@@ -146,6 +159,8 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
   incumbent.status = SolveStatus::kInfeasible;
   double incumbent_internal = kInfinity;
   bool any_node_hit_limit = false;
+  bool any_node_numerical = false;
+  bool deadline_expired = false;
 
   auto& reg = obs::default_registry();
   static obs::Counter& c_nodes = reg.counter("lp.bnb.nodes");
@@ -176,6 +191,10 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     apply({});
     std::vector<BoundChange> dive;
     for (;;) {
+      if (deadline.expired()) {
+        deadline_expired = true;
+        break;
+      }
       Solution relax = lp.solve(work);
       ++stats_.lp_solves;
       c_lp_solves.add();
@@ -224,6 +243,10 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
       any_node_hit_limit = true;
       break;
     }
+    if (deadline.expired()) {
+      deadline_expired = true;
+      break;
+    }
     Node node = open.top();
     open.pop();
     if (node.bound >= incumbent_internal - options_.absolute_gap) {
@@ -255,6 +278,16 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     }
     if (relax.status == SolveStatus::kIterationLimit) {
       any_node_hit_limit = true;
+      continue;
+    }
+    if (relax.status == SolveStatus::kTimeLimit) {
+      deadline_expired = true;  // the shared wall clock ran out mid-LP
+      break;
+    }
+    if (relax.status == SolveStatus::kNumericalError) {
+      // A wedged relaxation: skip the node (its subtree stays unexplored,
+      // so any final answer is demoted from "proven" below).
+      any_node_numerical = true;
       continue;
     }
     const double node_internal = internal(relax.objective);
@@ -305,10 +338,19 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     open.push(std::move(up));
   }
 
-  if (incumbent.status == SolveStatus::kOptimal && any_node_hit_limit) {
-    incumbent.status = SolveStatus::kIterationLimit;  // feasible, not proven
-  } else if (incumbent.status != SolveStatus::kOptimal && any_node_hit_limit) {
+  // Demote the verdict when the search was cut short: the incumbent (if
+  // any) is feasible but not proven optimal. The wall clock expiring labels
+  // the result kTimeLimit; skipped-for-numerics subtrees alone demote an
+  // "optimal" to kIterationLimit; a search that produced nothing because
+  // every relaxation wedged reports kNumericalError.
+  if (deadline_expired) {
+    incumbent.status = SolveStatus::kTimeLimit;
+  } else if (any_node_hit_limit) {
     incumbent.status = SolveStatus::kIterationLimit;
+  } else if (any_node_numerical) {
+    incumbent.status = incumbent.status == SolveStatus::kOptimal
+                           ? SolveStatus::kIterationLimit
+                           : SolveStatus::kNumericalError;
   }
   return incumbent;
 }
@@ -322,7 +364,7 @@ Solution solve_milp_with_duals(const Problem& problem,
   BranchAndBoundSolver solver(options);
   Solution incumbent = solver.solve(problem);
   if (incumbent.status != SolveStatus::kOptimal &&
-      incumbent.status != SolveStatus::kIterationLimit) {
+      !is_budget_limited(incumbent.status)) {
     return incumbent;
   }
   if (incumbent.x.empty()) return incumbent;  // budgeted run with no plan

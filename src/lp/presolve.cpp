@@ -153,8 +153,10 @@ Presolved presolve(const Problem& problem) {
 
     // Variables in no live row: fix at the objective-optimal bound.
     std::vector<bool> appears(static_cast<std::size_t>(nv), false);
+    bool any_live_row = false;
     for (int i = 0; i < nr; ++i) {
       if (!row_alive[static_cast<std::size_t>(i)]) continue;
+      any_live_row = true;
       for (const Term& t : problem.constraint(i).terms) {
         if (t.coef != 0.0) appears[static_cast<std::size_t>(t.var)] = true;
       }
@@ -165,8 +167,16 @@ Presolved presolve(const Problem& problem) {
       const double c = min_sense_obj(j);
       if (c < 0.0) {
         if (!std::isfinite(upper[js])) {
-          out.verdict_ = Presolved::Verdict::kUnbounded;
-          return out;
+          // Improving ray — but it only proves unboundedness if a feasible
+          // point exists. With no live rows left that is certain (every
+          // removed row was verified consistent and bounds are ordered);
+          // otherwise leave the column for the simplex, which establishes
+          // feasibility in phase 1 before it can report unbounded.
+          if (!any_live_row) {
+            out.verdict_ = Presolved::Verdict::kUnbounded;
+            return out;
+          }
+          continue;
         }
         fix(j, upper[js]);
       } else {
@@ -274,6 +284,13 @@ Solution Presolved::postsolve(const Solution& reduced_solution) const {
 
 Solution solve_lp_with_presolve(const Problem& problem,
                                 const SimplexOptions& options) {
+  // Guardrail: presolve's reductions compare and fold coefficients, so
+  // NaN/Inf data must be rejected before it can corrupt a verdict.
+  if (!validate_problem(problem).is_ok()) {
+    Solution out;
+    out.status = SolveStatus::kNumericalError;
+    return out;
+  }
   Presolved pre = presolve(problem);
   switch (pre.verdict()) {
     case Presolved::Verdict::kInfeasible:

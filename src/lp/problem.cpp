@@ -105,8 +105,71 @@ std::string_view to_string(SolveStatus s) {
       return "UNBOUNDED";
     case SolveStatus::kIterationLimit:
       return "ITERATION_LIMIT";
+    case SolveStatus::kTimeLimit:
+      return "TIME_LIMIT";
+    case SolveStatus::kNumericalError:
+      return "NUMERICAL_ERROR";
   }
   return "UNKNOWN";
+}
+
+Status to_status(SolveStatus s, std::string_view context) {
+  std::string msg(context);
+  msg += ": ";
+  msg += to_string(s);
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return Status::ok();
+    case SolveStatus::kInfeasible:
+      return Status::infeasible(std::move(msg));
+    case SolveStatus::kUnbounded:
+      return Status::unbounded(std::move(msg));
+    case SolveStatus::kIterationLimit:
+      return Status::iteration_limit(std::move(msg));
+    case SolveStatus::kTimeLimit:
+      return Status::time_limit(std::move(msg));
+    case SolveStatus::kNumericalError:
+      return Status::numerical_error(std::move(msg));
+  }
+  return Status::internal(std::move(msg));
+}
+
+Status validate_problem(const Problem& problem) {
+  const auto bad = [](const std::string& what, int index) {
+    return Status::numerical_error("validate_problem: non-finite " + what +
+                                   " at index " + std::to_string(index));
+  };
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const Variable& v = problem.variable(j);
+    if (std::isnan(v.objective) || std::isinf(v.objective)) {
+      return bad("objective coefficient", j);
+    }
+    // Bounds: lower must be finite (solvers anchor nonbasic columns there),
+    // upper may be +inf but never NaN or -inf, and the interval must be
+    // non-empty. NaN comparisons are false, so test each way explicitly.
+    if (!std::isfinite(v.lower) || std::isnan(v.upper) ||
+        v.upper == -kInfinity) {
+      return bad("variable bound", j);
+    }
+    if (v.lower > v.upper) {
+      return Status::numerical_error(
+          "validate_problem: inconsistent bounds (lower > upper) at index " +
+          std::to_string(j));
+    }
+  }
+  for (int i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& con = problem.constraint(i);
+    if (!std::isfinite(con.rhs)) return bad("constraint rhs", i);
+    for (const Term& t : con.terms) {
+      if (t.var < 0 || t.var >= problem.num_variables()) {
+        return Status::numerical_error(
+            "validate_problem: constraint " + std::to_string(i) +
+            " references unknown variable " + std::to_string(t.var));
+      }
+      if (!std::isfinite(t.coef)) return bad("constraint coefficient", i);
+    }
+  }
+  return Status::ok();
 }
 
 }  // namespace gridsec::lp

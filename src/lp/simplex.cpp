@@ -6,6 +6,7 @@
 
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
+#include "gridsec/util/deadline.hpp"
 #include "gridsec/util/matrix.hpp"
 
 namespace gridsec::lp {
@@ -34,7 +35,8 @@ struct IterationOutcome {
   long iterations = 0;
   long degenerate_pivots = 0;
   long bound_flips = 0;
-  long bland_pivots = 0;  // pivots taken under Bland's rule
+  long bland_pivots = 0;      // pivots taken under Bland's rule
+  bool cycle_fallback = false;  // cycling detected; Bland forced early
 };
 
 /// Extracts the basis matrix B (m x m) from the tableau.
@@ -86,20 +88,33 @@ StatusOr<std::vector<double>> multipliers(const Tableau& t) {
 /// optimal / unbounded / iteration budget exhausted. `phase` and
 /// `iter_base` only label observer events (cumulative iteration ids).
 IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
-                         long max_iters, long bland_after, int phase,
+                         long max_iters, long bland_after,
+                         const Deadline& deadline, int phase,
                          long iter_base) {
   IterationOutcome out;
   const double dtol = opt.optimality_tol;
   const double eps = 1e-11;
   const bool observed = static_cast<bool>(opt.observer);
 
+  // Cycling detection: a run of degenerate pivots this long under the
+  // steepest-violation rule is treated as (near-)cycling and the pricing
+  // falls back to Bland's rule, which provably terminates.
+  long cycle_limit = opt.cycle_streak_limit;
+  if (cycle_limit <= 0) cycle_limit = std::max(20L, 2L * (t.m + t.n_total));
+  long degen_streak = 0;
+  bool forced_bland = false;
+
   for (long iter = 0; iter < max_iters; ++iter) {
-    const bool bland = iter >= bland_after;
+    if (deadline.expired()) {
+      out.status = SolveStatus::kTimeLimit;
+      out.iterations = iter;
+      return out;
+    }
+    const bool bland = forced_bland || iter >= bland_after;
     auto y_or = multipliers(t);
     if (!y_or.is_ok()) {
-      // Singular basis: numerically wedged. Report as iteration limit so the
-      // caller can distinguish it from a genuine optimum.
-      out.status = SolveStatus::kIterationLimit;
+      // Singular basis: numerically wedged, not a budget problem.
+      out.status = SolveStatus::kNumericalError;
       out.iterations = iter;
       return out;
     }
@@ -155,7 +170,7 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
     }
     auto w_or = solve_linear_system(basis_matrix(t), std::move(aq));
     if (!w_or.is_ok()) {
-      out.status = SolveStatus::kIterationLimit;
+      out.status = SolveStatus::kNumericalError;
       out.iterations = iter;
       return out;
     }
@@ -217,6 +232,11 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
     const bool degenerate = t_limit <= eps;
     if (degenerate) ++out.degenerate_pivots;
     if (bland) ++out.bland_pivots;
+    degen_streak = degenerate ? degen_streak + 1 : 0;
+    if (!forced_bland && degen_streak >= cycle_limit) {
+      forced_bland = true;  // takes effect from the next pivot on
+      out.cycle_fallback = true;
+    }
 
     if (leaving_row < 0) {
       // Bound flip: entering variable traverses to its opposite bound.
@@ -271,6 +291,7 @@ struct SimplexMetricsGuard {
   long degenerate = 0;
   long bound_flips = 0;
   long bland = 0;
+  long cycle_fallbacks = 0;
   SolveStatus status = SolveStatus::kOptimal;
 
   ~SimplexMetricsGuard() {
@@ -282,6 +303,10 @@ struct SimplexMetricsGuard {
     static obs::Counter& c_flips = reg.counter("lp.simplex.bound_flips");
     static obs::Counter& c_bland = reg.counter("lp.simplex.bland_pivots");
     static obs::Counter& c_failed = reg.counter("lp.simplex.non_optimal");
+    static obs::Counter& c_cycles = reg.counter("lp.simplex.cycle_fallbacks");
+    static obs::Counter& c_timeouts = reg.counter("lp.simplex.time_limits");
+    static obs::Counter& c_numerical =
+        reg.counter("lp.simplex.numerical_errors");
     static obs::Histogram& h_pivots = reg.histogram(
         "lp.simplex.pivots_per_solve",
         {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0});
@@ -290,7 +315,10 @@ struct SimplexMetricsGuard {
     c_degen.add(degenerate);
     c_flips.add(bound_flips);
     c_bland.add(bland);
+    c_cycles.add(cycle_fallbacks);
     if (status != SolveStatus::kOptimal) c_failed.add();
+    if (status == SolveStatus::kTimeLimit) c_timeouts.add();
+    if (status == SolveStatus::kNumericalError) c_numerical.add();
     h_pivots.observe(static_cast<double>(pivots));
   }
 
@@ -299,6 +327,7 @@ struct SimplexMetricsGuard {
     degenerate += out.degenerate_pivots;
     bound_flips += out.bound_flips;
     bland += out.bland_pivots;
+    if (out.cycle_fallback) ++cycle_fallbacks;
   }
 };
 
@@ -309,6 +338,11 @@ Solution solve_impl_inner(const Problem& problem,
                           Tableau* final_tableau,
                           SimplexMetricsGuard& metrics) {
   Solution sol;
+  if (!validate_problem(problem).is_ok()) {
+    sol.status = SolveStatus::kNumericalError;
+    return sol;
+  }
+  const Deadline deadline = Deadline::in_ms(options.time_limit_ms);
   const int n = problem.num_variables();
   const int m = problem.num_constraints();
   const bool maximize = problem.objective() == Objective::kMaximize;
@@ -414,12 +448,21 @@ Solution solve_impl_inner(const Problem& problem,
         t.cost[static_cast<std::size_t>(art_base + i)] = 1.0;
       }
     }
-    auto outcome = iterate(t, options, max_iters, bland_after, /*phase=*/1,
-                           /*iter_base=*/0);
+    auto outcome = iterate(t, options, max_iters, bland_after, deadline,
+                           /*phase=*/1, /*iter_base=*/0);
     total_iters += outcome.iterations;
     metrics.absorb(outcome);
-    if (outcome.status == SolveStatus::kIterationLimit) {
-      sol.status = SolveStatus::kIterationLimit;
+    if (outcome.status == SolveStatus::kIterationLimit ||
+        outcome.status == SolveStatus::kTimeLimit ||
+        outcome.status == SolveStatus::kNumericalError) {
+      sol.status = outcome.status;
+      sol.iterations = total_iters;
+      return sol;
+    }
+    if (outcome.status == SolveStatus::kUnbounded) {
+      // Phase 1 minimizes a sum of nonnegative artificials: an "unbounded"
+      // verdict can only come from numerical breakdown.
+      sol.status = SolveStatus::kNumericalError;
       sol.iterations = total_iters;
       return sol;
     }
@@ -450,8 +493,8 @@ Solution solve_impl_inner(const Problem& problem,
     const double c = problem.variable(j).objective;
     t.cost[static_cast<std::size_t>(j)] = maximize ? -c : c;
   }
-  auto outcome = iterate(t, options, max_iters, bland_after, /*phase=*/2,
-                         /*iter_base=*/total_iters);
+  auto outcome = iterate(t, options, max_iters, bland_after, deadline,
+                         /*phase=*/2, /*iter_base=*/total_iters);
   total_iters += outcome.iterations;
   metrics.absorb(outcome);
   sol.iterations = total_iters;
@@ -462,7 +505,7 @@ Solution solve_impl_inner(const Problem& problem,
 
   // Clean up accumulated drift before extraction.
   if (!recompute_basics(t)) {
-    sol.status = SolveStatus::kIterationLimit;
+    sol.status = SolveStatus::kNumericalError;
     return sol;
   }
 

@@ -1,0 +1,530 @@
+#include "gridsec/robust/faultinject.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "gridsec/core/adversary.hpp"
+#include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/lp/presolve.hpp"
+#include "gridsec/lp/simplex.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/sim/scenario.hpp"
+
+namespace gridsec::robust {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kNanCost,          FaultKind::kInfCost,
+    FaultKind::kZeroCapacity,     FaultKind::kNegativeCapacity,
+    FaultKind::kDisconnectedHub,  FaultKind::kDegenerateTies,
+    FaultKind::kExtremeRange,
+};
+
+int pick_index(Rng& rng, int n) {
+  return static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanCost: return "nan_cost";
+    case FaultKind::kInfCost: return "inf_cost";
+    case FaultKind::kZeroCapacity: return "zero_capacity";
+    case FaultKind::kNegativeCapacity: return "negative_capacity";
+    case FaultKind::kDisconnectedHub: return "disconnected_hub";
+    case FaultKind::kDegenerateTies: return "degenerate_ties";
+    case FaultKind::kExtremeRange: return "extreme_range";
+  }
+  return "unknown_fault";
+}
+
+bool FaultReport::has(FaultKind kind) const {
+  return std::find(applied.begin(), applied.end(), kind) != applied.end();
+}
+
+std::string to_string(const FaultReport& report) {
+  if (report.applied.empty()) return "(no faults)";
+  std::string out;
+  for (FaultKind k : report.applied) {
+    if (!out.empty()) out += "+";
+    out += to_string(k);
+  }
+  return out;
+}
+
+bool FaultInjector::inject(lp::Problem& p, FaultKind kind) {
+  const int nv = p.num_variables();
+  if (nv == 0) return false;
+  switch (kind) {
+    case FaultKind::kNanCost:
+      p.set_objective_coef(pick_index(rng_, nv), kNan);
+      return true;
+    case FaultKind::kInfCost:
+      p.set_objective_coef(pick_index(rng_, nv),
+                           rng_.bernoulli(0.5) ? kInf : -kInf);
+      return true;
+    case FaultKind::kZeroCapacity: {
+      // Collapse a variable's range to a point: the LP analogue of a
+      // resource whose capacity has been zeroed out.
+      const int j = pick_index(rng_, nv);
+      p.set_bounds(j, p.variable(j).lower, p.variable(j).lower);
+      return true;
+    }
+    case FaultKind::kNegativeCapacity: {
+      // A negative capacity is not representable as bounds (lower > upper
+      // is rejected at construction), so inject its semantic equivalent: a
+      // row demanding that a variable stay strictly below its own lower
+      // bound. Solvers must answer kInfeasible, not misbehave.
+      const int j = pick_index(rng_, nv);
+      p.add_constraint("fault.negcap", lp::LinearExpr().add(j, 1.0),
+                       lp::Sense::kLessEqual,
+                       p.variable(j).lower - 1.0 - rng_.uniform(0.0, 10.0));
+      return true;
+    }
+    case FaultKind::kDisconnectedHub:
+      return false;  // graph-structural; meaningless for a bare LP
+    case FaultKind::kDegenerateTies: {
+      if (nv < 2) return false;
+      const int a = pick_index(rng_, nv);
+      int b = pick_index(rng_, nv - 1);
+      if (b >= a) ++b;
+      p.set_objective_coef(b, p.variable(a).objective);
+      return true;
+    }
+    case FaultKind::kExtremeRange: {
+      const int a = pick_index(rng_, nv);
+      const double ca = p.variable(a).objective;
+      p.set_objective_coef(a, (ca == 0.0 ? 1.0 : ca) * 1e9);
+      const int b = pick_index(rng_, nv);
+      p.set_objective_coef(b, p.variable(b).objective * 1e-9);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::inject(flow::Network& net, FaultKind kind) {
+  const int ne = net.num_edges();
+  if (ne == 0) return false;
+  switch (kind) {
+    case FaultKind::kNanCost:
+      net.set_cost(pick_index(rng_, ne), kNan);
+      return true;
+    case FaultKind::kInfCost:
+      net.set_cost(pick_index(rng_, ne), rng_.bernoulli(0.5) ? kInf : -kInf);
+      return true;
+    case FaultKind::kZeroCapacity:
+      net.set_capacity(pick_index(rng_, ne), 0.0);
+      return true;
+    case FaultKind::kNegativeCapacity:
+      net.set_capacity(pick_index(rng_, ne), -rng_.uniform(1.0, 50.0));
+      return true;
+    case FaultKind::kDisconnectedHub: {
+      // Sever one hub by zeroing every incident capacity — flow-wise
+      // isolation without touching the (immutable) topology.
+      std::vector<flow::NodeId> hubs;
+      for (int n = 0; n < net.num_nodes(); ++n) {
+        if (net.node(n).kind != flow::NodeKind::kHub) continue;
+        if (net.out_edges(n).empty() && net.in_edges(n).empty()) continue;
+        hubs.push_back(n);
+      }
+      if (hubs.empty()) return false;
+      const flow::NodeId h =
+          hubs[static_cast<std::size_t>(pick_index(
+              rng_, static_cast<int>(hubs.size())))];
+      for (flow::EdgeId e : net.out_edges(h)) net.set_capacity(e, 0.0);
+      for (flow::EdgeId e : net.in_edges(h)) net.set_capacity(e, 0.0);
+      return true;
+    }
+    case FaultKind::kDegenerateTies: {
+      if (ne < 2) return false;
+      const int a = pick_index(rng_, ne);
+      int b = pick_index(rng_, ne - 1);
+      if (b >= a) ++b;
+      net.set_cost(b, net.edge(a).cost);
+      return true;
+    }
+    case FaultKind::kExtremeRange: {
+      const int a = pick_index(rng_, ne);
+      const double ca = net.edge(a).cost;
+      net.set_cost(a, (ca == 0.0 ? 1.0 : ca) * 1e9);
+      const int b = pick_index(rng_, ne);
+      net.set_capacity(b, net.edge(b).capacity * 1e6);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultReport FaultInjector::inject_random(lp::Problem& p, int count) {
+  FaultReport report;
+  for (int i = 0; i < count; ++i) {
+    const FaultKind kind =
+        kAllKinds[pick_index(rng_, static_cast<int>(std::size(kAllKinds)))];
+    if (inject(p, kind)) report.applied.push_back(kind);
+  }
+  return report;
+}
+
+FaultReport FaultInjector::inject_random(flow::Network& net, int count) {
+  FaultReport report;
+  for (int i = 0; i < count; ++i) {
+    const FaultKind kind =
+        kAllKinds[pick_index(rng_, static_cast<int>(std::size(kAllKinds)))];
+    if (inject(net, kind)) report.applied.push_back(kind);
+  }
+  return report;
+}
+
+void jitter_costs(lp::Problem& p, Rng& rng, double rel_scale) {
+  for (int j = 0; j < p.num_variables(); ++j) {
+    const double c = p.variable(j).objective;
+    p.set_objective_coef(j, c * (1.0 + rel_scale * rng.uniform(-1.0, 1.0)));
+  }
+}
+
+void jitter_costs(flow::Network& net, Rng& rng, double rel_scale) {
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const double c = net.edge(e).cost;
+    net.set_cost(e, c * (1.0 + rel_scale * rng.uniform(-1.0, 1.0)));
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential fuzz harness.
+
+/// Coarse verdict classes for cross-solver agreement. Hard verdicts
+/// (optimal / infeasible / unbounded) must agree pairwise; soft verdicts
+/// (budget exhaustion, numerical bail-out) are conservative and excused.
+enum class VerdictClass { kHardOptimal, kHardInfeasible, kHardUnbounded, kSoft };
+
+VerdictClass classify(lp::SolveStatus s) {
+  switch (s) {
+    case lp::SolveStatus::kOptimal: return VerdictClass::kHardOptimal;
+    case lp::SolveStatus::kInfeasible: return VerdictClass::kHardInfeasible;
+    case lp::SolveStatus::kUnbounded: return VerdictClass::kHardUnbounded;
+    case lp::SolveStatus::kIterationLimit:
+    case lp::SolveStatus::kTimeLimit:
+    case lp::SolveStatus::kNumericalError: return VerdictClass::kSoft;
+  }
+  return VerdictClass::kSoft;
+}
+
+struct FuzzContext {
+  const FuzzOptions& options;
+  FuzzStats& stats;
+  std::map<std::string, int> status_tally;
+
+  void tally(lp::SolveStatus s) {
+    ++status_tally[std::string(lp::to_string(s))];
+  }
+
+  void fail(std::uint64_t seed, const std::string& what) {
+    if (stats.failures.size() < 64) {
+      std::ostringstream os;
+      os << "[seed " << seed << "] " << what;
+      stats.failures.push_back(os.str());
+    } else if (stats.failures.size() == 64) {
+      stats.failures.push_back("... further failures suppressed");
+    }
+  }
+};
+
+/// A generic random LP: unlike the always-feasible social-welfare builds,
+/// these hit the infeasible and unbounded verdict paths naturally.
+lp::Problem make_random_lp(Rng& rng) {
+  lp::Problem p(rng.bernoulli(0.5) ? lp::Objective::kMinimize
+                                   : lp::Objective::kMaximize);
+  const int nv = 2 + pick_index(rng, 9);
+  const int nc = 1 + pick_index(rng, 8);
+  for (int j = 0; j < nv; ++j) {
+    const double lower = rng.bernoulli(0.7) ? 0.0 : rng.uniform(-5.0, 0.0);
+    const double upper =
+        rng.bernoulli(0.2) ? lp::kInfinity : lower + rng.uniform(0.0, 30.0);
+    p.add_variable("x" + std::to_string(j), lower, upper,
+                   rng.uniform(-10.0, 10.0));
+  }
+  for (int i = 0; i < nc; ++i) {
+    lp::LinearExpr expr;
+    for (int j = 0; j < nv; ++j) {
+      if (rng.bernoulli(0.6)) expr.add(j, rng.uniform(-10.0, 10.0));
+    }
+    if (expr.empty()) expr.add(pick_index(rng, nv), 1.0);
+    const lp::Sense sense = rng.bernoulli(0.4)   ? lp::Sense::kLessEqual
+                            : rng.bernoulli(0.5) ? lp::Sense::kGreaterEqual
+                                                 : lp::Sense::kEqual;
+    p.add_constraint("c" + std::to_string(i), std::move(expr), sense,
+                     rng.uniform(-20.0, 20.0));
+  }
+  return p;
+}
+
+flow::Network make_fuzz_grid(Rng& rng) {
+  sim::RandomGridOptions grid;
+  grid.hubs = 3 + pick_index(rng, 6);
+  grid.extra_edge_prob = rng.uniform(0.1, 0.5);
+  grid.supply_density = rng.uniform(0.5, 1.0);
+  grid.demand_density = rng.uniform(0.5, 1.0);
+  return sim::make_random_grid(grid, rng);
+}
+
+/// Leg 1: hardened simplex vs. presolve path on the same (possibly
+/// faulted) problem.
+void fuzz_lp_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
+  lp::Problem p =
+      rng.bernoulli(0.5)
+          ? flow::build_social_welfare_lp(make_fuzz_grid(rng))
+          : make_random_lp(rng);
+
+  FaultReport report;
+  if (rng.bernoulli(ctx.options.fault_prob)) {
+    FaultInjector injector(rng.next());
+    report = injector.inject_random(p, 1 + pick_index(rng,
+                                            ctx.options.max_faults));
+    if (!report.applied.empty()) ++ctx.stats.faulted;
+  }
+
+  lp::SimplexOptions so;
+  so.time_limit_ms = ctx.options.time_limit_ms;
+  const lp::Solution direct = lp::SimplexSolver(so).solve(p);
+  const lp::Solution presolved = lp::solve_lp_with_presolve(p, so);
+  ++ctx.stats.lp_checks;
+  ctx.tally(direct.status);
+  ctx.tally(presolved.status);
+
+  // Judge from the problem's final state, not the injection history — a
+  // later fault may overwrite an earlier one (e.g. a tie copied over the
+  // injected NaN).
+  if (!lp::validate_problem(p).is_ok()) {
+    // NaN/Inf data must be caught by validation on both paths.
+    if (direct.status != lp::SolveStatus::kNumericalError ||
+        presolved.status != lp::SolveStatus::kNumericalError) {
+      ctx.fail(seed, "poisoned LP (" + to_string(report) +
+                         ") not rejected: direct=" +
+                         std::string(lp::to_string(direct.status)) +
+                         " presolved=" +
+                         std::string(lp::to_string(presolved.status)));
+    }
+    return;
+  }
+
+  const VerdictClass a = classify(direct.status);
+  const VerdictClass b = classify(presolved.status);
+  if (a != VerdictClass::kSoft && b != VerdictClass::kSoft && a != b) {
+    ctx.fail(seed, "LP verdict disagreement (" + to_string(report) +
+                       "): direct=" +
+                       std::string(lp::to_string(direct.status)) +
+                       " presolved=" +
+                       std::string(lp::to_string(presolved.status)));
+    return;
+  }
+  if (a == VerdictClass::kHardOptimal && b == VerdictClass::kHardOptimal) {
+    const double tol =
+        ctx.options.objective_tol * (1.0 + std::fabs(direct.objective));
+    if (std::fabs(direct.objective - presolved.objective) > tol) {
+      std::ostringstream os;
+      os << "LP objective mismatch (" << to_string(report)
+         << "): direct=" << direct.objective
+         << " presolved=" << presolved.objective;
+      ctx.fail(seed, os.str());
+    }
+    if (!p.is_feasible(direct.x, 1e-5)) {
+      ctx.fail(seed, "direct simplex returned infeasible point (" +
+                         to_string(report) + ")");
+    }
+    if (!p.is_feasible(presolved.x, 1e-5)) {
+      ctx.fail(seed, "presolve path returned infeasible point (" +
+                         to_string(report) + ")");
+    }
+  }
+}
+
+/// Leg 2: the specialized adversary branch-and-bound and the linearized
+/// MILP against the brute-force subset enumerator.
+void fuzz_adversary_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
+  const int na = 2 + pick_index(rng, 4);
+  const int nt = 3 + pick_index(rng, 6);
+  cps::ImpactMatrix im(na, nt);
+  const double scale = rng.bernoulli(0.1) ? 1e9 : 50.0;  // range stress
+  double previous = 0.0;
+  for (int a = 0; a < na; ++a) {
+    for (int t = 0; t < nt; ++t) {
+      double v = rng.uniform(-scale, scale);
+      if (rng.bernoulli(0.2)) v = 0.0;
+      if (rng.bernoulli(0.15)) v = previous;  // exact degenerate ties
+      im.set(a, t, v);
+      previous = v;
+    }
+  }
+
+  core::AdversaryConfig config;
+  if (rng.bernoulli(0.7)) {
+    config.attack_cost.resize(static_cast<std::size_t>(nt));
+    for (double& c : config.attack_cost) c = rng.uniform(0.0, scale / 5.0);
+  }
+  if (rng.bernoulli(0.7)) {
+    config.success_prob.resize(static_cast<std::size_t>(nt));
+    for (double& pr : config.success_prob) pr = rng.uniform(0.3, 1.0);
+  }
+  if (rng.bernoulli(0.5)) config.budget = rng.uniform(0.0, scale / 2.0);
+  if (rng.bernoulli(0.5)) config.max_targets = 1 + pick_index(rng, nt);
+
+  const core::StrategicAdversary sa(config);
+  const core::AttackPlan exact = sa.plan(im);
+  const core::AttackPlan milp = sa.plan_milp(im);
+  const core::AttackPlan brute = sa.plan_enumerate(im);
+  ++ctx.stats.adversary_checks;
+  ctx.tally(exact.status);
+  ctx.tally(milp.status);
+  ctx.tally(brute.status);
+
+  if (!brute.optimal()) {
+    ctx.fail(seed, "enumerator did not report optimal: " +
+                       std::string(lp::to_string(brute.status)));
+    return;
+  }
+  const double tol = 1e-6 * (1.0 + std::fabs(brute.anticipated_return));
+  if (exact.optimal() &&
+      std::fabs(exact.anticipated_return - brute.anticipated_return) > tol) {
+    std::ostringstream os;
+    os << "plan() vs enumerate mismatch: " << exact.anticipated_return
+       << " vs " << brute.anticipated_return;
+    ctx.fail(seed, os.str());
+  }
+  if (milp.optimal() &&
+      std::fabs(milp.anticipated_return - brute.anticipated_return) > tol) {
+    std::ostringstream os;
+    os << "plan_milp() vs enumerate mismatch: " << milp.anticipated_return
+       << " vs " << brute.anticipated_return;
+    ctx.fail(seed, os.str());
+  }
+  if (!exact.optimal() && classify(exact.status) != VerdictClass::kSoft) {
+    ctx.fail(seed, "plan() hard non-optimal verdict: " +
+                       std::string(lp::to_string(exact.status)));
+  }
+}
+
+/// Same out-of-domain predicate as the solve_social_welfare gate; judged
+/// on the network's final state because faults may overwrite each other.
+bool network_out_of_domain(const flow::Network& net) {
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const flow::Edge& edge = net.edge(e);
+    if (!std::isfinite(edge.cost) || std::isnan(edge.capacity) ||
+        edge.capacity < 0.0 || !(edge.loss >= 0.0 && edge.loss < 1.0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Leg 3: end-to-end network pipeline — validate() must agree with the
+/// solve gate, and no faulted grid may crash the solve.
+void fuzz_network_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
+  flow::Network net = make_fuzz_grid(rng);
+
+  FaultReport report;
+  if (rng.bernoulli(ctx.options.fault_prob)) {
+    FaultInjector injector(rng.next());
+    report = injector.inject_random(net, 1 + pick_index(rng,
+                                             ctx.options.max_faults));
+    if (!report.applied.empty()) ++ctx.stats.faulted;
+  }
+
+  const Status valid = net.validate();
+  flow::SocialWelfareOptions options;
+  options.simplex.time_limit_ms = ctx.options.time_limit_ms;
+  const flow::FlowSolution sol = solve_social_welfare(net, options);
+  ++ctx.stats.network_checks;
+  ctx.tally(sol.status);
+
+  if (network_out_of_domain(net)) {
+    if (valid.is_ok()) {
+      ctx.fail(seed, "validate() accepted out-of-domain network (" +
+                         to_string(report) + ")");
+    }
+    if (sol.status != lp::SolveStatus::kNumericalError) {
+      ctx.fail(seed, "solve accepted out-of-domain network (" +
+                         to_string(report) + "): " +
+                         std::string(lp::to_string(sol.status)));
+    }
+    return;
+  }
+  // In-domain data (possibly Eq-3-inconsistent): the solve must reach a
+  // verdict, and an optimal one must be internally consistent.
+  if (sol.status == lp::SolveStatus::kNumericalError) {
+    ctx.fail(seed, "in-domain network (" + to_string(report) +
+                       ") reported kNumericalError");
+  }
+  if (sol.optimal()) {
+    if (!std::isfinite(sol.welfare)) {
+      ctx.fail(seed, "optimal solve with non-finite welfare (" +
+                         to_string(report) + ")");
+    }
+    if (sol.flow.size() != static_cast<std::size_t>(net.num_edges())) {
+      ctx.fail(seed, "optimal solve with wrong flow dimension");
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const FuzzStats& stats) {
+  std::ostringstream os;
+  os << "fuzz: " << stats.instances << " instances (" << stats.faulted
+     << " faulted), " << stats.lp_checks << " LP checks, "
+     << stats.adversary_checks << " adversary checks, "
+     << stats.network_checks << " network checks, "
+     << stats.failures.size() << " failures\n";
+  for (const auto& [status, count] : stats.status_counts) {
+    os << "  status " << status << ": " << count << "\n";
+  }
+  for (const std::string& f : stats.failures) os << "  FAIL " << f << "\n";
+  return os.str();
+}
+
+FuzzStats run_differential_fuzz(const FuzzOptions& options) {
+  FuzzStats stats;
+  FuzzContext ctx{options, stats, {}};
+  const Rng parent(options.seed);
+
+  // Instances are seeded independently of each other and of execution
+  // order, so any failure reproduces from its printed seed alone.
+  for (int i = 0; i < options.instances; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    Rng rng = parent.derive_stream(3 * seed);
+    fuzz_lp_instance(ctx, seed, rng);
+    ++stats.instances;
+  }
+  for (int i = 0; i < options.instances; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    Rng rng = parent.derive_stream(3 * seed + 1);
+    fuzz_adversary_instance(ctx, seed, rng);
+    ++stats.instances;
+  }
+  for (int i = 0; i < options.instances; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    Rng rng = parent.derive_stream(3 * seed + 2);
+    fuzz_network_instance(ctx, seed, rng);
+    ++stats.instances;
+  }
+
+  stats.status_counts.assign(ctx.status_tally.begin(), ctx.status_tally.end());
+
+  auto& reg = obs::default_registry();
+  reg.counter("robust.fuzz.instances").add(stats.instances);
+  reg.counter("robust.fuzz.faulted").add(stats.faulted);
+  reg.counter("robust.fuzz.failures").add(
+      static_cast<long>(stats.failures.size()));
+  return stats;
+}
+
+}  // namespace gridsec::robust

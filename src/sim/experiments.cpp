@@ -25,28 +25,31 @@ std::vector<GainLossPoint> experiment_gain_loss(
     struct Trial {
       double gain = 0.0, loss = 0.0, net = 0.0;
     };
-    auto trials = run_trials<Trial>(
+    auto trials = run_trials_robust<Trial>(
         options.pool, static_cast<std::size_t>(options.trials),
         point_seed(options.seed, pi, 1),
-        [&](std::size_t, Rng& rng) -> Trial {
+        [&](std::size_t, Rng& rng, int) -> StatusOr<Trial> {
           auto own =
               cps::Ownership::random(net.num_edges(), n_actors, rng);
           auto im = cps::compute_impact_matrix(net, own, options.impact);
-          GRIDSEC_ASSERT_MSG(im.is_ok(), "impact matrix failed");
+          if (!im.is_ok()) return im.status();
           Trial t;
           t.gain = im->matrix.aggregate_gain();
           t.loss = im->matrix.aggregate_loss();
           t.net = t.gain + t.loss;
           return t;
-        });
+        },
+        options.robust);
     RunningStats gain, loss, netv;
-    for (const Trial& t : trials) {
-      gain.add(t.gain);
-      loss.add(t.loss);
-      netv.add(t.net);
+    for (const auto& trial : trials.results) {
+      if (!trial.has_value()) continue;
+      gain.add(trial->gain);
+      loss.add(trial->loss);
+      netv.add(trial->net);
     }
     out.push_back({n_actors, gain.mean(), loss.mean(), netv.mean(),
-                   gain.std_error(), loss.std_error()});
+                   gain.std_error(), loss.std_error(),
+                   static_cast<int>(trials.failed + trials.skipped)});
   }
   return out;
 }
@@ -67,14 +70,14 @@ std::vector<AdversaryNoisePoint> experiment_adversary_noise(
       std::vector<double> anticipated;
       std::vector<double> observed;
     };
-    auto trials = run_trials<Trial>(
+    auto trials = run_trials_robust<Trial>(
         options.pool, static_cast<std::size_t>(options.trials),
         point_seed(options.seed, ai, 2),
-        [&](std::size_t, Rng& rng) -> Trial {
+        [&](std::size_t, Rng& rng, int) -> StatusOr<Trial> {
           auto own =
               cps::Ownership::random(net.num_edges(), n_actors, rng);
           auto truth = cps::compute_impact_matrix(net, own, options.impact);
-          GRIDSEC_ASSERT_MSG(truth.is_ok(), "truth impact failed");
+          if (!truth.is_ok()) return truth.status();
           Trial t;
           for (double sigma : config.sigmas) {
             cps::NoiseSpec noise;
@@ -82,26 +85,29 @@ std::vector<AdversaryNoisePoint> experiment_adversary_noise(
             flow::Network view = cps::perturb_knowledge(net, noise, rng);
             auto believed =
                 cps::compute_impact_matrix(view, own, options.impact);
-            GRIDSEC_ASSERT_MSG(believed.is_ok(), "noisy impact failed");
+            if (!believed.is_ok()) return believed.status();
             core::AttackPlan plan = sa.plan(believed->matrix);
-            GRIDSEC_ASSERT_MSG(
-                plan.status != lp::SolveStatus::kInfeasible &&
-                    plan.status != lp::SolveStatus::kUnbounded,
-                "SA plan failed");
+            if (!plan.optimal() && !lp::is_budget_limited(plan.status)) {
+              return lp::to_status(plan.status,
+                                   "experiment_adversary_noise: SA plan");
+            }
             t.anticipated.push_back(plan.anticipated_return);
             t.observed.push_back(
                 core::realized_return(truth->matrix, plan, sa_cfg));
           }
           return t;
-        });
+        },
+        options.robust);
     for (std::size_t si = 0; si < config.sigmas.size(); ++si) {
       RunningStats ant, obs;
-      for (const Trial& t : trials) {
-        ant.add(t.anticipated[si]);
-        obs.add(t.observed[si]);
+      for (const auto& trial : trials.results) {
+        if (!trial.has_value()) continue;
+        ant.add(trial->anticipated[si]);
+        obs.add(trial->observed[si]);
       }
       out.push_back({n_actors, config.sigmas[si], ant.mean(), obs.mean(),
-                     ant.std_error(), obs.std_error()});
+                     ant.std_error(), obs.std_error(),
+                     static_cast<int>(trials.failed + trials.skipped)});
     }
   }
   return out;
@@ -140,28 +146,31 @@ std::vector<DefensePoint> experiment_defense(
       // Salt is independent of the collaborative flag so individual and
       // collaborative sweeps see identical ownerships and noise draws —
       // their difference is then a paired comparison.
-      auto trials = run_trials<Trial>(
+      auto trials = run_trials_robust<Trial>(
           options.pool, static_cast<std::size_t>(options.trials),
           point_seed(options.seed, ai * 1000 + si, 3),
-          [&](std::size_t, Rng& rng) -> Trial {
+          [&](std::size_t, Rng& rng, int) -> StatusOr<Trial> {
             auto own =
                 cps::Ownership::random(net.num_edges(), n_actors, rng);
             auto outcome = core::play_defense_game(net, own, game, rng);
-            GRIDSEC_ASSERT_MSG(outcome.is_ok(), "defense game failed");
-            return {outcome->defense_effectiveness,
-                    outcome->adversary_gain_undefended};
-          });
+            if (!outcome.is_ok()) return outcome.status();
+            return Trial{outcome->defense_effectiveness,
+                         outcome->adversary_gain_undefended};
+          },
+          options.robust);
       RunningStats eff, gain, rel;
-      for (const Trial& t : trials) {
-        eff.add(t.effectiveness);
-        gain.add(t.gain_undefended);
-        if (std::fabs(t.gain_undefended) > 1e-6) {
-          rel.add(t.effectiveness / t.gain_undefended);
+      for (const auto& trial : trials.results) {
+        if (!trial.has_value()) continue;
+        eff.add(trial->effectiveness);
+        gain.add(trial->gain_undefended);
+        if (std::fabs(trial->gain_undefended) > 1e-6) {
+          rel.add(trial->effectiveness / trial->gain_undefended);
         }
       }
       out.push_back({n_actors, sigma, config.collaborative, eff.mean(),
                      eff.std_error(), gain.mean(), rel.mean(),
-                     rel.std_error()});
+                     rel.std_error(),
+                     static_cast<int>(trials.failed + trials.skipped)});
     }
   }
   return out;

@@ -18,6 +18,10 @@ std::string_view to_string(ErrorCode code) {
       return "NOT_FOUND";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kTimeLimit:
+      return "TIME_LIMIT";
+    case ErrorCode::kNumericalError:
+      return "NUMERICAL_ERROR";
   }
   return "UNKNOWN";
 }

@@ -102,19 +102,41 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   // Static chunking with an atomic cursor: chunks keep per-item overhead low;
   // the shared cursor keeps load balanced when item costs vary (MILPs do).
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
   const std::size_t workers = std::min(pool->size(), n);
   std::vector<std::future<void>> futs;
   futs.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futs.push_back(pool->submit([cursor, n, &fn] {
+    futs.push_back(pool->submit([cursor, failed, n, &fn] {
       for (;;) {
+        // Once any worker threw, stop claiming items: the caller is about
+        // to rethrow and there is no point burning through the rest.
+        if (failed->load(std::memory_order_relaxed)) return;
         const std::size_t i = cursor->fetch_add(1);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;  // lands in this worker's future
+        }
       }
     }));
   }
-  for (auto& f : futs) f.get();  // rethrows worker exceptions
+  // Drain every future before surfacing any error. Rethrowing on the first
+  // get() would return to the caller (and potentially destroy fn and the
+  // cursor) while other workers are still executing iterations — a
+  // use-after-free. Only after all workers have finished is it safe to
+  // propagate the first exception.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace gridsec

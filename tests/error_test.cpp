@@ -1,0 +1,138 @@
+// Tests for the shared error vocabulary: ErrorCode/Status/StatusOr and the
+// lp::SolveStatus bridge (to_status, is_budget_limited).
+#include "gridsec/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gridsec/lp/problem.hpp"
+
+namespace gridsec {
+namespace {
+
+TEST(ErrorCode, ToStringCoversEveryCode) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "OK");
+  EXPECT_EQ(to_string(ErrorCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(to_string(ErrorCode::kInfeasible), "INFEASIBLE");
+  EXPECT_EQ(to_string(ErrorCode::kUnbounded), "UNBOUNDED");
+  EXPECT_EQ(to_string(ErrorCode::kIterationLimit), "ITERATION_LIMIT");
+  EXPECT_EQ(to_string(ErrorCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(to_string(ErrorCode::kInternal), "INTERNAL");
+  EXPECT_EQ(to_string(ErrorCode::kTimeLimit), "TIME_LIMIT");
+  EXPECT_EQ(to_string(ErrorCode::kNumericalError), "NUMERICAL_ERROR");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    ErrorCode code;
+  };
+  const Case cases[] = {
+      {Status::invalid_argument("m"), ErrorCode::kInvalidArgument},
+      {Status::infeasible("m"), ErrorCode::kInfeasible},
+      {Status::unbounded("m"), ErrorCode::kUnbounded},
+      {Status::iteration_limit("m"), ErrorCode::kIterationLimit},
+      {Status::not_found("m"), ErrorCode::kNotFound},
+      {Status::internal("m"), ErrorCode::kInternal},
+      {Status::time_limit("m"), ErrorCode::kTimeLimit},
+      {Status::numerical_error("m"), ErrorCode::kNumericalError},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.is_ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    // "<CODE>: <message>" for logs.
+    EXPECT_EQ(c.status.to_string(),
+              std::string(to_string(c.code)) + ": m");
+  }
+}
+
+TEST(StatusOr, HoldsValueOnSuccess) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_TRUE(v.status().is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsStatusOnFailure) {
+  StatusOr<int> v(Status::infeasible("no point"));
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(v.status().message(), "no point");
+}
+
+TEST(StatusOr, ArrowDereferencesValue) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+using StatusOrDeathTest = ::testing::Test;
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v(Status::internal("boom"));
+  EXPECT_DEATH((void)v.value(), "StatusOr::value\\(\\) on error state");
+}
+
+TEST(StatusOrDeathTest, DerefOnErrorAborts) {
+  StatusOr<int> v(Status::internal("boom"));
+  EXPECT_DEATH((void)*v, "StatusOr::operator\\* on error state");
+}
+
+TEST(StatusOrDeathTest, ArrowOnErrorAborts) {
+  StatusOr<std::string> v(Status::internal("boom"));
+  EXPECT_DEATH((void)v->size(), "StatusOr::operator-> on error state");
+}
+
+TEST(SolveStatus, ToStringCoversEveryVerdict) {
+  using lp::SolveStatus;
+  EXPECT_EQ(lp::to_string(SolveStatus::kOptimal), "OPTIMAL");
+  EXPECT_EQ(lp::to_string(SolveStatus::kInfeasible), "INFEASIBLE");
+  EXPECT_EQ(lp::to_string(SolveStatus::kUnbounded), "UNBOUNDED");
+  EXPECT_EQ(lp::to_string(SolveStatus::kIterationLimit), "ITERATION_LIMIT");
+  EXPECT_EQ(lp::to_string(SolveStatus::kTimeLimit), "TIME_LIMIT");
+  EXPECT_EQ(lp::to_string(SolveStatus::kNumericalError), "NUMERICAL_ERROR");
+}
+
+TEST(SolveStatus, ToStatusMapsEveryVerdict) {
+  using lp::SolveStatus;
+  EXPECT_TRUE(lp::to_status(SolveStatus::kOptimal, "ctx").is_ok());
+  EXPECT_EQ(lp::to_status(SolveStatus::kInfeasible, "ctx").code(),
+            ErrorCode::kInfeasible);
+  EXPECT_EQ(lp::to_status(SolveStatus::kUnbounded, "ctx").code(),
+            ErrorCode::kUnbounded);
+  EXPECT_EQ(lp::to_status(SolveStatus::kIterationLimit, "ctx").code(),
+            ErrorCode::kIterationLimit);
+  EXPECT_EQ(lp::to_status(SolveStatus::kTimeLimit, "ctx").code(),
+            ErrorCode::kTimeLimit);
+  EXPECT_EQ(lp::to_status(SolveStatus::kNumericalError, "ctx").code(),
+            ErrorCode::kNumericalError);
+  // The context prefixes the message so callers can trace the source.
+  EXPECT_NE(lp::to_status(SolveStatus::kInfeasible, "solve_milp")
+                .message()
+                .find("solve_milp"),
+            std::string::npos);
+}
+
+TEST(SolveStatus, BudgetLimitedVsPathology) {
+  using lp::SolveStatus;
+  // Budget exhaustion: the incumbent (if any) is feasible, just unproven.
+  EXPECT_TRUE(lp::is_budget_limited(SolveStatus::kIterationLimit));
+  EXPECT_TRUE(lp::is_budget_limited(SolveStatus::kTimeLimit));
+  // Pathologies: no usable point.
+  EXPECT_FALSE(lp::is_budget_limited(SolveStatus::kOptimal));
+  EXPECT_FALSE(lp::is_budget_limited(SolveStatus::kInfeasible));
+  EXPECT_FALSE(lp::is_budget_limited(SolveStatus::kUnbounded));
+  EXPECT_FALSE(lp::is_budget_limited(SolveStatus::kNumericalError));
+}
+
+}  // namespace
+}  // namespace gridsec

@@ -98,5 +98,78 @@ TEST(ParallelFor, PropagatesWorkerException) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, ThrowDrainsAllWorkersBeforeReturning) {
+  // Regression: parallel_for must not rethrow while workers still hold
+  // references to caller state. By the time the exception surfaces here,
+  // no worker may touch `hits` or `in_flight` again; with an early-rethrow
+  // implementation the captures go out of scope while workers still run,
+  // which ASan flags as a stack-use-after-scope.
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  {
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<int> in_flight{0};
+    EXPECT_THROW(
+        parallel_for(&pool, n,
+                     [&](std::size_t i) {
+                       in_flight.fetch_add(1);
+                       if (i == 0) {
+                         in_flight.fetch_sub(1);
+                         throw std::runtime_error("early failure");
+                       }
+                       hits[i].fetch_add(1);
+                       in_flight.fetch_sub(1);
+                     }),
+        std::runtime_error);
+    // All workers have finished: nothing is still executing the lambda.
+    EXPECT_EQ(in_flight.load(), 0);
+    // Every index ran at most once (some are skipped after the failure).
+    for (std::size_t i = 1; i < n; ++i) EXPECT_LE(hits[i].load(), 1);
+  }
+  // The pool survives and stays usable after a throwing parallel_for.
+  std::atomic<int> ran{0};
+  parallel_for(&pool, 16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, SurfacesFirstExceptionMessage) {
+  ThreadPool pool(3);
+  try {
+    parallel_for(&pool, 32, [](std::size_t) {
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "parallel_for should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ParallelFor, ExceptionStopsClaimingNewIndices) {
+  // After a failure is observed, workers stop claiming fresh work, so a
+  // long range finishes promptly instead of running every index.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_for(&pool, 100000,
+                   [&](std::size_t) {
+                     executed.fetch_add(1);
+                     throw std::runtime_error("stop");
+                   }),
+      std::runtime_error);
+  // Cancellation is advisory, but most of the range must be skipped.
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ParallelFor, SerialPathPropagatesException) {
+  std::vector<int> ran;
+  EXPECT_THROW(parallel_for(nullptr, 5,
+                            [&](std::size_t i) {
+                              if (i == 2) throw std::runtime_error("serial");
+                              ran.push_back(static_cast<int>(i));
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<int>{0, 1}));
+}
+
 }  // namespace
 }  // namespace gridsec
