@@ -68,10 +68,14 @@ flow::DcNetwork western_electric_dc() {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_dcopf", args, argc, argv);
   auto dc = western_electric_dc();
 
-  auto physics = flow::solve_dc_opf(dc);
-  auto transport = flow::solve_transport_relaxation(dc);
+  auto physics =
+      harness.run_case("solve_dc_opf", [&] { return flow::solve_dc_opf(dc); });
+  auto transport = harness.run_case("solve_transport_relaxation", [&] {
+    return flow::solve_transport_relaxation(dc);
+  });
   if (!physics.optimal() || !transport.optimal()) {
     std::fprintf(stderr, "solve failed\n");
     return 1;
@@ -93,19 +97,25 @@ int main(int argc, char** argv) {
 
   // Per-line outage impact ranking under each model.
   std::vector<double> impact_tr, impact_dc;
-  for (std::size_t l = 0; l < dc.lines().size(); ++l) {
-    flow::DcNetwork hit = dc;
-    hit.mutable_lines().erase(hit.mutable_lines().begin() +
-                              static_cast<std::ptrdiff_t>(l));
-    auto tr = flow::solve_transport_relaxation(hit);
-    auto ph = flow::solve_dc_opf(hit);
-    impact_tr.push_back(tr.optimal() ? transport.welfare - tr.welfare : 0.0);
-    impact_dc.push_back(ph.optimal() ? physics.welfare - ph.welfare : 0.0);
-  }
+  harness.run_case("line_outage_ranking_sweep", [&] {
+    impact_tr.clear();  // rerun-safe under --reps>1
+    impact_dc.clear();
+    for (std::size_t l = 0; l < dc.lines().size(); ++l) {
+      flow::DcNetwork hit = dc;
+      hit.mutable_lines().erase(hit.mutable_lines().begin() +
+                                static_cast<std::ptrdiff_t>(l));
+      auto tr = flow::solve_transport_relaxation(hit);
+      auto ph = flow::solve_dc_opf(hit);
+      impact_tr.push_back(tr.optimal() ? transport.welfare - tr.welfare
+                                       : 0.0);
+      impact_dc.push_back(ph.optimal() ? physics.welfare - ph.welfare : 0.0);
+    }
+  });
   Table c({"comparison", "spearman", "pearson"});
   c.add_row({"line_outage_impact: transport vs dc_opf",
              format_double(spearman_correlation(impact_tr, impact_dc), 3),
              format_double(correlation(impact_tr, impact_dc), 3)});
   bench::emit(c, args, "Outage-impact ranking agreement");
+  harness.emit_report();
   return 0;
 }

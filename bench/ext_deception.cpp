@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_deception", args, argc, argv);
   auto m = sim::build_western_us();
 
   Table t({"misreports", "sa_anticipated", "sa_realized", "defender_losses",
@@ -23,7 +24,10 @@ int main(int argc, char** argv) {
     core::DeceptionPlanOptions opt;
     opt.adversary.max_targets = 3;
     opt.max_misreports = k;
-    auto plan = core::greedy_deception_plan(m.network, own, opt);
+    auto plan =
+        harness.run_case("greedy_deception_plan/" + std::to_string(k), [&] {
+          return core::greedy_deception_plan(m.network, own, opt);
+        });
     if (!plan.is_ok()) {
       std::fprintf(stderr, "deception failed: %s\n",
                    plan.status().to_string().c_str());
@@ -42,5 +46,6 @@ int main(int argc, char** argv) {
                lied.empty() ? "-" : lied});
   }
   bench::emit(t, args, "Extension: deception defense (6 actors, 3-target SA)");
+  harness.emit_report();
   return 0;
 }

@@ -70,6 +70,7 @@ flow::Network with_elastic_loads(int tiers) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_elasticity", args, argc, argv);
   ThreadPool pool(args.threads);
 
   Table t({"demand_tiers", "assets", "total_gain", "total_|loss|",
@@ -80,7 +81,9 @@ int main(int argc, char** argv) {
     opt.trials = args.trials;
     opt.seed = args.seed;
     opt.pool = &pool;
-    auto gl = sim::experiment_gain_loss(net, {6}, opt);
+    auto gl = harness.run_case(
+        "experiment_gain_loss/tiers_" + std::to_string(tiers),
+        [&] { return sim::experiment_gain_loss(net, {6}, opt); });
 
     Rng rng(args.seed);
     auto own = cps::Ownership::random(net.num_edges(), 6, rng);
@@ -98,5 +101,6 @@ int main(int argc, char** argv) {
                       1);
   }
   bench::emit(t, args, "Extension: demand elasticity vs attack economy");
+  harness.emit_report();
   return 0;
 }

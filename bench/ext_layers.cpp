@@ -14,11 +14,14 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_layers", args, argc, argv);
   auto m = sim::build_western_us();
   Rng rng(args.seed);
   const int n_actors = 6;
   auto own = cps::Ownership::random(m.network.num_edges(), n_actors, rng);
-  auto im = cps::compute_impact_matrix(m.network, own);
+  auto im = harness.run_case("impact_matrix", [&] {
+    return cps::compute_impact_matrix(m.network, own);
+  });
   if (!im.is_ok()) {
     std::fprintf(stderr, "impact failed\n");
     return 1;
@@ -49,7 +52,9 @@ int main(int argc, char** argv) {
     cfg.layer_cost = 1000.0;
     cfg.max_layers_per_target = 3;
     cfg.budget.assign(static_cast<std::size_t>(n_actors), budget);
-    auto plan = cps::defend_layered(im->matrix, own, *pa, posture, cfg);
+    auto plan = harness.run_case(
+        "defend_layered/" + format_double(budget, 0),
+        [&] { return cps::defend_layered(im->matrix, own, *pa, posture, cfg); });
     if (!plan.optimal()) {
       std::fprintf(stderr, "layered defense failed\n");
       return 1;
@@ -70,5 +75,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Extension: layered hardening vs SA expected return");
+  harness.emit_report();
   return 0;
 }

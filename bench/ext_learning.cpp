@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_learning", args, argc, argv);
   auto m = sim::build_western_us();
   const int n_actors = 6;
   const int rounds = 8;
@@ -47,8 +48,10 @@ int main(int argc, char** argv) {
     return losses;
   };
 
-  auto learning = run(0.5, args.seed);
-  auto frozen = run(0.0, args.seed);
+  auto learning = harness.run_case("repeated_game_learning",
+                                   [&] { return run(0.5, args.seed); });
+  auto frozen = harness.run_case("repeated_game_frozen",
+                                 [&] { return run(0.0, args.seed); });
 
   Table t({"round", "losses_no_learning", "losses_learning",
            "learning_benefit"});
@@ -59,5 +62,6 @@ int main(int argc, char** argv) {
                       0);
   }
   bench::emit(t, args, "Extension: defender learning across repeated attacks");
+  harness.emit_report();
   return 0;
 }

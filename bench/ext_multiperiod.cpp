@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_multiperiod", args, argc, argv);
   auto m = sim::build_western_us();
   const auto periods = flow::daily_periods();
   flow::RampSpec ramp;
@@ -34,16 +35,19 @@ int main(int argc, char** argv) {
     double single_loss;   // scaled to the full horizon for comparability
     double multi_loss;
   };
-  std::vector<Row> rows;
-  for (int e = 0; e < m.network.num_edges(); ++e) {
-    flow::Network hit = m.network;
-    hit.set_capacity(e, 0.0);
-    auto s = flow::solve_social_welfare(hit);
-    auto mp = flow::solve_multi_period(hit, periods, ramp);
-    if (!s.optimal() || !mp.optimal()) continue;
-    rows.push_back({e, (base_single.welfare - s.welfare) * horizon_hours,
-                    base_multi.total_welfare - mp.total_welfare});
-  }
+  auto rows = harness.run_case("outage_sweep_single_vs_horizon", [&] {
+    std::vector<Row> out;
+    for (int e = 0; e < m.network.num_edges(); ++e) {
+      flow::Network hit = m.network;
+      hit.set_capacity(e, 0.0);
+      auto s = flow::solve_social_welfare(hit);
+      auto mp = flow::solve_multi_period(hit, periods, ramp);
+      if (!s.optimal() || !mp.optimal()) continue;
+      out.push_back({e, (base_single.welfare - s.welfare) * horizon_hours,
+                     base_multi.total_welfare - mp.total_welfare});
+    }
+    return out;
+  });
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.multi_loss > b.multi_loss;
   });
@@ -61,5 +65,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Extension: single-instance vs daily-horizon attack impact");
+  harness.emit_report();
   return 0;
 }

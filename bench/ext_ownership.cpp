@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_ownership", args, argc, argv);
   auto m = sim::build_western_us();
 
   struct Case {
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
   Table t({"structure", "actors", "total_gain", "total_|loss|",
            "sa_return_6targets", "sa_actors_held"});
   for (const Case& c : cases) {
-    auto im = cps::compute_impact_matrix(m.network, c.own);
+    auto im = harness.run_case(std::string("impact_matrix/") + c.name, [&] {
+      return cps::compute_impact_matrix(m.network, c.own);
+    });
     if (!im.is_ok()) {
       std::fprintf(stderr, "impact failed for %s\n", c.name);
       return 1;
@@ -57,5 +60,6 @@ int main(int argc, char** argv) {
         "utility hurt everywhere it operates); horizontal sector splits\n"
         "concentrate gains in whole sectors and widen the SA's options.\n");
   }
+  harness.emit_report();
   return 0;
 }

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_scarcity", args, argc, argv);
   ThreadPool pool(args.threads);
 
   Table t({"demand_surge", "welfare", "total_gain", "total_|loss|",
@@ -26,7 +27,9 @@ int main(int argc, char** argv) {
     eopt.trials = args.trials;
     eopt.seed = args.seed;
     eopt.pool = &pool;
-    auto gl = sim::experiment_gain_loss(m.network, {6}, eopt);
+    auto gl = harness.run_case(
+        "experiment_gain_loss/surge_" + format_double(surge, 2),
+        [&] { return sim::experiment_gain_loss(m.network, {6}, eopt); });
 
     // Best single-target SA value at perfect knowledge (one ownership draw).
     Rng rng(args.seed);
@@ -46,5 +49,6 @@ int main(int argc, char** argv) {
                       1);
   }
   bench::emit(t, args, "Ablation: scarcity (demand surge) vs attack economy");
+  harness.emit_report();
   return 0;
 }

@@ -15,11 +15,14 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_stackelberg", args, argc, argv);
   auto m = sim::build_western_us();
   Rng rng(args.seed);
   const int n_actors = 6;
   auto own = cps::Ownership::random(m.network.num_edges(), n_actors, rng);
-  auto im = cps::compute_impact_matrix(m.network, own);
+  auto im = harness.run_case("impact_matrix", [&] {
+    return cps::compute_impact_matrix(m.network, own);
+  });
   if (!im.is_ok()) {
     std::fprintf(stderr, "impact failed\n");
     return 1;
@@ -55,7 +58,9 @@ int main(int argc, char** argv) {
     sc.adversary = adv;
     sc.defense_cost = 1.0;
     sc.budget = budget;
-    auto leader = core::stackelberg_defense(im->matrix, sc);
+    auto leader = harness.run_case(
+        "stackelberg_defense/budget_" + std::to_string(budget),
+        [&] { return core::stackelberg_defense(im->matrix, sc); });
 
     t.add_numeric_row(
         {static_cast<double>(budget), leader.undefended_return,
@@ -65,5 +70,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Extension: static vs Stackelberg defense (re-optimizing SA)");
+  harness.emit_report();
   return 0;
 }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("ext_topology_vs_impact", args, argc, argv);
   auto m = sim::build_western_us();
 
   auto base = flow::solve_social_welfare(m.network);
@@ -25,16 +26,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const int ne = m.network.num_edges();
-  std::vector<double> impact(static_cast<std::size_t>(ne), 0.0);
-  for (int e = 0; e < ne; ++e) {
-    flow::Network hit = m.network;
-    hit.set_capacity(e, 0.0);
-    auto sol = flow::solve_social_welfare(hit);
-    if (sol.optimal()) {
-      impact[static_cast<std::size_t>(e)] = base.welfare - sol.welfare;
+  const auto impact = harness.run_case("outage_impact_sweep", [&] {
+    std::vector<double> out(static_cast<std::size_t>(ne), 0.0);
+    for (int e = 0; e < ne; ++e) {
+      flow::Network hit = m.network;
+      hit.set_capacity(e, 0.0);
+      auto sol = flow::solve_social_welfare(hit);
+      if (sol.optimal()) {
+        out[static_cast<std::size_t>(e)] = base.welfare - sol.welfare;
+      }
     }
-  }
-  auto betweenness = flow::source_sink_betweenness(m.network);
+    return out;
+  });
+  auto betweenness = harness.run_case("source_sink_betweenness", [&] {
+    return flow::source_sink_betweenness(m.network);
+  });
   // Flow-weighted utilization as a third, semi-structural predictor.
   std::vector<double> utilization(static_cast<std::size_t>(ne), 0.0);
   for (int e = 0; e < ne; ++e) {
@@ -72,5 +78,6 @@ int main(int argc, char** argv) {
   tops.add_row({"betweenness", top5(betweenness)});
   tops.add_row({"dispatched_flow", top5(utilization)});
   bench::emit(tops, args, "Top-5 assets by ranking");
+  harness.emit_report();
   return 0;
 }

@@ -10,11 +10,14 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig1_model_dump", args, argc, argv);
   auto m = sim::build_western_us();
 
   Table edges({"edge", "kind", "capacity", "cost", "loss%", "flow",
                "utilization%"});
-  auto sol = flow::solve_social_welfare(m.network);
+  auto sol = harness.run_case(
+      "solve_social_welfare",
+      [&] { return flow::solve_social_welfare(m.network); });
   if (!sol.optimal()) {
     std::cerr << "model failed to solve\n";
     return 1;
@@ -58,6 +61,6 @@ int main(int argc, char** argv) {
               << "  (" << m.long_haul.size() << " long-haul edges, "
               << m.network.num_edges() << " assets)\n";
   }
-  bench::emit_metrics_json(args, "fig1_model_dump");
+  harness.emit_report();
   return 0;
 }

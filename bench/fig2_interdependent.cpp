@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig2_interdependent", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   opt.pool = &pool;
 
   const std::vector<int> actor_counts{1, 2, 3, 4, 6, 8, 12, 16, 24};
-  auto points = sim::experiment_gain_loss(m.network, actor_counts, opt);
+  auto points = harness.run_case("experiment_gain_loss", [&] {
+    return sim::experiment_gain_loss(m.network, actor_counts, opt);
+  });
 
   Table t({"actors", "total_gain", "total_|loss|", "gain+loss(net)",
            "se_gain", "se_loss"});
@@ -29,6 +32,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 2: gain/loss vs actor count (western US model)");
-  bench::emit_metrics_json(args, "fig2_interdependent");
+  harness.emit_report();
   return 0;
 }

@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig3_adversary_noise", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -17,7 +18,9 @@ int main(int argc, char** argv) {
   opt.pool = &pool;
 
   sim::AdversaryNoiseConfig cfg;  // defaults match the paper's sweep
-  auto points = sim::experiment_adversary_noise(m.network, cfg, opt);
+  auto points = harness.run_case("experiment_adversary_noise", [&] {
+    return sim::experiment_adversary_noise(m.network, cfg, opt);
+  });
 
   Table t({"actors", "sigma", "observed_profit", "se"});
   for (const auto& p : points) {
@@ -26,6 +29,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 3: SA profitability vs noise and actors");
-  bench::emit_metrics_json(args, "fig3_adversary_noise");
+  harness.emit_report();
   return 0;
 }

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig4_anticipated_vs_observed", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
 
   sim::AdversaryNoiseConfig cfg;
   cfg.actor_counts = {6};  // the paper's Fig 4 slice
-  auto points = sim::experiment_adversary_noise(m.network, cfg, opt);
+  auto points = harness.run_case("experiment_adversary_noise", [&] {
+    return sim::experiment_adversary_noise(m.network, cfg, opt);
+  });
 
   Table t({"sigma", "anticipated", "observed", "anticipated-observed",
            "se_anticipated", "se_observed"});
@@ -31,6 +34,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 4: anticipated vs observed SA profit (6 actors)");
-  bench::emit_metrics_json(args, "fig4_anticipated_vs_observed");
+  harness.emit_report();
   return 0;
 }

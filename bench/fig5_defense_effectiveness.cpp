@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig5_defense_effectiveness", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   opt.pool = &pool;
 
   sim::DefenseExperimentConfig cfg;  // individual defense, paper defaults
-  auto points = sim::experiment_defense(m.network, cfg, opt);
+  auto points = harness.run_case("experiment_defense", [&] {
+    return sim::experiment_defense(m.network, cfg, opt);
+  });
 
   Table t({"actors", "defender_sigma", "effectiveness", "se",
            "relative_effectiveness", "se_rel", "adversary_gain_undefended"});
@@ -30,6 +33,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 5: defense effectiveness vs defender noise");
-  bench::emit_metrics_json(args, "fig5_defense_effectiveness");
+  harness.emit_report();
   return 0;
 }

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig6_collaboration", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -21,9 +22,14 @@ int main(int argc, char** argv) {
   cfg.actor_counts = {4};  // the paper's Fig 6 slice
 
   cfg.collaborative = false;
-  auto individual = sim::experiment_defense(m.network, cfg, opt);
+  auto individual = harness.run_case("experiment_defense_individual", [&] {
+    return sim::experiment_defense(m.network, cfg, opt);
+  });
   cfg.collaborative = true;
-  auto collaborative = sim::experiment_defense(m.network, cfg, opt);
+  auto collaborative =
+      harness.run_case("experiment_defense_collaborative", [&] {
+        return sim::experiment_defense(m.network, cfg, opt);
+      });
 
   Table t({"defender_sigma", "individual", "collaborative", "improvement",
            "individual_rel", "collaborative_rel", "se_individual",
@@ -40,6 +46,6 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, args,
               "Figure 6: collaboration vs individual defense (4 actors)");
-  bench::emit_metrics_json(args, "fig6_collaboration");
+  harness.emit_report();
   return 0;
 }

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace gridsec;
   const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("fig7_collaboration_actors", args, argc, argv);
   ThreadPool pool(args.threads);
   auto m = sim::build_western_us();
 
@@ -23,9 +24,14 @@ int main(int argc, char** argv) {
   cfg.defender_sigmas = {0.1};  // moderate, fixed knowledge level
 
   cfg.collaborative = false;
-  auto individual = sim::experiment_defense(m.network, cfg, opt);
+  auto individual = harness.run_case("experiment_defense_individual", [&] {
+    return sim::experiment_defense(m.network, cfg, opt);
+  });
   cfg.collaborative = true;
-  auto collaborative = sim::experiment_defense(m.network, cfg, opt);
+  auto collaborative =
+      harness.run_case("experiment_defense_collaborative", [&] {
+        return sim::experiment_defense(m.network, cfg, opt);
+      });
 
   Table t({"actors", "individual", "collaborative", "collab_benefit",
            "individual_rel", "collaborative_rel", "se_individual",
@@ -42,6 +48,6 @@ int main(int argc, char** argv) {
                       2);
   }
   bench::emit(t, args, "Figure 7: collaboration benefit vs actor count");
-  bench::emit_metrics_json(args, "fig7_collaboration_actors");
+  harness.emit_report();
   return 0;
 }

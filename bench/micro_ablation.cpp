@@ -2,50 +2,17 @@
 //  * LMP (dual-based) vs perturbation (probe-based) profit allocation;
 //  * SA solvers: exact MILP vs exhaustive enumeration vs greedy;
 //  * impact-matrix kernel cost as actor count varies.
-#include <benchmark/benchmark.h>
-
+// Runs on the harness-v2 report layer (--trials = measured reps per case).
+#include "bench_common.hpp"
 #include "gridsec/core/adversary.hpp"
 #include "gridsec/core/partition.hpp"
 #include "gridsec/cps/impact.hpp"
+#include "gridsec/lp/milp.hpp"
 #include "gridsec/sim/western_us.hpp"
 
 namespace {
 
 using namespace gridsec;
-
-void BM_AllocatorLmp(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  flow::AllocationOptions opt;
-  opt.kind = flow::AllocatorKind::kLmp;
-  for (auto _ : state) {
-    auto res = flow::allocate_profits(m.network, {}, 0, opt);
-    benchmark::DoNotOptimize(res.welfare);
-  }
-}
-BENCHMARK(BM_AllocatorLmp);
-
-void BM_AllocatorPerturbation(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  flow::AllocationOptions opt;
-  opt.kind = flow::AllocatorKind::kPerturbation;
-  for (auto _ : state) {
-    auto res = flow::allocate_profits(m.network, {}, 0, opt);
-    benchmark::DoNotOptimize(res.welfare);
-  }
-}
-BENCHMARK(BM_AllocatorPerturbation);
-
-void BM_ImpactMatrix(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  Rng rng(1);
-  auto own = cps::Ownership::random(m.network.num_edges(),
-                                    static_cast<int>(state.range(0)), rng);
-  for (auto _ : state) {
-    auto im = cps::compute_impact_matrix(m.network, own);
-    benchmark::DoNotOptimize(im->base_welfare);
-  }
-}
-BENCHMARK(BM_ImpactMatrix)->Arg(2)->Arg(6)->Arg(12);
 
 // SA solver comparison on a pruned 6-actor instance. Enumeration is capped
 // at 3 targets to stay tractable; MILP and greedy use the same cap so the
@@ -72,108 +39,147 @@ core::AdversaryConfig capped_config() {
   return cfg;
 }
 
-void BM_SaMilp(benchmark::State& state) {
-  core::StrategicAdversary sa(capped_config());
-  for (auto _ : state) {
-    auto plan = sa.plan(sa_fixture().im);
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_SaMilp);
-
-void BM_SaEnumerate(benchmark::State& state) {
-  core::StrategicAdversary sa(capped_config());
-  for (auto _ : state) {
-    auto plan = sa.plan_enumerate(sa_fixture().im);
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_SaEnumerate);
-
-void BM_SaGreedy(benchmark::State& state) {
-  core::StrategicAdversary sa(capped_config());
-  for (auto _ : state) {
-    auto plan = sa.plan_greedy(sa_fixture().im);
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_SaGreedy);
-
-void BM_SaMilpFormulation(benchmark::State& state) {
-  core::StrategicAdversary sa(capped_config());
-  for (auto _ : state) {
-    auto plan = sa.plan_milp(sa_fixture().im);
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_SaMilpFormulation);
-
-void BM_SaPartitioned(benchmark::State& state) {
-  for (auto _ : state) {
-    auto plan = core::plan_partitioned(sa_fixture().im, capped_config());
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_SaPartitioned);
-
-// Value of strategic targeting: report the strategic/random return ratio
-// as a counter alongside the random baseline's runtime.
-void BM_SaRandomBaseline(benchmark::State& state) {
-  core::StrategicAdversary sa(capped_config());
-  const double strategic = sa.plan(sa_fixture().im).anticipated_return;
-  Rng rng(5);
-  double random_mean = 0.0;
-  int samples = 0;
-  for (auto _ : state) {
-    auto plan = core::random_attack_plan(sa_fixture().im, capped_config(),
-                                         rng);
-    random_mean += plan.anticipated_return;
-    ++samples;
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-  if (samples > 0 && random_mean != 0.0) {
-    state.counters["strategic_over_random"] =
-        strategic / (random_mean / samples);
-  }
-}
-BENCHMARK(BM_SaRandomBaseline);
-
-// Exactness-preserving skip of zero-flow targets in the impact kernel.
-void BM_ImpactSkipUnused(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  Rng rng(1);
-  auto own = cps::Ownership::random(m.network.num_edges(), 6, rng);
-  cps::ImpactOptions opt;
-  opt.skip_unused_targets = state.range(0) != 0;
-  for (auto _ : state) {
-    auto im = cps::compute_impact_matrix(m.network, own, opt);
-    benchmark::DoNotOptimize(im->base_welfare);
-  }
-  state.SetLabel(opt.skip_unused_targets ? "skip_on" : "skip_off");
-}
-BENCHMARK(BM_ImpactSkipUnused)->Arg(0)->Arg(1);
-
-// MILP diving heuristic on/off (adversary MILP formulation as workload).
-void BM_MilpDiving(benchmark::State& state) {
-  lp::BranchAndBoundOptions opts;
-  opts.diving_heuristic = state.range(0) != 0;
-  Rng rng(11);
-  lp::Problem p(lp::Objective::kMaximize);
-  lp::LinearExpr weights;
-  for (int i = 0; i < 30; ++i) {
-    weights.add(p.add_binary("b", rng.uniform(1.0, 10.0)),
-                rng.uniform(0.5, 5.0));
-  }
-  p.add_constraint("w", std::move(weights), lp::Sense::kLessEqual, 25.0);
-  for (auto _ : state) {
-    lp::BranchAndBoundSolver solver(opts);
-    auto sol = solver.solve(p);
-    benchmark::DoNotOptimize(sol.objective);
-  }
-  state.SetLabel(opts.diving_heuristic ? "diving_on" : "diving_off");
-}
-BENCHMARK(BM_MilpDiving)->Arg(0)->Arg(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("micro_ablation", args, argc, argv);
+  const int reps = args.trials;
+
+  Table t({"case", "median_ms", "mean_ms", "stddev_ms"});
+  const auto record = [&](const std::string& name) {
+    const auto& wall = harness.report().cases.back().wall;
+    t.add_row({name, format_double(wall.median_seconds * 1e3, 3),
+               format_double(wall.mean_seconds * 1e3, 3),
+               format_double(wall.stddev_seconds * 1e3, 3)});
+  };
+
+  {
+    auto m = sim::build_western_us();
+    for (const auto kind :
+         {flow::AllocatorKind::kLmp, flow::AllocatorKind::kPerturbation}) {
+      flow::AllocationOptions opt;
+      opt.kind = kind;
+      const std::string name = kind == flow::AllocatorKind::kLmp
+                                   ? "allocator_lmp"
+                                   : "allocator_perturbation";
+      harness.run_case(
+          name,
+          [&] { return flow::allocate_profits(m.network, {}, 0, opt).welfare; },
+          reps, 1);
+      record(name);
+    }
+
+    for (const int actors : {2, 6, 12}) {
+      Rng rng(1);
+      auto own = cps::Ownership::random(m.network.num_edges(), actors, rng);
+      const std::string name = "impact_matrix/" + std::to_string(actors);
+      harness.run_case(
+          name,
+          [&] { return cps::compute_impact_matrix(m.network, own)->base_welfare; },
+          reps, 1);
+      record(name);
+    }
+
+    // Exactness-preserving skip of zero-flow targets in the impact kernel.
+    Rng rng(1);
+    auto own = cps::Ownership::random(m.network.num_edges(), 6, rng);
+    for (const bool skip : {false, true}) {
+      cps::ImpactOptions opt;
+      opt.skip_unused_targets = skip;
+      const std::string name =
+          skip ? "impact_skip_unused/on" : "impact_skip_unused/off";
+      harness.run_case(
+          name,
+          [&] {
+            return cps::compute_impact_matrix(m.network, own, opt)
+                ->base_welfare;
+          },
+          reps, 1);
+      record(name);
+    }
+  }
+
+  {
+    core::StrategicAdversary sa(capped_config());
+    harness.run_case(
+        "sa_milp", [&] { return sa.plan(sa_fixture().im).anticipated_return; },
+        reps, 1);
+    record("sa_milp");
+    harness.run_case(
+        "sa_enumerate",
+        [&] { return sa.plan_enumerate(sa_fixture().im).anticipated_return; },
+        reps, 1);
+    record("sa_enumerate");
+    harness.run_case(
+        "sa_greedy",
+        [&] { return sa.plan_greedy(sa_fixture().im).anticipated_return; },
+        reps, 1);
+    record("sa_greedy");
+    harness.run_case(
+        "sa_milp_formulation",
+        [&] { return sa.plan_milp(sa_fixture().im).anticipated_return; },
+        reps, 1);
+    record("sa_milp_formulation");
+    harness.run_case(
+        "sa_partitioned",
+        [&] {
+          return core::plan_partitioned(sa_fixture().im, capped_config())
+              .anticipated_return;
+        },
+        reps, 1);
+    record("sa_partitioned");
+
+    // Value of strategic targeting: strategic/random return ratio rides
+    // along in the table next to the random baseline's runtime.
+    const double strategic = sa.plan(sa_fixture().im).anticipated_return;
+    Rng rng(5);
+    double random_sum = 0.0;
+    int samples = 0;
+    harness.run_case(
+        "sa_random_baseline",
+        [&] {
+          const auto plan = core::random_attack_plan(
+              sa_fixture().im, capped_config(), rng);
+          random_sum += plan.anticipated_return;
+          ++samples;
+          return plan.anticipated_return;
+        },
+        reps, 0);
+    record("sa_random_baseline");
+    if (samples > 0 && random_sum != 0.0) {
+      t.add_row({"strategic_over_random",
+                 format_double(strategic / (random_sum / samples), 3), "",
+                 ""});
+    }
+  }
+
+  // MILP diving heuristic on/off (knapsack formulation as workload).
+  for (const bool diving : {false, true}) {
+    lp::BranchAndBoundOptions opts;
+    opts.diving_heuristic = diving;
+    Rng rng(11);
+    lp::Problem p(lp::Objective::kMaximize);
+    lp::LinearExpr weights;
+    for (int i = 0; i < 30; ++i) {
+      weights.add(p.add_binary("b", rng.uniform(1.0, 10.0)),
+                  rng.uniform(0.5, 5.0));
+    }
+    p.add_constraint("w", std::move(weights), lp::Sense::kLessEqual, 25.0);
+    const std::string name =
+        diving ? "milp_diving/on" : "milp_diving/off";
+    harness.run_case(
+        name,
+        [&] {
+          lp::BranchAndBoundSolver solver(opts);
+          return solver.solve(p).objective;
+        },
+        reps, 1);
+    record(name);
+  }
+
+  bench::emit(t, args, "Ablation micro-benchmarks (harness v2)");
+  harness.emit_report();
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Solver micro-benchmarks: simplex on social-welfare LPs of growing size,
-// MILP knapsacks, and the strategic-adversary MILP.
-#include <benchmark/benchmark.h>
-
+// MILP knapsacks, and the strategic-adversary MILP. Runs on the harness-v2
+// report layer: --trials controls the measured repetitions per case and
+// --json emits the schema-versioned BENCH report gated in CI.
+#include "bench_common.hpp"
 #include "gridsec/core/adversary.hpp"
 #include "gridsec/cps/impact.hpp"
 #include "gridsec/lp/milp.hpp"
@@ -13,31 +14,8 @@ namespace {
 
 using namespace gridsec;
 
-void BM_SimplexWesternUs(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  for (auto _ : state) {
-    auto sol = flow::solve_social_welfare(m.network);
-    benchmark::DoNotOptimize(sol.welfare);
-  }
-}
-BENCHMARK(BM_SimplexWesternUs);
-
-void BM_SimplexRandomGrid(benchmark::State& state) {
-  Rng rng(42);
-  sim::RandomGridOptions opt;
-  opt.hubs = static_cast<int>(state.range(0));
-  auto net = sim::make_random_grid(opt, rng);
-  for (auto _ : state) {
-    auto sol = flow::solve_social_welfare(net);
-    benchmark::DoNotOptimize(sol.welfare);
-  }
-  state.SetLabel(std::to_string(net.num_edges()) + " edges");
-}
-BENCHMARK(BM_SimplexRandomGrid)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_MilpKnapsack(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(7);
+lp::Problem make_knapsack(int n, std::uint64_t seed) {
+  Rng rng(seed);
   lp::Problem p(lp::Objective::kMaximize);
   lp::LinearExpr weights;
   for (int i = 0; i < n; ++i) {
@@ -46,29 +24,76 @@ void BM_MilpKnapsack(benchmark::State& state) {
   }
   p.add_constraint("w", std::move(weights), lp::Sense::kLessEqual,
                    0.3 * 2.75 * n);
-  for (auto _ : state) {
-    auto sol = lp::solve_milp(p);
-    benchmark::DoNotOptimize(sol.objective);
-  }
+  return p;
 }
-BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(20)->Arg(40);
-
-void BM_AdversaryMilpWesternUs(benchmark::State& state) {
-  auto m = sim::build_western_us();
-  Rng rng(1);
-  auto own = cps::Ownership::random(m.network.num_edges(),
-                                    static_cast<int>(state.range(0)), rng);
-  auto im = cps::compute_impact_matrix(m.network, own);
-  core::AdversaryConfig cfg;
-  cfg.max_targets = 6;
-  core::StrategicAdversary sa(cfg);
-  for (auto _ : state) {
-    auto plan = sa.plan(im->matrix);
-    benchmark::DoNotOptimize(plan.anticipated_return);
-  }
-}
-BENCHMARK(BM_AdversaryMilpWesternUs)->Arg(2)->Arg(6)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace gridsec;
+  const auto args = bench::parse_args(argc, argv);
+  bench::Harness harness("micro_solvers", args, argc, argv);
+  // Per-case measured repetitions come from --trials; one warmup rep keeps
+  // cold-cache noise out of the stats.
+  const int reps = args.trials;
+
+  Table t({"case", "median_ms", "mean_ms", "stddev_ms"});
+  const auto record = [&](const std::string& name) {
+    const auto& wall = harness.report().cases.back().wall;
+    t.add_row({name, format_double(wall.median_seconds * 1e3, 3),
+               format_double(wall.mean_seconds * 1e3, 3),
+               format_double(wall.stddev_seconds * 1e3, 3)});
+  };
+
+  {
+    auto m = sim::build_western_us();
+    harness.run_case(
+        "simplex_western_us",
+        [&] { return flow::solve_social_welfare(m.network).welfare; }, reps,
+        1);
+    record("simplex_western_us");
+  }
+
+  for (const int hubs : {4, 8, 16, 32}) {
+    Rng rng(42);
+    sim::RandomGridOptions opt;
+    opt.hubs = hubs;
+    auto net = sim::make_random_grid(opt, rng);
+    const std::string name =
+        "simplex_random_grid/" + std::to_string(hubs);
+    harness.run_case(
+        name, [&] { return flow::solve_social_welfare(net).welfare; }, reps,
+        1);
+    record(name + " (" + std::to_string(net.num_edges()) + " edges)");
+  }
+
+  for (const int n : {10, 20, 40}) {
+    const auto p = make_knapsack(n, 7);
+    const std::string name = "milp_knapsack/" + std::to_string(n);
+    harness.run_case(
+        name, [&] { return lp::solve_milp(p).objective; }, reps, 1);
+    record(name);
+  }
+
+  {
+    auto m = sim::build_western_us();
+    for (const int actors : {2, 6, 12}) {
+      Rng rng(1);
+      auto own = cps::Ownership::random(m.network.num_edges(), actors, rng);
+      auto im = cps::compute_impact_matrix(m.network, own);
+      core::AdversaryConfig cfg;
+      cfg.max_targets = 6;
+      core::StrategicAdversary sa(cfg);
+      const std::string name =
+          "adversary_milp_western_us/" + std::to_string(actors);
+      harness.run_case(
+          name, [&] { return sa.plan(im->matrix).anticipated_return; }, reps,
+          1);
+      record(name);
+    }
+  }
+
+  bench::emit(t, args, "Solver micro-benchmarks (harness v2)");
+  harness.emit_report();
+  return 0;
+}

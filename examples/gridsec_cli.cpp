@@ -17,6 +17,8 @@
 //   --budget=B     system defense budget in assets (defend; default 12)
 //   --trace=FILE   write a Chrome trace-event JSON of the run to FILE
 //   --metrics      dump the metrics registry as JSON to stdout after the run
+//   --report=FILE  write a gridsec.bench_report run report (provenance
+//                  manifest + wall time + metric deltas) to FILE
 //   --time-limit-ms=N  wall-clock budget per solve (LP pivoting, B&B nodes,
 //                  adversary search); expiry degrades to the best incumbent
 //   --fail-fast    treat any non-optimal solver verdict as a hard error
@@ -24,11 +26,14 @@
 //
 // Network file format: see include/gridsec/flow/io.hpp.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,6 +43,7 @@
 #include "gridsec/flow/marginal_cost.hpp"
 #include "gridsec/flow/social_welfare.hpp"
 #include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/report.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/table.hpp"
 
@@ -54,7 +60,8 @@ struct CliArgs {
   bool collab = false;
   double cost = 2000.0;
   double budget_assets = 12.0;
-  std::string trace_file;  // empty = tracing off
+  std::string trace_file;   // empty = tracing off
+  std::string report_file;  // empty = no run report
   bool metrics = false;
   double time_limit_ms = 0.0;  // 0 = unlimited
   bool fail_fast = false;
@@ -73,8 +80,8 @@ int usage() {
                "usage: gridsec_cli "
                "{dump|impact|attack|defend|rents|stackelberg} <file> "
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
-               "[--cost=C] [--budget=B] [--trace=FILE] [--metrics] "
-               "[--time-limit-ms=N] [--fail-fast]\n");
+               "[--cost=C] [--budget=B] [--trace=FILE] [--report=FILE] "
+               "[--metrics] [--time-limit-ms=N] [--fail-fast]\n");
   return 2;
 }
 
@@ -88,6 +95,9 @@ bool parse_int(const char* s, int* out) {
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
+  // Reject a leading '-' explicitly: strtoull accepts "-1" and silently
+  // wraps it to 2^64-1.
+  if (*s == '-') return false;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') return false;
@@ -342,6 +352,9 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--trace=")) {
       args.trace_file = v;
       ok = !args.trace_file.empty();
+    } else if (const char* v = value("--report=")) {
+      args.report_file = v;
+      ok = !args.report_file.empty();
     } else if (const char* v = value("--time-limit-ms=")) {
       ok = parse_double(v, &args.time_limit_ms) && args.time_limit_ms >= 0.0;
     } else if (a == "--collab") {
@@ -368,8 +381,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  gridsec::obs::RunManifest manifest;
+  std::map<std::string, std::int64_t> counters_before;
+  if (!args.report_file.empty()) {
+    manifest = gridsec::obs::RunManifest::capture("gridsec_cli", argc, argv);
+    manifest.seed = args.seed;
+    counters_before = gridsec::obs::default_registry().counter_values();
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+
   if (!args.trace_file.empty()) gridsec::obs::Tracer::start();
   const int rc = run_command(*parsed, args);
+  if (!args.report_file.empty()) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    gridsec::obs::RunReport report;
+    manifest.wall_time_seconds = elapsed;
+    report.manifest = std::move(manifest);
+    const double rep_seconds[] = {elapsed};
+    report.cases.push_back(gridsec::obs::make_case(
+        args.command, /*warmup=*/0, rep_seconds, counters_before,
+        gridsec::obs::default_registry().counter_values()));
+    std::ofstream out(args.report_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to '%s'\n",
+                   args.report_file.c_str());
+      return 1;
+    }
+    report.write_json(out, &gridsec::obs::default_registry());
+    std::fprintf(stderr, "report: %s\n", args.report_file.c_str());
+  }
   if (!args.trace_file.empty()) {
     gridsec::obs::Tracer::stop();
     std::ofstream out(args.trace_file);

@@ -82,6 +82,11 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const;
+  /// Bucket-interpolated quantile estimate, q in [0, 1]. Assumes a uniform
+  /// distribution within each bucket with the first bucket anchored at
+  /// min(0, bounds[0]); observations in the overflow bucket clamp to
+  /// bounds.back(). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
   void reset();
 
  private:
@@ -93,16 +98,25 @@ class Histogram {
 
 /// Duration accumulator backed by RunningStats (mean/stddev/min/max over
 /// observed seconds). Mutex-protected: use per-solve or coarser, never
-/// per-iteration.
+/// per-iteration. Keeps a bounded reservoir of samples (deterministic LCG
+/// replacement once full) so tail quantiles stay available at export time.
 class Timer {
  public:
   void observe_seconds(double s);
   [[nodiscard]] RunningStats snapshot() const;
+  /// Reservoir-estimated quantile of observed seconds, q in [0, 1].
+  /// Exact until the reservoir (kReservoirCapacity samples) overflows;
+  /// an unbiased estimate after. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
   void reset();
+
+  static constexpr std::size_t kReservoirCapacity = 2048;
 
  private:
   mutable std::mutex mutex_;
   RunningStats stats_;
+  std::vector<double> samples_;  // reservoir, <= kReservoirCapacity
+  std::uint64_t lcg_ = 0x9e3779b97f4a7c15ULL;
 };
 
 /// RAII: times a scope into a Timer. A null timer records nothing.
@@ -136,6 +150,10 @@ class MetricRegistry {
 
   /// Zeroes every instrument's value. References remain valid.
   void reset();
+
+  /// Point-in-time snapshot of every counter's value, keyed by name. Used
+  /// by the bench harness to compute per-case metric deltas.
+  [[nodiscard]] std::map<std::string, std::int64_t> counter_values() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
   /// "timers":{...}}. Names sorted; stable across runs.

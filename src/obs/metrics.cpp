@@ -50,6 +50,30 @@ std::vector<std::int64_t> Histogram::counts() const {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+double Histogram::quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const auto counts = this->counts();
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (bounds_.empty()) return 0.0;  // only the overflow bucket exists
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+    const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + fraction * (upper - lower);
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -59,6 +83,15 @@ void Histogram::reset() {
 void Timer::observe_seconds(double s) {
   std::lock_guard lock(mutex_);
   stats_.add(s);
+  if (samples_.size() < kReservoirCapacity) {
+    samples_.push_back(s);
+    return;
+  }
+  // Vitter's algorithm R with a deterministic LCG: sample i replaces a
+  // random reservoir slot with probability capacity / count.
+  lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::uint64_t slot = lcg_ % stats_.count();
+  if (slot < kReservoirCapacity) samples_[slot] = s;
 }
 
 RunningStats Timer::snapshot() const {
@@ -66,9 +99,16 @@ RunningStats Timer::snapshot() const {
   return stats_;
 }
 
+double Timer::quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return percentile(samples_, std::min(1.0, std::max(0.0, q)) * 100.0);
+}
+
 void Timer::reset() {
   std::lock_guard lock(mutex_);
   stats_ = RunningStats();
+  samples_.clear();
 }
 
 ScopedTimer::ScopedTimer(Timer* timer)
@@ -106,6 +146,13 @@ Timer& MetricRegistry::timer(const std::string& name) {
   auto& slot = timers_[name];
   if (!slot) slot = std::make_unique<Timer>();
   return *slot;
+}
+
+std::map<std::string, std::int64_t> MetricRegistry::counter_values() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
 }
 
 void MetricRegistry::reset() {
@@ -183,6 +230,12 @@ void MetricRegistry::write_json(std::ostream& os) const {
     }
     os << "],\"count\":" << h->count() << ",\"sum\":";
     write_json_double(os, h->sum());
+    os << ",\"p50\":";
+    write_json_double(os, h->quantile(0.5));
+    os << ",\"p90\":";
+    write_json_double(os, h->quantile(0.9));
+    os << ",\"p99\":";
+    write_json_double(os, h->quantile(0.99));
     os << '}';
   }
   os << "},\"timers\":{";
@@ -200,6 +253,12 @@ void MetricRegistry::write_json(std::ostream& os) const {
     write_json_double(os, s.count() ? s.min() : 0.0);
     os << ",\"max\":";
     write_json_double(os, s.count() ? s.max() : 0.0);
+    os << ",\"p50\":";
+    write_json_double(os, t->quantile(0.5));
+    os << ",\"p90\":";
+    write_json_double(os, t->quantile(0.9));
+    os << ",\"p99\":";
+    write_json_double(os, t->quantile(0.99));
     os << ",\"total\":";
     write_json_double(os, s.sum());
     os << '}';
@@ -219,6 +278,9 @@ void MetricRegistry::write_csv(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     os << "histogram," << name << ",count," << h->count() << '\n';
     os << "histogram," << name << ",sum," << h->sum() << '\n';
+    os << "histogram," << name << ",p50," << h->quantile(0.5) << '\n';
+    os << "histogram," << name << ",p90," << h->quantile(0.9) << '\n';
+    os << "histogram," << name << ",p99," << h->quantile(0.99) << '\n';
     const auto& bounds = h->bounds();
     const auto counts = h->counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -235,6 +297,9 @@ void MetricRegistry::write_csv(std::ostream& os) const {
     const RunningStats s = t->snapshot();
     os << "timer," << name << ",count," << s.count() << '\n';
     os << "timer," << name << ",mean," << s.mean() << '\n';
+    os << "timer," << name << ",p50," << t->quantile(0.5) << '\n';
+    os << "timer," << name << ",p90," << t->quantile(0.9) << '\n';
+    os << "timer," << name << ",p99," << t->quantile(0.99) << '\n';
     os << "timer," << name << ",total," << s.sum() << '\n';
   }
 }

@@ -1,0 +1,629 @@
+#include "gridsec/obs/report.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/util/stats.hpp"
+
+// Provenance baked in at configure time (src/obs/CMakeLists.txt). The
+// fallbacks keep non-CMake builds (and unity test builds) compiling.
+#ifndef GRIDSEC_GIT_SHA
+#define GRIDSEC_GIT_SHA "unknown"
+#endif
+#ifndef GRIDSEC_BUILD_TYPE
+#define GRIDSEC_BUILD_TYPE "unknown"
+#endif
+#ifndef GRIDSEC_CXX_FLAGS
+#define GRIDSEC_CXX_FLAGS ""
+#endif
+
+namespace gridsec::obs {
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string current_hostname() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr ? env : "unknown";
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << (v > 0 ? "1e308" : "-1e308");
+  }
+}
+
+}  // namespace
+
+RunManifest RunManifest::capture(std::string tool, int argc,
+                                 const char* const* argv) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  const char* sha_env = std::getenv("GRIDSEC_GIT_SHA");
+  m.git_sha = (sha_env != nullptr && sha_env[0] != '\0') ? sha_env
+                                                         : GRIDSEC_GIT_SHA;
+  m.build_type = GRIDSEC_BUILD_TYPE;
+  m.compiler = compiler_id();
+  m.cxx_flags = GRIDSEC_CXX_FLAGS;
+  m.hostname = current_hostname();
+  m.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  m.threads = m.hardware_threads;
+  m.start_time_utc = utc_now_iso8601();
+  for (int i = 1; i < argc; ++i) m.args.emplace_back(argv[i]);
+  return m;
+}
+
+WallStats WallStats::from_samples(int warmup,
+                                  std::span<const double> seconds) {
+  WallStats w;
+  w.reps = static_cast<int>(seconds.size());
+  w.warmup = warmup;
+  if (seconds.empty()) return w;
+  w.min_seconds = *std::min_element(seconds.begin(), seconds.end());
+  w.max_seconds = *std::max_element(seconds.begin(), seconds.end());
+  w.mean_seconds = mean(seconds);
+  w.median_seconds = percentile(seconds, 50.0);
+  w.stddev_seconds = stddev(seconds);
+  for (const double s : seconds) w.total_seconds += s;
+  return w;
+}
+
+CaseResult make_case(std::string name, int warmup,
+                     std::span<const double> rep_seconds,
+                     const std::map<std::string, std::int64_t>& before,
+                     const std::map<std::string, std::int64_t>& after) {
+  CaseResult c;
+  c.name = std::move(name);
+  c.wall = WallStats::from_samples(warmup, rep_seconds);
+  const int reps = std::max(1, c.wall.reps);
+  for (const auto& [metric, value] : after) {
+    const auto it = before.find(metric);
+    const std::int64_t delta =
+        value - (it != before.end() ? it->second : 0);
+    if (delta == 0) continue;
+    c.metrics[metric] =
+        MetricDelta{delta, static_cast<double>(delta) / reps};
+  }
+  return c;
+}
+
+void RunReport::write_json(std::ostream& os,
+                           const MetricRegistry* registry) const {
+  os << "{\"schema\":\"" << kReportSchemaName
+     << "\",\"schema_version\":" << schema_version << ",\"manifest\":{";
+  os << "\"tool\":";
+  write_json_string(os, manifest.tool);
+  os << ",\"git_sha\":";
+  write_json_string(os, manifest.git_sha);
+  os << ",\"build_type\":";
+  write_json_string(os, manifest.build_type);
+  os << ",\"compiler\":";
+  write_json_string(os, manifest.compiler);
+  os << ",\"cxx_flags\":";
+  write_json_string(os, manifest.cxx_flags);
+  os << ",\"hostname\":";
+  write_json_string(os, manifest.hostname);
+  os << ",\"hardware_threads\":" << manifest.hardware_threads
+     << ",\"threads\":" << manifest.threads << ",\"seed\":" << manifest.seed
+     << ",\"trials\":" << manifest.trials << ",\"args\":[";
+  for (std::size_t i = 0; i < manifest.args.size(); ++i) {
+    if (i != 0) os << ',';
+    write_json_string(os, manifest.args[i]);
+  }
+  os << "],\"start_time_utc\":";
+  write_json_string(os, manifest.start_time_utc);
+  os << ",\"wall_time_seconds\":";
+  write_json_double(os, manifest.wall_time_seconds);
+  os << "},\"cases\":[";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":";
+    write_json_string(os, c.name);
+    os << ",\"reps\":" << c.wall.reps << ",\"warmup\":" << c.wall.warmup
+       << ",\"wall_seconds\":{\"min\":";
+    write_json_double(os, c.wall.min_seconds);
+    os << ",\"median\":";
+    write_json_double(os, c.wall.median_seconds);
+    os << ",\"mean\":";
+    write_json_double(os, c.wall.mean_seconds);
+    os << ",\"stddev\":";
+    write_json_double(os, c.wall.stddev_seconds);
+    os << ",\"max\":";
+    write_json_double(os, c.wall.max_seconds);
+    os << ",\"total\":";
+    write_json_double(os, c.wall.total_seconds);
+    os << "},\"metrics\":{";
+    bool first = true;
+    for (const auto& [metric, delta] : c.metrics) {
+      if (!first) os << ',';
+      first = false;
+      write_json_string(os, metric);
+      os << ":{\"total\":" << delta.total << ",\"per_rep\":";
+      write_json_double(os, delta.per_rep);
+      os << '}';
+    }
+    os << "}}";
+  }
+  os << ']';
+  if (registry != nullptr) {
+    os << ",\"registry\":";
+    registry->write_json(os);
+  }
+  os << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to round-trip RunReport artifacts.
+// Recursive descent over a value tree; no external dependency.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Map keeps insertion order irrelevant; report keys are unique.
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] double number_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string string_or(std::string fallback) const {
+    return kind == Kind::kString ? string : std::move(fallback);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> parse() {
+    JsonValue v;
+    const Status st = parse_value(&v);
+    if (!st.is_ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out->kind = JsonValue::Kind::kString;
+                return parse_string(&out->string);
+      case 't': return parse_literal("true", out, true);
+      case 'f': return parse_literal("false", out, false);
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return Status::ok();
+        }
+        return error("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_literal(const char* word, JsonValue* out, bool value) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return error("bad literal");
+    pos_ += n;
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = value;
+    return Status::ok();
+  }
+
+  Status parse_number(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return error("malformed number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return Status::ok();
+  }
+
+  Status parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return error("bad \\u escape");
+          }
+          // Reports only emit \u for control characters; keep it simple.
+          out->push_back(static_cast<char>(code & 0x7f));
+          break;
+        }
+        default: return error("unknown escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_array(JsonValue* out) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::ok();
+    }
+    while (true) {
+      JsonValue element;
+      const Status st = parse_value(&element);
+      if (!st.is_ok()) return st;
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return error("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return Status::ok();
+      if (c != ',') return error("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_object(JsonValue* out) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key");
+      }
+      std::string key;
+      Status st = parse_string(&key);
+      if (!st.is_ok()) return st;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return error("expected ':' after object key");
+      }
+      JsonValue value;
+      st = parse_value(&value);
+      if (!st.is_ok()) return st;
+      out->object.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return error("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return Status::ok();
+      if (c != ',') return error("expected ',' or '}' in object");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status error(const std::string& what) const {
+    return Status::invalid_argument("json: " + what + " at offset " +
+                                    std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RunReport> parse_report(const std::string& json_text) {
+  JsonParser parser(json_text);
+  StatusOr<JsonValue> root = parser.parse();
+  if (!root.is_ok()) return root.status();
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Status::invalid_argument("report: top-level value is not an object");
+  }
+  const JsonValue* schema = root->find("schema");
+  if (schema == nullptr || schema->string_or("") != kReportSchemaName) {
+    return Status::invalid_argument(
+        "report: missing or wrong \"schema\" (want gridsec.bench_report)");
+  }
+  const JsonValue* version = root->find("schema_version");
+  if (version == nullptr ||
+      static_cast<int>(version->number_or(-1)) != kReportSchemaVersion) {
+    return Status::invalid_argument(
+        "report: unsupported schema_version (want " +
+        std::to_string(kReportSchemaVersion) + ")");
+  }
+
+  RunReport report;
+  report.schema_version = kReportSchemaVersion;
+
+  const JsonValue* manifest = root->find("manifest");
+  if (manifest == nullptr || manifest->kind != JsonValue::Kind::kObject) {
+    return Status::invalid_argument("report: missing \"manifest\" object");
+  }
+  RunManifest& m = report.manifest;
+  const auto man_str = [&](const char* key) {
+    const JsonValue* v = manifest->find(key);
+    return v != nullptr ? v->string_or("") : std::string();
+  };
+  const auto man_num = [&](const char* key) {
+    const JsonValue* v = manifest->find(key);
+    return v != nullptr ? v->number_or(0.0) : 0.0;
+  };
+  m.tool = man_str("tool");
+  m.git_sha = man_str("git_sha");
+  m.build_type = man_str("build_type");
+  m.compiler = man_str("compiler");
+  m.cxx_flags = man_str("cxx_flags");
+  m.hostname = man_str("hostname");
+  m.hardware_threads = static_cast<unsigned>(man_num("hardware_threads"));
+  m.threads = static_cast<std::size_t>(man_num("threads"));
+  m.seed = static_cast<std::uint64_t>(man_num("seed"));
+  m.trials = static_cast<int>(man_num("trials"));
+  m.start_time_utc = man_str("start_time_utc");
+  m.wall_time_seconds = man_num("wall_time_seconds");
+  if (const JsonValue* args = manifest->find("args");
+      args != nullptr && args->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& a : args->array) m.args.push_back(a.string_or(""));
+  }
+
+  const JsonValue* cases = root->find("cases");
+  if (cases == nullptr || cases->kind != JsonValue::Kind::kArray) {
+    return Status::invalid_argument("report: missing \"cases\" array");
+  }
+  for (const JsonValue& jc : cases->array) {
+    if (jc.kind != JsonValue::Kind::kObject) {
+      return Status::invalid_argument("report: case is not an object");
+    }
+    CaseResult c;
+    const JsonValue* name = jc.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return Status::invalid_argument("report: case without a name");
+    }
+    c.name = name->string;
+    c.wall.reps = static_cast<int>(
+        jc.find("reps") != nullptr ? jc.find("reps")->number_or(0) : 0);
+    c.wall.warmup = static_cast<int>(
+        jc.find("warmup") != nullptr ? jc.find("warmup")->number_or(0) : 0);
+    if (const JsonValue* wall = jc.find("wall_seconds");
+        wall != nullptr && wall->kind == JsonValue::Kind::kObject) {
+      const auto wall_num = [&](const char* key) {
+        const JsonValue* v = wall->find(key);
+        return v != nullptr ? v->number_or(0.0) : 0.0;
+      };
+      c.wall.min_seconds = wall_num("min");
+      c.wall.median_seconds = wall_num("median");
+      c.wall.mean_seconds = wall_num("mean");
+      c.wall.stddev_seconds = wall_num("stddev");
+      c.wall.max_seconds = wall_num("max");
+      c.wall.total_seconds = wall_num("total");
+    }
+    if (const JsonValue* metrics = jc.find("metrics");
+        metrics != nullptr && metrics->kind == JsonValue::Kind::kObject) {
+      for (const auto& [metric, jm] : metrics->object) {
+        MetricDelta d;
+        if (const JsonValue* total = jm.find("total")) {
+          d.total = static_cast<std::int64_t>(total->number_or(0.0));
+        }
+        if (const JsonValue* per_rep = jm.find("per_rep")) {
+          d.per_rep = per_rep->number_or(0.0);
+        }
+        c.metrics.emplace(metric, d);
+      }
+    }
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Diff engine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool has_ignored_prefix(const std::string& name,
+                        const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (!p.empty() && name.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+double relative_change(double baseline, double current) {
+  if (baseline == 0.0) return current == 0.0 ? 0.0 : 1e308;
+  return (current - baseline) / std::abs(baseline);
+}
+
+}  // namespace
+
+DiffReport diff_reports(const RunReport& baseline, const RunReport& current,
+                        const DiffOptions& options) {
+  DiffReport out;
+  std::map<std::string, const CaseResult*> current_by_name;
+  for (const CaseResult& c : current.cases) current_by_name[c.name] = &c;
+
+  const auto push = [&out](DiffRow row) {
+    if (row.verdict == DiffVerdict::kRegression) ++out.regressions;
+    out.rows.push_back(std::move(row));
+  };
+
+  for (const CaseResult& base_case : baseline.cases) {
+    const auto found = current_by_name.find(base_case.name);
+    if (found == current_by_name.end()) {
+      push({base_case.name, "(case)", 0.0, 0.0, 0.0, DiffVerdict::kRegression,
+            "case missing from new report"});
+      continue;
+    }
+    const CaseResult& cur_case = *found->second;
+
+    // Wall time: always reported, gated only when opted in.
+    {
+      DiffRow row;
+      row.case_name = base_case.name;
+      row.quantity = "wall.median";
+      row.baseline = base_case.wall.median_seconds;
+      row.current = cur_case.wall.median_seconds;
+      row.rel_change = relative_change(row.baseline, row.current);
+      if (options.wall_rel_threshold > 0.0 &&
+          row.rel_change > options.wall_rel_threshold) {
+        row.verdict = DiffVerdict::kRegression;
+        row.note = "median wall time regressed";
+      } else if (options.wall_rel_threshold <= 0.0) {
+        row.verdict = DiffVerdict::kInfo;
+        row.note = "wall time not gated";
+      }
+      push(std::move(row));
+    }
+
+    for (const auto& [metric, base_delta] : base_case.metrics) {
+      DiffRow row;
+      row.case_name = base_case.name;
+      row.quantity = metric;
+      row.baseline = base_delta.per_rep;
+      const auto cur_metric = cur_case.metrics.find(metric);
+      if (has_ignored_prefix(metric, options.ignore_prefixes)) {
+        row.current = cur_metric != cur_case.metrics.end()
+                          ? cur_metric->second.per_rep
+                          : 0.0;
+        row.rel_change = relative_change(row.baseline, row.current);
+        row.verdict = DiffVerdict::kInfo;
+        row.note = "ignored prefix";
+        push(std::move(row));
+        continue;
+      }
+      if (cur_metric == cur_case.metrics.end()) {
+        row.verdict = DiffVerdict::kRegression;
+        row.note = "metric missing from new report";
+        push(std::move(row));
+        continue;
+      }
+      row.current = cur_metric->second.per_rep;
+      row.rel_change = relative_change(row.baseline, row.current);
+      const double abs_change = row.current - row.baseline;
+      if (row.rel_change > options.metric_rel_threshold &&
+          abs_change > options.metric_abs_slack) {
+        row.verdict = DiffVerdict::kRegression;
+        row.note = "metric regressed past threshold";
+      }
+      push(std::move(row));
+    }
+
+    // Metrics that appeared only in the new run: informational.
+    for (const auto& [metric, cur_delta] : cur_case.metrics) {
+      if (base_case.metrics.count(metric) != 0) continue;
+      push({base_case.name, metric, 0.0, cur_delta.per_rep, 0.0,
+            DiffVerdict::kInfo, "new metric (not in baseline)"});
+    }
+  }
+
+  // Cases that appeared only in the new run: informational.
+  std::map<std::string, const CaseResult*> baseline_by_name;
+  for (const CaseResult& c : baseline.cases) baseline_by_name[c.name] = &c;
+  for (const CaseResult& c : current.cases) {
+    if (baseline_by_name.count(c.name) != 0) continue;
+    push({c.name, "(case)", 0.0, 0.0, 0.0, DiffVerdict::kInfo,
+          "new case (not in baseline)"});
+  }
+  return out;
+}
+
+}  // namespace gridsec::obs

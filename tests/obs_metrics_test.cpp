@@ -174,6 +174,79 @@ TEST(MetricRegistry, CsvExportHasKindNameFieldValueRows) {
   EXPECT_NE(csv.find("gauge,g.two,value,1.5"), std::string::npos) << csv;
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("q", {10.0, 20.0});
+  for (int i = 0; i < 5; ++i) h.observe(5.0);   // bucket (<=10)
+  for (int i = 0; i < 5; ++i) h.observe(15.0);  // bucket (10, 20]
+  // p50 lands exactly on the first bucket's upper edge; p90 interpolates
+  // 80% into the second bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 18.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowAndHandlesEmpty) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("q.over", {1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // no observations
+  h.observe(50.0);                         // overflow bucket
+  // Overflow has no upper edge; the estimate clamps to the last bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+}
+
+TEST(Timer, QuantilesFromReservoirAreExactBelowCapacity) {
+  MetricRegistry reg;
+  Timer& t = reg.timer("t.q");
+  for (int i = 1; i <= 100; ++i) t.observe_seconds(static_cast<double>(i));
+  EXPECT_NEAR(t.quantile(0.5), 50.5, 1.0);
+  EXPECT_NEAR(t.quantile(0.9), 90.1, 1.0);
+  EXPECT_NEAR(t.quantile(0.99), 99.0, 1.0);
+  EXPECT_LE(t.quantile(0.5), t.quantile(0.9));
+  EXPECT_LE(t.quantile(0.9), t.quantile(0.99));
+}
+
+TEST(Timer, ReservoirStaysBoundedAndInRangeUnderLoad) {
+  MetricRegistry reg;
+  Timer& t = reg.timer("t.big");
+  for (int i = 0; i < 10000; ++i) {
+    t.observe_seconds(static_cast<double>(i % 1000));
+  }
+  // With 10k observations the reservoir subsamples; quantiles must still be
+  // valid values from the observed range and ordered.
+  const double p50 = t.quantile(0.5);
+  const double p99 = t.quantile(0.99);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p99, 999.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricRegistry, ExportsIncludeQuantiles) {
+  MetricRegistry reg;
+  reg.histogram("h.q", {1.0, 2.0}).observe(1.5);
+  reg.timer("t.q").observe_seconds(0.5);
+  std::ostringstream js;
+  reg.write_json(js);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"p50\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p90\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+  std::ostringstream cs;
+  reg.write_csv(cs);
+  const std::string csv = cs.str();
+  EXPECT_NE(csv.find("histogram,h.q,p50,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("timer,t.q,p99,"), std::string::npos) << csv;
+}
+
+TEST(MetricRegistry, CounterValuesSnapshotsAllCounters) {
+  MetricRegistry reg;
+  reg.counter("a.count").add(2);
+  reg.counter("b.count").add(5);
+  const auto values = reg.counter_values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("a.count"), 2);
+  EXPECT_EQ(values.at("b.count"), 5);
+}
+
 TEST(MetricRegistry, DefaultRegistryIsProcessGlobal) {
   MetricRegistry& a = default_registry();
   MetricRegistry& b = default_registry();
