@@ -23,6 +23,10 @@
 //                  adversary search); expiry degrades to the best incumbent
 //   --fail-fast    treat any non-optimal solver verdict as a hard error
 //                  instead of degrading to budget-limited incumbents
+//   --audit=FILE   write a gridsec.audit_bundle for the run to FILE: the
+//                  first failing solve if any solve failed, otherwise the
+//                  last solve observed, with per-actor attribution rows
+//                  attached (inspect with gridsec-inspect)
 //
 // Network file format: see include/gridsec/flow/io.hpp.
 #include <algorithm>
@@ -42,6 +46,7 @@
 #include "gridsec/flow/io.hpp"
 #include "gridsec/flow/marginal_cost.hpp"
 #include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/obs/audit.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/report.hpp"
 #include "gridsec/obs/trace.hpp"
@@ -62,6 +67,7 @@ struct CliArgs {
   double budget_assets = 12.0;
   std::string trace_file;   // empty = tracing off
   std::string report_file;  // empty = no run report
+  std::string audit_file;   // empty = no audit bundle
   bool metrics = false;
   double time_limit_ms = 0.0;  // 0 = unlimited
   bool fail_fast = false;
@@ -81,7 +87,8 @@ int usage() {
                "{dump|impact|attack|defend|rents|stackelberg} <file> "
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
                "[--cost=C] [--budget=B] [--trace=FILE] [--report=FILE] "
-               "[--metrics] [--time-limit-ms=N] [--fail-fast]\n");
+               "[--audit=FILE] [--metrics] [--time-limit-ms=N] "
+               "[--fail-fast]\n");
   return 2;
 }
 
@@ -190,6 +197,18 @@ int cmd_attack(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   cfg.time_limit_ms = args.time_limit_ms;
   core::StrategicAdversary sa(cfg);
   auto plan = sa.plan(im->matrix);
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "anticipated return %.2f across %zu targets (cap %d)",
+                plan.anticipated_return, plan.targets.size(), args.targets);
+  obs::add_audit_attribution("attacker", note);
+  for (int t : plan.targets) {
+    std::snprintf(note, sizeof(note),
+                  "selected by SA: system impact %.2f, owner actor %d",
+                  im->matrix.system_impact(t), own.owner(t));
+    obs::add_audit_attribution(
+        "attacker:" + parsed.network.edge(t).name, note);
+  }
   if (args.fail_fast && !plan.optimal()) {
     std::fprintf(stderr, "attack plan not optimal (--fail-fast): %s\n",
                  std::string(lp::to_string(plan.status)).c_str());
@@ -225,6 +244,26 @@ int cmd_defend(const flow::ParsedNetwork& parsed, const CliArgs& args) {
     std::fprintf(stderr, "game failed: %s\n",
                  outcome.status().to_string().c_str());
     return 1;
+  }
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "%s defense, adversary gain %.2f -> %.2f (effect %.2f)",
+                args.collab ? "collaborative" : "individual",
+                outcome->adversary_gain_undefended,
+                outcome->adversary_gain_defended,
+                outcome->defense_effectiveness);
+  obs::add_audit_attribution("defender", note);
+  for (int t : outcome->attack.targets) {
+    obs::add_audit_attribution("attacker:" + parsed.network.edge(t).name,
+                               "in the adversary's target set");
+  }
+  for (int t = 0; t < parsed.network.num_edges(); ++t) {
+    if (!outcome->defense.defended[static_cast<std::size_t>(t)]) continue;
+    std::snprintf(note, sizeof(note),
+                  "hardened by actor %d at cost %.0f", own.owner(t),
+                  args.cost);
+    obs::add_audit_attribution("defender:" + parsed.network.edge(t).name,
+                               note);
   }
   // The game degrades to budget-limited incumbents by default; --fail-fast
   // promotes any unproven plan to a hard error.
@@ -299,6 +338,17 @@ int cmd_stackelberg(const flow::ParsedNetwork& parsed, const CliArgs& args) {
   cfg.defense_cost = 1.0;
   cfg.budget = args.budget_assets;
   auto plan = core::stackelberg_defense(im->matrix, cfg);
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "leader spend %.1f over %d rounds: follower value %.2f -> "
+                "%.2f",
+                plan.spending, plan.rounds, plan.undefended_return,
+                plan.follower_return);
+  obs::add_audit_attribution("defender", note);
+  for (int t : plan.follower_response.targets) {
+    obs::add_audit_attribution("attacker:" + parsed.network.edge(t).name,
+                               "follower best response target");
+  }
   std::printf("undefended follower value: %.2f\n", plan.undefended_return);
   std::printf("defended:");
   for (int t = 0; t < parsed.network.num_edges(); ++t) {
@@ -355,6 +405,9 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--report=")) {
       args.report_file = v;
       ok = !args.report_file.empty();
+    } else if (const char* v = value("--audit=")) {
+      args.audit_file = v;
+      ok = !args.audit_file.empty();
     } else if (const char* v = value("--time-limit-ms=")) {
       ok = parse_double(v, &args.time_limit_ms) && args.time_limit_ms >= 0.0;
     } else if (a == "--collab") {
@@ -390,8 +443,36 @@ int main(int argc, char** argv) {
   }
   const auto run_start = std::chrono::steady_clock::now();
 
+  if (!args.audit_file.empty()) {
+    gridsec::obs::clear_audit_attribution();
+    gridsec::obs::AuditConfig audit_cfg;
+    audit_cfg.capture_all = true;  // always have a bundle to write at exit
+    gridsec::obs::arm_audit(std::move(audit_cfg));
+  }
   if (!args.trace_file.empty()) gridsec::obs::Tracer::start();
   const int rc = run_command(*parsed, args);
+  if (!args.audit_file.empty()) {
+    // Prefer the first failing solve (that is the one worth explaining);
+    // fall back to the last solve observed. Attribution rows were pushed
+    // by the command after the plans were known, so re-attach them here.
+    gridsec::obs::AuditBundle bundle;
+    const bool have = gridsec::obs::first_audit_failure(&bundle) ||
+                      gridsec::obs::last_audit_capture(&bundle);
+    gridsec::obs::disarm_audit();
+    if (!have) {
+      std::fprintf(stderr, "no solve observed; no audit bundle written\n");
+    } else {
+      bundle.attribution = gridsec::obs::audit_attribution();
+      const auto written =
+          gridsec::obs::write_audit_bundle_file(args.audit_file, bundle);
+      if (!written.is_ok()) {
+        std::fprintf(stderr, "cannot write audit bundle: %s\n",
+                     written.to_string().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "audit: %s\n", args.audit_file.c_str());
+    }
+  }
   if (!args.report_file.empty()) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -174,4 +174,24 @@ struct Solution {
   }
 };
 
+/// Post-solve observation hook. The lp layer cannot depend on the audit
+/// library (audit links lp), so certification is inverted: audit registers
+/// a hook here and every solver entry point reports through it.
+///
+/// `context` names the solve site ("lp.simplex" for direct LP solves,
+/// "lp.bnb" for a finished branch-and-bound solve, "lp.bnb.node" for the
+/// relaxation solved at one search node). The problem/solution references
+/// are valid only for the duration of the call.
+using SolveHook = void (*)(const Problem& problem, const Solution& solution,
+                           std::string_view context);
+
+/// Atomically installs `hook` (nullptr uninstalls); returns the previous
+/// hook so scoped users can restore it. The hook may be invoked
+/// concurrently from many threads and must be internally synchronized.
+SolveHook set_solve_hook(SolveHook hook);
+
+/// The currently installed hook (nullptr when none). Solvers call this
+/// once per solve; one relaxed atomic load when no hook is installed.
+[[nodiscard]] SolveHook solve_hook();
+
 }  // namespace gridsec::lp

@@ -69,8 +69,10 @@ std::string to_string(const FaultReport& report);
 /// that target (e.g. kDisconnectedHub is meaningless for a bare LP).
 class FaultInjector {
  public:
-  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
+  /// Applied faults are logged (kind + injector seed) so a failed solve's
+  /// audit bundle shows what was done to the instance and how to redo it.
   bool inject(lp::Problem& p, FaultKind kind);
   bool inject(flow::Network& net, FaultKind kind);
 
@@ -78,7 +80,13 @@ class FaultInjector {
   FaultReport inject_random(lp::Problem& p, int count);
   FaultReport inject_random(flow::Network& net, int count);
 
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
  private:
+  bool do_inject(lp::Problem& p, FaultKind kind);
+  bool do_inject(flow::Network& net, FaultKind kind);
+
+  std::uint64_t seed_;
   Rng rng_;
 };
 

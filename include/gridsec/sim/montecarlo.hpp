@@ -93,8 +93,11 @@ struct RobustTrialResults {
 
 namespace detail {
 /// Metrics hooks (montecarlo.cpp): sim.montecarlo.failed_trials plus a
-/// per-code breakdown counter, and sim.montecarlo.retries.
-void note_trial_failure(const Status& status);
+/// per-code breakdown counter, and sim.montecarlo.retries. Each failure is
+/// also logged (trial index + sweep seed + error) so the record lands in
+/// the audit-bundle log tail of whatever solve failed the trial.
+void note_trial_failure(const Status& status, std::size_t trial,
+                        std::uint64_t seed);
 void note_trial_retries(std::size_t retries);
 /// "3/100 trials failed (NUMERICAL_ERROR x2, TIME_LIMIT x1), 4 retries".
 std::string summarize_failures(std::size_t n,
@@ -164,7 +167,7 @@ RobustTrialResults<T> run_trials_robust(
     } else if (!error[i].is_ok()) {
       ++out.failed;
       out.failures.push_back({i, error[i]});
-      detail::note_trial_failure(error[i]);
+      detail::note_trial_failure(error[i], i, seed);
     }
   }
   out.retries = retries.load(std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/deadline.hpp"
@@ -181,10 +182,20 @@ AttackPlan StrategicAdversary::plan(const cps::ImpactMatrix& im) const {
                             : lp::SolveStatus::kIterationLimit;
     best.anticipated_return =
         evaluate_target_set(im, best.targets, &best.actors);
+    GRIDSEC_LOG(kWarn, "core.adversary")
+        .field("status", lp::to_string(best.status))
+        .field("nodes", nodes)
+        .field("targets", best.targets.size())
+        .field("return", best.anticipated_return)
+        .message("target search budget exhausted; best incumbent kept");
     return best;
   }
   best.anticipated_return =
       evaluate_target_set(im, best.targets, &best.actors);
+  GRIDSEC_LOG(kDebug, "core.adversary")
+      .field("nodes", nodes)
+      .field("targets", best.targets.size())
+      .field("return", best.anticipated_return);
   return best;
 }
 

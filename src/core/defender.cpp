@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 
@@ -10,6 +11,19 @@ namespace gridsec::core {
 namespace {
 
 constexpr double kImpactTol = 1e-9;
+
+void log_plan(const char* mode, const DefensePlan& plan) {
+  std::size_t defended = 0;
+  for (const bool d : plan.defended) defended += d ? 1 : 0;
+  double spend = 0.0;
+  for (const double s : plan.spending) spend += s;
+  GRIDSEC_LOG(kDebug, "core.defender")
+      .field("mode", mode)
+      .field("status", lp::to_string(plan.status))
+      .field("defended", defended)
+      .field("spend", spend)
+      .field("objective", plan.objective);
+}
 
 void validate_config(const DefenderConfig& cfg, int n_targets, int n_actors) {
   GRIDSEC_ASSERT_MSG(
@@ -92,6 +106,7 @@ DefensePlan defend_individual(
     lp::Solution sol = lp::solve_milp(p);
     if (!sol.optimal()) {
       out.status = sol.status;
+      log_plan("individual", out);
       return out;
     }
     out.objective += baseline + sol.objective;
@@ -104,6 +119,7 @@ DefensePlan defend_individual(
       }
     }
   }
+  log_plan("individual", out);
   return out;
 }
 
@@ -185,7 +201,10 @@ DefensePlan defend_collaborative(
   out.status = sol.status;
   out.defended.assign(static_cast<std::size_t>(nt), false);
   out.spending.assign(static_cast<std::size_t>(na), 0.0);
-  if (!sol.optimal()) return out;
+  if (!sol.optimal()) {
+    log_plan("collaborative", out);
+    return out;
+  }
   out.objective = baseline + sol.objective;
   for (int t = 0; t < nt; ++t) {
     const auto ts = static_cast<std::size_t>(t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 
@@ -157,6 +158,13 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
       config.mitigation, &out.actor_impact_defended);
   out.defense_effectiveness =
       out.adversary_gain_undefended - out.adversary_gain_defended;
+  GRIDSEC_LOG(kDebug, "core.game")
+      .field("collaborative", config.collaborative)
+      .field("attack_status", lp::to_string(out.attack.status))
+      .field("defense_status", lp::to_string(out.defense.status))
+      .field("gain_undefended", out.adversary_gain_undefended)
+      .field("gain_defended", out.adversary_gain_defended)
+      .field("effectiveness", out.defense_effectiveness);
   return out;
 }
 

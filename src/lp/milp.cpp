@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gridsec/lp/presolve.hpp"
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/deadline.hpp"
@@ -53,6 +54,28 @@ Solution BranchAndBoundSolver::solve(const Problem& problem) const {
   c_solves.add();
   Solution sol = solve_search(problem);
   sol.bnb = stats_;
+  if (sol.status == SolveStatus::kNumericalError ||
+      sol.status == SolveStatus::kTimeLimit ||
+      sol.status == SolveStatus::kIterationLimit) {
+    GRIDSEC_LOG(kWarn, "lp.bnb")
+        .field("status", to_string(sol.status))
+        .field("vars", problem.num_variables())
+        .field("rows", problem.num_constraints())
+        .field("nodes", sol.bnb.nodes_explored)
+        .field("lp_solves", sol.bnb.lp_solves)
+        .message("branch-and-bound solve degraded");
+  } else {
+    GRIDSEC_LOG(kDebug, "lp.bnb")
+        .field("status", to_string(sol.status))
+        .field("vars", problem.num_variables())
+        .field("rows", problem.num_constraints())
+        .field("nodes", sol.bnb.nodes_explored)
+        .field("incumbent_updates", sol.bnb.incumbent_updates)
+        .field("objective", sol.objective);
+  }
+  if (const SolveHook hook = solve_hook(); hook != nullptr) {
+    hook(problem, sol, "lp.bnb");
+  }
   return sol;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 
@@ -9,6 +10,16 @@ namespace gridsec::lp {
 namespace {
 
 constexpr double kFeasTol = 1e-9;
+
+std::string_view verdict_name(Presolved::Verdict v) {
+  switch (v) {
+    case Presolved::Verdict::kReduced: return "reduced";
+    case Presolved::Verdict::kSolved: return "solved";
+    case Presolved::Verdict::kInfeasible: return "infeasible";
+    case Presolved::Verdict::kUnbounded: return "unbounded";
+  }
+  return "unknown";
+}
 
 /// Reduction counts go to the registry so B&B root presolve shows up in a
 /// `--metrics` dump alongside node/pivot counters.
@@ -27,6 +38,12 @@ void record_presolve_metrics(const Presolved& p) {
   bounds.add(p.stats().tightened_bounds);
   free_fixed.add(p.stats().free_variables_fixed);
   passes.add(p.stats().passes);
+  GRIDSEC_LOG(kDebug, "lp.presolve")
+      .field("verdict", verdict_name(p.verdict()))
+      .field("fixed_vars", p.stats().fixed_variables)
+      .field("removed_rows", p.stats().removed_rows)
+      .field("tightened_bounds", p.stats().tightened_bounds)
+      .field("passes", p.stats().passes);
 }
 
 }  // namespace

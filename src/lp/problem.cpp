@@ -1,8 +1,21 @@
 #include "gridsec/lp/problem.hpp"
 
+#include <atomic>
 #include <cmath>
 
 namespace gridsec::lp {
+
+namespace {
+std::atomic<SolveHook> g_solve_hook{nullptr};
+}  // namespace
+
+SolveHook set_solve_hook(SolveHook hook) {
+  return g_solve_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+SolveHook solve_hook() {
+  return g_solve_hook.load(std::memory_order_acquire);
+}
 
 int Problem::add_variable(std::string name, double lower, double upper,
                           double objective_coef, VarType type) {

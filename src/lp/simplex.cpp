@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/deadline.hpp"
@@ -555,6 +556,28 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
   SimplexMetricsGuard metrics;
   Solution sol = solve_impl_inner(problem, options, final_tableau, metrics);
   metrics.status = sol.status;
+  // Degraded verdicts are worth a record even at the default level; clean
+  // solves only show up under GRIDSEC_LOG_LEVEL=debug.
+  if (sol.status == SolveStatus::kNumericalError ||
+      sol.status == SolveStatus::kTimeLimit ||
+      sol.status == SolveStatus::kIterationLimit) {
+    GRIDSEC_LOG(kWarn, "lp.simplex")
+        .field("status", to_string(sol.status))
+        .field("vars", problem.num_variables())
+        .field("rows", problem.num_constraints())
+        .field("pivots", sol.iterations)
+        .message("simplex solve degraded");
+  } else {
+    GRIDSEC_LOG(kDebug, "lp.simplex")
+        .field("status", to_string(sol.status))
+        .field("vars", problem.num_variables())
+        .field("rows", problem.num_constraints())
+        .field("pivots", sol.iterations)
+        .field("objective", sol.objective);
+  }
+  if (const SolveHook hook = solve_hook(); hook != nullptr) {
+    hook(problem, sol, "lp.simplex");
+  }
   return sol;
 }
 

@@ -10,6 +10,7 @@
 #include "gridsec/flow/social_welfare.hpp"
 #include "gridsec/lp/presolve.hpp"
 #include "gridsec/lp/simplex.hpp"
+#include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/sim/scenario.hpp"
 
@@ -60,6 +61,30 @@ std::string to_string(const FaultReport& report) {
 }
 
 bool FaultInjector::inject(lp::Problem& p, FaultKind kind) {
+  const bool applied = do_inject(p, kind);
+  if (applied) {
+    GRIDSEC_LOG(kInfo, "robust.faultinject")
+        .field("target", "lp.problem")
+        .field("kind", to_string(kind))
+        .field("seed", seed_)
+        .message("fault injected");
+  }
+  return applied;
+}
+
+bool FaultInjector::inject(flow::Network& net, FaultKind kind) {
+  const bool applied = do_inject(net, kind);
+  if (applied) {
+    GRIDSEC_LOG(kInfo, "robust.faultinject")
+        .field("target", "flow.network")
+        .field("kind", to_string(kind))
+        .field("seed", seed_)
+        .message("fault injected");
+  }
+  return applied;
+}
+
+bool FaultInjector::do_inject(lp::Problem& p, FaultKind kind) {
   const int nv = p.num_variables();
   if (nv == 0) return false;
   switch (kind) {
@@ -110,7 +135,7 @@ bool FaultInjector::inject(lp::Problem& p, FaultKind kind) {
   return false;
 }
 
-bool FaultInjector::inject(flow::Network& net, FaultKind kind) {
+bool FaultInjector::do_inject(flow::Network& net, FaultKind kind) {
   const int ne = net.num_edges();
   if (ne == 0) return false;
   switch (kind) {

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "gridsec/obs/log.hpp"
+
 namespace gridsec::sim {
 
 RunningStats run_scalar_trials(
@@ -16,7 +18,8 @@ RunningStats run_scalar_trials(
 
 namespace detail {
 
-void note_trial_failure(const Status& status) {
+void note_trial_failure(const Status& status, std::size_t trial,
+                        std::uint64_t seed) {
   auto& reg = obs::default_registry();
   static obs::Counter& c_failed = reg.counter("sim.montecarlo.failed_trials");
   c_failed.add();
@@ -25,6 +28,13 @@ void note_trial_failure(const Status& status) {
   reg.counter("sim.montecarlo.failed." +
               std::string(to_string(status.code())))
       .add();
+  // trial + sweep seed reproduce the exact RNG stream of the failed trial:
+  // Rng(seed).derive_stream(trial).
+  GRIDSEC_LOG(kWarn, "sim.montecarlo")
+      .field("trial", trial)
+      .field("seed", seed)
+      .field("code", to_string(status.code()))
+      .message(status.message());
 }
 
 void note_trial_retries(std::size_t retries) {

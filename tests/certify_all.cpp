@@ -1,0 +1,52 @@
+// Linked into every gridsec test binary (see gridsec_test() in
+// CMakeLists.txt): arms the audit solve hook for the whole binary so every
+// LP/MILP solve any test performs is certified by the independent checker.
+// A certificate failure anywhere in the suite fails the binary with the
+// first offending bundle's violations; the checker shares no code with the
+// pivoting paths, so this is a differential oracle riding along for free.
+//
+// GRIDSEC_AUDIT_DIR, when set, receives auto-dumped bundles from failed
+// solves (CI uploads the directory as an artifact on test failure).
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gridsec/obs/audit.hpp"
+
+namespace {
+
+class CertifyAllEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    gridsec::obs::AuditConfig cfg;
+    if (const char* dir = std::getenv("GRIDSEC_AUDIT_DIR")) {
+      cfg.dump_dir = dir;
+    }
+    gridsec::obs::arm_audit(std::move(cfg));
+  }
+
+  void TearDown() override {
+    const std::uint64_t failures = gridsec::obs::audit_cert_failure_count();
+    if (failures != 0) {
+      std::string detail;
+      gridsec::obs::AuditBundle first;
+      if (gridsec::obs::first_audit_failure(&first)) {
+        detail = "first failing solve: " + first.context;
+        for (const std::string& v : first.certificate.violations) {
+          detail += "\n  " + v;
+        }
+      }
+      ADD_FAILURE() << failures
+                    << " solve certificate failure(s) in this binary. "
+                    << detail;
+    }
+    gridsec::obs::disarm_audit();
+  }
+};
+
+// Registered at static-init time so no test main() needs editing.
+const ::testing::Environment* const g_certify_all =
+    ::testing::AddGlobalTestEnvironment(new CertifyAllEnvironment);
+
+}  // namespace

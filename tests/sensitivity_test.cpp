@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/obs/audit.hpp"
 #include "gridsec/lp/simplex.hpp"
 #include "gridsec/sim/western_us.hpp"
 #include "gridsec/util/rng.hpp"
@@ -188,6 +190,128 @@ TEST(Sensitivity, WesternUsLmpStability) {
   for (const auto& r : report.rhs_range) {
     EXPECT_LE(r.lo, 0.0 + kTol);  // all conservation rows have rhs 0
     EXPECT_GE(r.hi, 0.0 - kTol);
+  }
+}
+
+// --- Degenerate bases --------------------------------------------------
+// Three constraints through one 2D vertex (primal degeneracy) and exact
+// duplicate rows (a guaranteed ratio-test tie). Shadow prices are
+// non-unique at such vertices; whatever dual vector the solver reports
+// must still satisfy dual feasibility, complementary slackness, and a zero
+// duality gap — which is exactly what the independent certificate checker
+// recomputes, so we cross-check the sensitivity solution against it.
+
+// max x + y; x + y <= 2, x <= 1, y <= 1. Optimum (1,1) has all three rows
+// binding: one more active constraint than dimensions.
+Problem degenerate_vertex() {
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, kInfinity, 1.0);
+  int y = p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint("sum", LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Sense::kLessEqual, 2.0);
+  p.add_constraint("xcap", LinearExpr().add(x, 1.0), Sense::kLessEqual, 1.0);
+  p.add_constraint("ycap", LinearExpr().add(y, 1.0), Sense::kLessEqual, 1.0);
+  return p;
+}
+
+TEST(SensitivityDegenerate, VertexSolveCertifies) {
+  const Problem p = degenerate_vertex();
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(report.solution.objective, 2.0, kTol);
+  EXPECT_NEAR(report.solution.x[0], 1.0, kTol);
+  EXPECT_NEAR(report.solution.x[1], 1.0, kTol);
+
+  // The reported duals are one of infinitely many valid vectors; the
+  // certificate must accept it all the same.
+  const obs::Certificate cert = obs::certify(p, report.solution);
+  EXPECT_EQ(cert.verdict, obs::CertVerdict::kVerified) << [&] {
+    std::string all;
+    for (const auto& v : cert.violations) all += v + "\n";
+    return all;
+  }();
+  EXPECT_LE(cert.dual_residual, kTol);
+  EXPECT_LE(cert.complementary_slackness, kTol);
+  EXPECT_LE(cert.duality_gap, kTol);
+}
+
+TEST(SensitivityDegenerate, VertexRangesStayConsistent) {
+  const Problem p = degenerate_vertex();
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  ASSERT_EQ(report.rhs_range.size(), 3u);
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    const auto& r = report.rhs_range[static_cast<std::size_t>(i)];
+    // Degenerate vertices legitimately produce zero-width rhs ranges, but
+    // the range must stay ordered and contain the current rhs.
+    EXPECT_LE(r.lo, r.hi + kTol) << "row " << i;
+    EXPECT_LE(r.lo, p.constraint(i).rhs + kTol) << "row " << i;
+    EXPECT_GE(r.hi, p.constraint(i).rhs - kTol) << "row " << i;
+  }
+  for (int j = 0; j < p.num_variables(); ++j) {
+    const auto& r = report.objective_range[static_cast<std::size_t>(j)];
+    EXPECT_LE(r.lo, p.variable(j).objective + kTol) << "var " << j;
+    EXPECT_GE(r.hi, p.variable(j).objective - kTol) << "var " << j;
+  }
+}
+
+TEST(SensitivityDegenerate, DuplicateRowsTieTheRatioTest) {
+  // max x s.t. x <= 1 twice: the entering column hits both rows at the
+  // exact same ratio, so the leaving-row choice is a coin flip. The dual
+  // weight may land on either copy (or split); the certificate and the
+  // shadow-price total are invariant.
+  Problem p(Objective::kMaximize);
+  int x = p.add_variable("x", 0.0, kInfinity, 1.0);
+  p.add_constraint("a", LinearExpr().add(x, 1.0), Sense::kLessEqual, 1.0);
+  p.add_constraint("b", LinearExpr().add(x, 1.0), Sense::kLessEqual, 1.0);
+  auto report = analyze_sensitivity(p);
+  ASSERT_EQ(report.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(report.solution.objective, 1.0, kTol);
+  ASSERT_EQ(report.solution.duals.size(), 2u);
+  EXPECT_NEAR(report.solution.duals[0] + report.solution.duals[1], 1.0,
+              kTol);
+
+  const obs::Certificate cert = obs::certify(p, report.solution);
+  EXPECT_EQ(cert.verdict, obs::CertVerdict::kVerified);
+  EXPECT_LE(cert.duality_gap, kTol);
+
+  // Both copies sit at activity == rhs, so both must be reported binding.
+  const auto binding = obs::binding_constraints(p, report.solution);
+  EXPECT_EQ(binding.size(), 2u);
+}
+
+TEST(SensitivityDegenerate, RandomDegenerateLpsCertify) {
+  // Random LPs built to force ties: several duplicated capacity rows plus
+  // a shared budget row through the same vertex. Every optimal solve's
+  // duals must pass the certificate's dual-side checks.
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+    Problem p(Objective::kMaximize);
+    const int nv = 3;
+    for (int j = 0; j < nv; ++j) {
+      p.add_variable("x", 0.0, kInfinity, rng.uniform(1.0, 4.0));
+    }
+    // Two identical copies of each variable cap: guaranteed ratio ties.
+    for (int j = 0; j < nv; ++j) {
+      const double cap = rng.uniform(1.0, 3.0);
+      p.add_constraint("cap_a", LinearExpr().add(j, 1.0),
+                       Sense::kLessEqual, cap);
+      p.add_constraint("cap_b", LinearExpr().add(j, 1.0),
+                       Sense::kLessEqual, cap);
+    }
+    LinearExpr budget;
+    for (int j = 0; j < nv; ++j) budget.add(j, 1.0);
+    p.add_constraint("budget", std::move(budget), Sense::kLessEqual,
+                     rng.uniform(2.0, 6.0));
+
+    auto report = analyze_sensitivity(p);
+    ASSERT_EQ(report.solution.status, SolveStatus::kOptimal)
+        << "seed " << seed;
+    const obs::Certificate cert = obs::certify(p, report.solution);
+    EXPECT_EQ(cert.verdict, obs::CertVerdict::kVerified)
+        << "seed " << seed
+        << (cert.violations.empty() ? "" : " " + cert.violations[0]);
+    EXPECT_LE(cert.duality_gap, kTol) << "seed " << seed;
   }
 }
 
