@@ -23,6 +23,9 @@
 //                  adversary search); expiry degrades to the best incumbent
 //   --fail-fast    treat any non-optimal solver verdict as a hard error
 //                  instead of degrading to budget-limited incumbents
+//   --warm-start=off  disable simplex warm starts process-wide (every
+//                  solve runs cold); `on` is the default. The A/B switch
+//                  for docs/solvers.md's warm-start machinery.
 //   --audit=FILE   write a gridsec.audit_bundle for the run to FILE: the
 //                  first failing solve if any solve failed, otherwise the
 //                  last solve observed, with per-actor attribution rows
@@ -46,6 +49,7 @@
 #include "gridsec/flow/io.hpp"
 #include "gridsec/flow/marginal_cost.hpp"
 #include "gridsec/flow/social_welfare.hpp"
+#include "gridsec/lp/basis.hpp"
 #include "gridsec/obs/audit.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/report.hpp"
@@ -88,7 +92,7 @@ int usage() {
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
                "[--cost=C] [--budget=B] [--trace=FILE] [--report=FILE] "
                "[--audit=FILE] [--metrics] [--time-limit-ms=N] "
-               "[--fail-fast]\n");
+               "[--fail-fast] [--warm-start=on|off]\n");
   return 2;
 }
 
@@ -410,6 +414,10 @@ int main(int argc, char** argv) {
       ok = !args.audit_file.empty();
     } else if (const char* v = value("--time-limit-ms=")) {
       ok = parse_double(v, &args.time_limit_ms) && args.time_limit_ms >= 0.0;
+    } else if (const char* v = value("--warm-start=")) {
+      const std::string mode = v;
+      ok = mode == "on" || mode == "off";
+      if (ok) gridsec::lp::set_warm_start_enabled(mode == "on");
     } else if (a == "--collab") {
       args.collab = true;
     } else if (a == "--fail-fast") {

@@ -79,6 +79,12 @@ struct ImpactOptions {
   /// solves. Exact — disable only to measure its effect (see
   /// micro_ablation).
   bool skip_unused_targets = true;
+  /// Warm-start seed for the base-model solve, typically
+  /// ImpactResult::base_basis from a previous matrix over the same
+  /// topology (e.g. the preceding sigma step of a noise sweep). The
+  /// per-target attacked solves always warm-start from this run's own
+  /// base basis regardless.
+  lp::Basis warm_start;
 };
 
 /// Computes IM over all edges as targets. Fails (kInfeasible in the status)
@@ -91,6 +97,9 @@ struct ImpactResult {
   std::vector<double> base_actor_profit;
   double base_welfare = 0.0;
   int failed_targets = 0;
+  /// Basis of the base (unattacked) welfare solve; feed it back through
+  /// ImpactOptions::warm_start when computing a sibling matrix.
+  lp::Basis base_basis;
 };
 
 StatusOr<ImpactResult> compute_impact_matrix(

@@ -37,6 +37,11 @@ struct AllocationOptions {
   /// positive flow (floored at an absolute minimum internally).
   double probe_fraction = 1e-4;
   SocialWelfareOptions welfare;
+  /// Warm-start basis for the base welfare solve, typically
+  /// AllocationResult::basis from a structurally identical network (e.g.
+  /// the unattacked base model when sweeping attack targets). Takes
+  /// precedence over welfare.simplex.warm_start when non-empty.
+  lp::Basis warm_start;
 };
 
 struct AllocationResult {
@@ -46,6 +51,9 @@ struct AllocationResult {
   std::vector<double> node_price;   // λ used for the division
   std::vector<double> edge_profit;  // competitive profit per edge
   std::vector<double> actor_profit; // per actor; empty when owners empty
+  /// Basis of the base welfare solve; feed it into
+  /// AllocationOptions::warm_start for sibling allocations.
+  lp::Basis basis;
 
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::kOptimal;

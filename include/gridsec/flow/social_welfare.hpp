@@ -30,6 +30,11 @@ struct FlowSolution {
   /// Reduced cost of each edge's flow variable: for an edge saturated at
   /// capacity this is -(marginal welfare of one more unit of capacity).
   std::vector<double> edge_reduced_cost;
+  /// Final simplex basis of the welfare LP. Feed it back through
+  /// SocialWelfareOptions::simplex.warm_start to hot-start the solve of a
+  /// perturbed sibling network (same topology; changed capacities, costs
+  /// or losses). Empty when the solve was not optimal.
+  lp::Basis basis;
 
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::kOptimal;

@@ -1,0 +1,120 @@
+// Simplex basis state and incremental basis factorization.
+//
+// Two pieces that together make the solver warm-startable:
+//
+//   1. Basis — the combinatorial part of a simplex solution: one
+//      kBasic/kAtLower/kAtUpper status per structural variable and per
+//      constraint row (a row is kBasic when its slack — or, degenerately,
+//      its artificial — is basic). It is tiny, copyable, and serializable
+//      (`to_string`/`parse_basis`), so it can ride on lp::Solution, be
+//      passed back in via SimplexOptions::warm_start, and be recorded in
+//      audit bundles. A stale or incompatible basis is never an error:
+//      the solver crash-repairs it (see docs/solvers.md).
+//
+//   2. BasisFactorization — an LU factorization of the m x m basis matrix
+//      B (partial pivoting), kept current across pivots by product-form
+//      eta updates instead of refactorizing from scratch. A pivot that
+//      replaces the basic column in row p with an entering column whose
+//      ftran image is w appends the eta (p, w); ftran/btran then apply
+//      the base LU solve plus the eta chain. The factorization is rebuilt
+//      ("refactorized") when the eta chain grows past a threshold or an
+//      update pivot is too small to be trusted — O(m^3) once per
+//      refactorization instead of per pivot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridsec/util/error.hpp"
+#include "gridsec/util/matrix.hpp"
+
+namespace gridsec::lp {
+
+/// Status of one variable (or constraint row) in a simplex basis.
+enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// The combinatorial state of a simplex solution: per-structural-variable
+/// and per-row statuses. Empty vectors mean "no basis available".
+struct Basis {
+  std::vector<VarStatus> variables;
+  std::vector<VarStatus> rows;
+
+  [[nodiscard]] bool empty() const {
+    return variables.empty() && rows.empty();
+  }
+
+  bool operator==(const Basis& rhs) const = default;
+};
+
+/// Compact text form, e.g. "v:BLU|r:LB" (B=basic, L=at-lower, U=at-upper).
+/// An empty basis serializes to "v:|r:".
+[[nodiscard]] std::string to_string(const Basis& basis);
+
+/// Parses the `to_string` form. Unknown status letters or a malformed
+/// frame yield kInvalidArgument.
+[[nodiscard]] StatusOr<Basis> parse_basis(std::string_view text);
+
+/// Process-global warm-start kill switch (default: enabled). When
+/// disabled, every solver ignores SimplexOptions::warm_start and solves
+/// cold — the `gridsec_cli --warm-start=off` escape hatch for A/B
+/// debugging. Thread-safe (relaxed atomic).
+void set_warm_start_enabled(bool enabled);
+[[nodiscard]] bool warm_start_enabled();
+
+/// LU factorization of a basis matrix with product-form (eta) updates.
+///
+/// Conventions: refactorize() computes P*B = L*U with partial pivoting.
+/// update(p, w) records that the basic column in position p was replaced
+/// by a column a_q with w = B^{-1} a_q (w computed via ftran *before* the
+/// update) — i.e. B_new = B_old * E where E is the identity with column p
+/// replaced by w. ftran/btran then solve against B_new without touching
+/// the LU factors.
+class BasisFactorization {
+ public:
+  /// Factorizes `b` (square). Discards any eta chain. Returns false when
+  /// `b` is singular (pivot below `pivot_tol`); the object is then
+  /// invalid until the next successful refactorize.
+  bool refactorize(const Matrix& b);
+
+  /// x := B^{-1} x. Requires valid().
+  void ftran(std::vector<double>& x) const;
+
+  /// y := B^{-T} y. Requires valid().
+  void btran(std::vector<double>& y) const;
+
+  /// Appends the eta for a pivot in position `p` with direction `w`
+  /// (= B^{-1} a_entering). Returns false — and leaves the factorization
+  /// unchanged — when |w[p]| is too small to pivot on; the caller should
+  /// refactorize from the updated basis matrix instead.
+  bool update(int p, std::vector<double> w);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] std::size_t size() const { return perm_.size(); }
+  [[nodiscard]] std::size_t eta_count() const { return etas_.size(); }
+
+  /// Eta chain length past which the caller should refactorize: the
+  /// chain costs O(m) per solve per eta and accumulates rounding.
+  static constexpr std::size_t kRefactorInterval = 64;
+  /// Smallest acceptable pivot magnitude, for both LU and eta updates.
+  static constexpr double kPivotTol = 1e-11;
+  /// Smallest eta pivot relative to max|w|: applying an eta divides by
+  /// w[p], so a pivot this much smaller than the direction's largest
+  /// entry would amplify rounding by >1e7 per application. update()
+  /// refuses such pivots and the caller refactorizes densely.
+  static constexpr double kEtaStabilityTol = 1e-7;
+
+ private:
+  struct Eta {
+    int row = -1;
+    std::vector<double> w;
+  };
+
+  Matrix lu_;              // L strictly below the diagonal (unit), U on/above
+  std::vector<int> perm_;  // row permutation: (P*B)[i] = B[perm_[i]]
+  std::vector<Eta> etas_;
+  bool valid_ = false;
+};
+
+}  // namespace gridsec::lp

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "gridsec/lp/basis.hpp"
 #include "gridsec/util/error.hpp"
 
 namespace gridsec::lp {
@@ -168,6 +169,15 @@ struct Solution {
   long iterations = 0;             // simplex pivots (LP; 0 for MILP solves)
   /// Filled by BranchAndBoundSolver; all-zero for plain LP solves.
   BranchAndBoundStats bnb;
+  /// The optimal basis (LP: final simplex basis; MILP: the incumbent
+  /// node's relaxation basis). Feed it back through
+  /// SimplexOptions::warm_start to hot-start a sibling solve. Empty when
+  /// the solve did not reach optimality or went through presolve.
+  Basis basis;
+  /// True when this solve started from a warm basis (after any crash
+  /// repair) rather than the cold slack/artificial basis. Audit bundles
+  /// record this provenance bit.
+  bool warm_started = false;
 
   [[nodiscard]] bool optimal() const {
     return status == SolveStatus::kOptimal;

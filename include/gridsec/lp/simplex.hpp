@@ -1,11 +1,14 @@
 // Two-phase primal simplex for LPs with bounded variables.
 //
 // Scope: the dense LPs produced by gridsec's 12-hub energy graphs (tens of
-// rows and columns). The implementation favours robustness over speed:
-// the basis matrix is re-factorized from scratch every iteration (O(m^3)),
+// rows and columns). The basis matrix is LU-factorized once and kept
+// current across pivots with product-form eta updates (BasisFactorization;
+// periodic refactorization on an update-count or pivot-accuracy trigger),
 // Bland's rule kicks in after a pivot budget to guarantee termination, and
 // variables may be nonbasic at either bound (capacities live in the bounds,
-// not in rows).
+// not in rows). Solves can warm-start from a previous Solution::basis —
+// stale or incompatible bases are crash-repaired, never fatal (see
+// docs/solvers.md, "Warm starts & basis factorization").
 //
 // Duals: Solution::duals[i] is the shadow price of constraint i — the rate
 // of change of the optimal objective (in the problem's own sense) per unit
@@ -34,6 +37,16 @@ struct SimplexOptions {
   /// Optional event stream: called once per completed pivot (including
   /// bound flips). Empty (the default) costs one branch per iteration.
   obs::SimplexObserver observer;
+  /// Warm-start basis, typically a previous Solution::basis from a
+  /// structurally similar model. Empty (the default) = cold start. The
+  /// row count must match the problem's; the variable statuses may cover
+  /// a prefix of the columns (extra variables start at their lower
+  /// bound). An infeasible, stale, or rank-deficient basis is
+  /// crash-repaired (counter lp.simplex.basis_repairs) and any remaining
+  /// infeasibility is removed by the ordinary phase-1; the answer is
+  /// always certificate-identical to a cold solve. Ignored when
+  /// set_warm_start_enabled(false) is in effect.
+  Basis warm_start;
 };
 
 class SimplexSolver {

@@ -15,7 +15,10 @@
 //   * StrategicAdversary::plan / plan_milp vs. the brute-force
 //     plan_enumerate on small impact matrices,
 //   * Network::validate vs. solve_social_welfare on faulted grids (invalid
-//     data must surface as a typed status, never a crash).
+//     data must surface as a typed status, never a crash),
+//   * warm-started vs. cold SimplexSolver: re-solving a problem from its
+//     own optimal basis, and a jittered sibling from the now-stale basis,
+//     must reproduce the cold verdict and objective.
 // Any disagreement is recorded as a failure with the instance seed; the
 // acceptance bar is hundreds of seeded instances with zero failures under
 // ASan/UBSan.
@@ -99,7 +102,7 @@ void jitter_costs(lp::Problem& p, Rng& rng, double rel_scale = 1e-7);
 void jitter_costs(flow::Network& net, Rng& rng, double rel_scale = 1e-7);
 
 struct FuzzOptions {
-  /// Number of seeded instances per leg (LP, adversary, network).
+  /// Number of seeded instances per leg (LP, adversary, network, warm).
   int instances = 500;
   std::uint64_t seed = 0xFA017ULL;
   /// Probability an instance receives injected faults at all.
@@ -118,6 +121,7 @@ struct FuzzStats {
   int lp_checks = 0;         // simplex-vs-presolve comparisons run
   int adversary_checks = 0;  // plan/plan_milp-vs-enumerate comparisons run
   int network_checks = 0;    // validate-vs-solve pipeline probes run
+  int warm_checks = 0;       // warm-vs-cold simplex comparisons run
   /// Tally of final solve statuses seen, keyed by lp::to_string(status).
   std::vector<std::pair<std::string, int>> status_counts;
   /// Human-readable disagreement diagnostics (each includes the seed).

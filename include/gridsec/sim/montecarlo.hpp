@@ -10,8 +10,10 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "gridsec/lp/basis.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/error.hpp"
@@ -109,11 +111,25 @@ std::string summarize_failures(std::size_t n,
 /// returning a non-ok StatusOr (exceptions escaping `fn` are converted to
 /// kInternal). `fn` receives (trial, rng, attempt); attempt 0 carries the
 /// canonical per-trial stream, attempt k > 0 an independent retry stream.
-template <typename T>
+///
+/// `fn` may instead take (trial, rng, attempt, lp::Basis*): the harness
+/// then owns one basis slot per trial that lives across retry attempts.
+/// A trial that stores its solve's final basis there on attempt 0 hands
+/// every retry a warm start for the perturbed re-solve; the slot starts
+/// empty, so attempt 0 itself is unaffected and fully-successful sweeps
+/// stay bit-identical to the 3-argument form.
+template <typename T, typename F>
 RobustTrialResults<T> run_trials_robust(
-    ThreadPool* pool, std::size_t n, std::uint64_t seed,
-    const std::function<StatusOr<T>(std::size_t, Rng&, int)>& fn,
+    ThreadPool* pool, std::size_t n, std::uint64_t seed, const F& fn,
     const RobustTrialOptions& options = {}) {
+  constexpr bool kWarmSlot =
+      std::is_invocable_r_v<StatusOr<T>, const F&, std::size_t, Rng&, int,
+                            lp::Basis*>;
+  static_assert(kWarmSlot ||
+                    std::is_invocable_r_v<StatusOr<T>, const F&, std::size_t,
+                                          Rng&, int>,
+                "run_trials_robust fn must be callable as "
+                "StatusOr<T>(trial, rng, attempt[, lp::Basis*])");
   GRIDSEC_TRACE_SPAN("sim.run_trials_robust");
   static obs::Counter& c_trials =
       obs::default_registry().counter("sim.montecarlo.trials");
@@ -134,6 +150,7 @@ RobustTrialResults<T> run_trials_robust(
       return;
     }
     Status last = Status::ok();
+    lp::Basis warm;  // per-trial slot shared across retry attempts
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       GRIDSEC_TRACE_SPAN("sim.trial");
       Rng rng = attempt == 0
@@ -142,7 +159,11 @@ RobustTrialResults<T> run_trials_robust(
                           static_cast<std::uint64_t>(attempt));
       StatusOr<T> r = [&]() -> StatusOr<T> {
         try {
-          return fn(i, rng, attempt);
+          if constexpr (kWarmSlot) {
+            return fn(i, rng, attempt, &warm);
+          } else {
+            return fn(i, rng, attempt);
+          }
         } catch (const std::exception& e) {
           return Status::internal(std::string("trial threw: ") + e.what());
         }

@@ -440,12 +440,15 @@ StatusOr<double> realized_return_joint(const flow::Network& truth_net,
                                        const AttackPlan& plan,
                                        const AdversaryConfig& config,
                                        const cps::ImpactOptions& options) {
+  flow::AllocationOptions alloc = options.allocation;
+  alloc.warm_start = options.warm_start;
   flow::AllocationResult base = flow::allocate_profits(
-      truth_net, ownership.owners(), ownership.num_actors(),
-      options.allocation);
+      truth_net, ownership.owners(), ownership.num_actors(), alloc);
   if (!base.optimal()) {
     return Status::infeasible("realized_return_joint: base not solvable");
   }
+  // The attacked model differs from the base only in the struck edges.
+  alloc.warm_start = base.basis;
   flow::Network hit = truth_net;
   double cost = 0.0;
   for (int t : plan.targets) {
@@ -455,7 +458,7 @@ StatusOr<double> realized_return_joint(const flow::Network& truth_net,
                 : config.attack_cost[static_cast<std::size_t>(t)];
   }
   flow::AllocationResult after = flow::allocate_profits(
-      hit, ownership.owners(), ownership.num_actors(), options.allocation);
+      hit, ownership.owners(), ownership.num_actors(), alloc);
   if (!after.optimal()) {
     return Status::infeasible("realized_return_joint: attacked not solvable");
   }

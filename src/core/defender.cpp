@@ -237,12 +237,15 @@ StatusOr<std::vector<double>> estimate_attack_probabilities(
   std::vector<double> pa(static_cast<std::size_t>(defender_view.num_edges()),
                          0.0);
   StrategicAdversary sa(adversary);
+  cps::ImpactOptions impact = impact_options;
   for (int s = 0; s < num_samples; ++s) {
     // I'' — the defender's speculation of what the adversary believes.
     flow::Network adv_view =
         cps::perturb_knowledge(defender_view, speculated_noise, rng);
-    auto im = cps::compute_impact_matrix(adv_view, ownership, impact_options);
+    auto im = cps::compute_impact_matrix(adv_view, ownership, impact);
     if (!im.is_ok()) return im.status();
+    // Each sample re-perturbs the same topology; carry the basis forward.
+    impact.warm_start = im->base_basis;
     AttackPlan plan = sa.plan(im->matrix);
     // Budget-limited plans are feasible samples of the SA's behaviour;
     // anything else (infeasible / unbounded / numerical) is a typed error.

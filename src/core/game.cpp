@@ -59,6 +59,11 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
   c_games.add();
   GameOutcome out;
 
+  // One warm-start chain through the whole round: every impact matrix in a
+  // game is computed over a (noisy) view of the same topology, so each
+  // solve's base basis seeds the next phase's base solve.
+  cps::ImpactOptions impact = config.impact;
+
   {  // Defender phase (steps 1-3); the span closes before the SA plans.
   GRIDSEC_TRACE_SPAN("core.game.defender_phase");
   if (!config.per_defender_views) {
@@ -66,14 +71,14 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
     flow::Network defender_view =
         cps::perturb_knowledge(truth, config.defender_noise, rng);
     auto defender_im =
-        cps::compute_impact_matrix(defender_view, ownership, config.impact);
+        cps::compute_impact_matrix(defender_view, ownership, impact);
     if (!defender_im.is_ok()) return defender_im.status();
+    impact.warm_start = defender_im->base_basis;
 
     // 2. Attack-probability estimate via the defender's SA model on I''.
     auto pa = estimate_attack_probabilities(
         defender_view, ownership, config.adversary,
-        config.speculated_adversary_noise, config.pa_samples, rng,
-        config.impact);
+        config.speculated_adversary_noise, config.pa_samples, rng, impact);
     if (!pa.is_ok()) return pa.status();
     out.pa = std::move(pa.value());
 
@@ -94,15 +99,15 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
     for (int a = 0; a < ownership.num_actors(); ++a) {
       flow::Network view =
           cps::perturb_knowledge(truth, config.defender_noise, rng);
-      auto im_a = cps::compute_impact_matrix(view, ownership, config.impact);
+      auto im_a = cps::compute_impact_matrix(view, ownership, impact);
       if (!im_a.is_ok()) return im_a.status();
+      impact.warm_start = im_a->base_basis;
       for (int t = 0; t < truth.num_edges(); ++t) {
         composite.set(a, t, im_a->matrix.at(a, t));
       }
       auto pa_a = estimate_attack_probabilities(
           view, ownership, config.adversary,
-          config.speculated_adversary_noise, config.pa_samples, rng,
-          config.impact);
+          config.speculated_adversary_noise, config.pa_samples, rng, impact);
       if (!pa_a.is_ok()) return pa_a.status();
       pa_rows.push_back(std::move(pa_a.value()));
     }
@@ -134,8 +139,9 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
     flow::Network adversary_view =
         cps::perturb_knowledge(truth, config.adversary_noise, rng);
     auto adversary_im =
-        cps::compute_impact_matrix(adversary_view, ownership, config.impact);
+        cps::compute_impact_matrix(adversary_view, ownership, impact);
     if (!adversary_im.is_ok()) return adversary_im.status();
+    impact.warm_start = adversary_im->base_basis;
     StrategicAdversary sa(config.adversary);
     out.attack = sa.plan(adversary_im->matrix);
     // A budget-limited plan is a feasible (just unproven) attack — keep it.
@@ -146,7 +152,7 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
 
   // 5. Realize the attack against the ground truth, with and without the
   // defense in place.
-  auto truth_im = cps::compute_impact_matrix(truth, ownership, config.impact);
+  auto truth_im = cps::compute_impact_matrix(truth, ownership, impact);
   if (!truth_im.is_ok()) return truth_im.status();
   const std::vector<bool> no_defense(
       static_cast<std::size_t>(truth.num_edges()), false);

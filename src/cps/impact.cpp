@@ -60,8 +60,10 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
   const int n_actors = ownership.num_actors();
   const int n_targets = net.num_edges();
 
-  flow::AllocationResult base = flow::allocate_profits(
-      net, ownership.owners(), n_actors, options.allocation);
+  flow::AllocationOptions alloc = options.allocation;
+  alloc.warm_start = options.warm_start;
+  flow::AllocationResult base =
+      flow::allocate_profits(net, ownership.owners(), n_actors, alloc);
   if (!base.optimal()) {
     // Preserve the failure class (time limit / numerical / infeasible) so
     // robust sweeps can apply the right retry policy.
@@ -70,20 +72,31 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
   }
 
   ImpactResult out{ImpactMatrix(n_actors, n_targets), base.actor_profit,
-                   base.welfare, 0};
+                   base.welfare, 0, base.basis};
+
+  // Every attacked scenario differs from the base model only in one
+  // edge's data, so its LP re-solve warm-starts from the base basis.
+  alloc.warm_start = base.basis;
 
   const bool capacity_attack = options.attack_type == AttackType::kOutage ||
                                options.attack_type ==
                                    AttackType::kCapacityScale;
+  // One scratch network reused across targets: apply the attack, solve,
+  // then restore the edge — instead of deep-copying the whole network per
+  // target.
+  flow::Network scratch = net;
   for (int t = 0; t < n_targets; ++t) {
     if (options.skip_unused_targets && capacity_attack &&
         base.flow[static_cast<std::size_t>(t)] <= 1e-12) {
       continue;  // zero column: capacity removal on an idle edge is inert
     }
-    flow::Network hit = net;
-    apply_attack(hit, {t, options.attack_type, options.attack_magnitude});
-    flow::AllocationResult after = flow::allocate_profits(
-        hit, ownership.owners(), n_actors, options.allocation);
+    const flow::Edge saved = scratch.edge(t);
+    apply_attack(scratch, {t, options.attack_type, options.attack_magnitude});
+    flow::AllocationResult after =
+        flow::allocate_profits(scratch, ownership.owners(), n_actors, alloc);
+    scratch.set_capacity(t, saved.capacity);
+    scratch.set_cost(t, saved.cost);
+    scratch.set_loss(t, saved.loss);
     if (!after.optimal()) {
       ++out.failed_targets;
       continue;

@@ -57,9 +57,14 @@ StatusOr<std::vector<double>> probe_node_prices(
     // Free injection of `delta` at hub n: a zero-cost supply edge. The
     // welfare gain per unit is the price of energy at that hub — the
     // paper's "price of the alternative" at that point in the system.
+    // The probe LP is the base LP plus one column (the injection edge
+    // adds a variable but no hub row), so the base basis warm-starts it:
+    // a warm basis may cover a prefix of the columns.
     Network probe = net;
     probe.add_supply("probe.injection", n, delta, 0.0);
-    FlowSolution sol = solve_social_welfare(probe, options);
+    SocialWelfareOptions probe_options = options;
+    probe_options.simplex.warm_start = base.basis;
+    FlowSolution sol = solve_social_welfare(probe, probe_options);
     if (!sol.optimal()) {
       return Status::internal("probe_node_prices: probe LP failed at hub " +
                               net.node(n).name);
@@ -74,10 +79,15 @@ AllocationResult allocate_profits(const Network& net,
                                   int num_actors,
                                   const AllocationOptions& options) {
   AllocationResult out;
-  FlowSolution base = solve_social_welfare(net, options.welfare);
+  SocialWelfareOptions welfare_options = options.welfare;
+  if (!options.warm_start.empty()) {
+    welfare_options.simplex.warm_start = options.warm_start;
+  }
+  FlowSolution base = solve_social_welfare(net, welfare_options);
   out.status = base.status;
   if (!base.optimal()) return out;
   out.welfare = base.welfare;
+  out.basis = base.basis;
 
   if (options.kind == AllocatorKind::kLmp) {
     out.node_price = base.node_price;

@@ -84,6 +84,7 @@ FlowSolution solve_social_welfare(const Network& net,
     ++row;
   }
   out.edge_reduced_cost = std::move(lp_sol.reduced_costs);
+  out.basis = std::move(lp_sol.basis);
   return out;
 }
 

@@ -1,0 +1,204 @@
+#include "gridsec/lp/basis.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace gridsec::lp {
+namespace {
+
+std::atomic<bool> g_warm_start_enabled{true};
+
+char status_letter(VarStatus s) {
+  switch (s) {
+    case VarStatus::kBasic:
+      return 'B';
+    case VarStatus::kAtLower:
+      return 'L';
+    case VarStatus::kAtUpper:
+      return 'U';
+  }
+  return '?';
+}
+
+StatusOr<std::vector<VarStatus>> parse_statuses(std::string_view text) {
+  std::vector<VarStatus> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case 'B':
+        out.push_back(VarStatus::kBasic);
+        break;
+      case 'L':
+        out.push_back(VarStatus::kAtLower);
+        break;
+      case 'U':
+        out.push_back(VarStatus::kAtUpper);
+        break;
+      default:
+        return Status::invalid_argument("parse_basis: unknown status letter");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_warm_start_enabled(bool enabled) {
+  g_warm_start_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool warm_start_enabled() {
+  return g_warm_start_enabled.load(std::memory_order_relaxed);
+}
+
+std::string to_string(const Basis& basis) {
+  std::string out;
+  out.reserve(basis.variables.size() + basis.rows.size() + 4);
+  out += "v:";
+  for (const VarStatus s : basis.variables) out += status_letter(s);
+  out += "|r:";
+  for (const VarStatus s : basis.rows) out += status_letter(s);
+  return out;
+}
+
+StatusOr<Basis> parse_basis(std::string_view text) {
+  if (text.substr(0, 2) != "v:") {
+    return Status::invalid_argument("parse_basis: missing 'v:' prefix");
+  }
+  const std::size_t sep = text.find("|r:");
+  if (sep == std::string_view::npos) {
+    return Status::invalid_argument("parse_basis: missing '|r:' separator");
+  }
+  auto vars = parse_statuses(text.substr(2, sep - 2));
+  if (!vars.is_ok()) return vars.status();
+  auto rows = parse_statuses(text.substr(sep + 3));
+  if (!rows.is_ok()) return rows.status();
+  Basis basis;
+  basis.variables = std::move(vars).value();
+  basis.rows = std::move(rows).value();
+  return basis;
+}
+
+bool BasisFactorization::refactorize(const Matrix& b) {
+  GRIDSEC_ASSERT(b.rows() == b.cols());
+  const std::size_t m = b.rows();
+  lu_ = b;
+  perm_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) perm_[i] = static_cast<int>(i);
+  etas_.clear();
+  valid_ = false;
+
+  for (std::size_t k = 0; k < m; ++k) {
+    // Partial pivoting: largest magnitude in column k at or below row k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const double mag = std::fabs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < kPivotTol) return false;  // singular
+    if (pivot != k) {
+      lu_.swap_rows(pivot, k);
+      std::swap(perm_[pivot], perm_[k]);
+    }
+    const double diag = lu_(k, k);
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const double factor = lu_(r, k) / diag;
+      lu_(r, k) = factor;  // L entry
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < m; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+  valid_ = true;
+  return true;
+}
+
+void BasisFactorization::ftran(std::vector<double>& x) const {
+  GRIDSEC_ASSERT(valid_ && x.size() == perm_.size());
+  const std::size_t m = perm_.size();
+  // P*B = L*U, so B z = x  =>  L U z = P x.
+  std::vector<double> z(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    z[i] = x[static_cast<std::size_t>(perm_[i])];
+  }
+  // Forward: L (unit lower) — z := L^{-1} z.
+  for (std::size_t i = 1; i < m; ++i) {
+    double acc = z[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * z[j];
+    z[i] = acc;
+  }
+  // Backward: U — z := U^{-1} z.
+  for (std::size_t i = m; i-- > 0;) {
+    double acc = z[i];
+    for (std::size_t j = i + 1; j < m; ++j) acc -= lu_(i, j) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  // Eta chain in application order: B_new = B * E_1 * ... * E_k, so
+  // B_new^{-1} v = E_k^{-1} ... E_1^{-1} (B^{-1} v).
+  for (const Eta& e : etas_) {
+    const auto p = static_cast<std::size_t>(e.row);
+    const double t = z[p] / e.w[p];
+    for (std::size_t i = 0; i < m; ++i) z[i] -= e.w[i] * t;
+    z[p] = t;
+  }
+  x = std::move(z);
+}
+
+void BasisFactorization::btran(std::vector<double>& y) const {
+  GRIDSEC_ASSERT(valid_ && y.size() == perm_.size());
+  const std::size_t m = perm_.size();
+  // B_new^{-T} v = B^{-T} E_1^{-T} ... E_k^{-T} v: etas in reverse order
+  // first, then the LU transpose solve.
+  for (std::size_t k = etas_.size(); k-- > 0;) {
+    // Solve E^T u = v in place: row p of E^T is w^T, other rows identity.
+    const Eta& e = etas_[k];
+    const auto p = static_cast<std::size_t>(e.row);
+    double dot_rest = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i != p) dot_rest += e.w[i] * y[i];
+    }
+    y[p] = (y[p] - dot_rest) / e.w[p];
+  }
+  // B^T q = v with B = P^T L U: U^T L^T P q = v.
+  // Forward: U^T (lower triangular with U's diagonal).
+  std::vector<double> z(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  // Backward: L^T (unit upper triangular).
+  for (std::size_t i = m; i-- > 0;) {
+    double acc = z[i];
+    for (std::size_t j = i + 1; j < m; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc;
+  }
+  // q = P y_out: y_out[perm[i]] = z[i].
+  for (std::size_t i = 0; i < m; ++i) {
+    y[static_cast<std::size_t>(perm_[i])] = z[i];
+  }
+}
+
+bool BasisFactorization::update(int p, std::vector<double> w) {
+  GRIDSEC_ASSERT(valid_ && p >= 0 &&
+                 static_cast<std::size_t>(p) < perm_.size() &&
+                 w.size() == perm_.size());
+  // Stability gate: a pivot that is small in absolute terms or relative
+  // to the rest of the direction vector would amplify error through every
+  // later ftran/btran (each application divides by w[p]); refuse it and
+  // let the caller refactorize instead.
+  const double pivot = std::fabs(w[static_cast<std::size_t>(p)]);
+  if (pivot < kPivotTol) return false;
+  double wmax = 0.0;
+  for (const double v : w) wmax = std::max(wmax, std::fabs(v));
+  if (pivot < kEtaStabilityTol * wmax) return false;
+  etas_.push_back({p, std::move(w)});
+  return true;
+}
+
+}  // namespace gridsec::lp

@@ -23,6 +23,11 @@ struct BoundChange {
 struct Node {
   double bound;  // internal (minimize-sense) relaxation objective
   std::vector<BoundChange> changes;
+  /// Parent node's optimal relaxation basis: a child differs from its
+  /// parent by one variable bound, so the parent basis is one crash
+  /// repair away from primal feasible and usually re-optimizes in a
+  /// handful of pivots. Empty at the root (cold start).
+  Basis warm;
 
   bool operator>(const Node& other) const { return bound > other.bound; }
 };
@@ -160,10 +165,16 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     return maximize ? -obj : obj;
   };
 
-  SimplexSolver lp(options_.lp_options);
-
   // Working copy whose integer-variable bounds get overridden per node.
   Problem work = problem;
+  // Per-node LP solves warm-start from the parent node's optimal basis
+  // (one bound change away); the root and any node without a recorded
+  // basis fall back to the ordinary cold start.
+  const auto solve_relaxation = [&](const Basis& warm) {
+    SimplexOptions opt = options_.lp_options;
+    opt.warm_start = warm;
+    return SimplexSolver(opt).solve(work);
+  };
   std::vector<std::pair<double, double>> root_bounds;
   root_bounds.reserve(static_cast<std::size_t>(problem.num_variables()));
   for (int j = 0; j < problem.num_variables(); ++j) {
@@ -208,20 +219,24 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     options_.observer(ev);
   };
 
+  Basis root_warm;  // seeded by the dive's root relaxation, if it runs
   if (options_.diving_heuristic && problem.has_integer_variables()) {
     // One rounding dive from the root: cheap, and a feasible incumbent
     // prunes the best-first search dramatically.
     apply({});
     std::vector<BoundChange> dive;
+    Basis dive_warm;
     for (;;) {
       if (deadline.expired()) {
         deadline_expired = true;
         break;
       }
-      Solution relax = lp.solve(work);
+      Solution relax = solve_relaxation(dive_warm);
       ++stats_.lp_solves;
       c_lp_solves.add();
       if (relax.status != SolveStatus::kOptimal) break;
+      if (dive.empty()) root_warm = relax.basis;  // root relaxation basis
+      dive_warm = relax.basis;
       const int frac =
           most_fractional(problem, relax.x, options_.integrality_tol);
       if (frac < 0) {
@@ -259,7 +274,7 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
   }
 
   std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
-  open.push({-kInfinity, {}});
+  open.push({-kInfinity, {}, std::move(root_warm)});
 
   while (!open.empty()) {
     if (stats_.nodes_explored >= options_.max_nodes) {
@@ -284,7 +299,7 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
          static_cast<int>(node.changes.size()));
 
     apply(node.changes);
-    Solution relax = lp.solve(work);
+    Solution relax = solve_relaxation(node.warm);
     ++stats_.lp_solves;
     c_lp_solves.add();
     if (relax.status == SolveStatus::kInfeasible) {
@@ -353,11 +368,13 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
     Node down = node;
     down.bound = node_internal;
     down.changes.push_back({branch_var, rb.first, floor_v});
+    down.warm = relax.basis;
     open.push(std::move(down));
 
     Node up = std::move(node);
     up.bound = node_internal;
     up.changes.push_back({branch_var, floor_v + 1.0, rb.second});
+    up.warm = std::move(relax.basis);
     open.push(std::move(up));
   }
 
@@ -397,7 +414,11 @@ Solution solve_milp_with_duals(const Problem& problem,
     const double v = incumbent.x[static_cast<std::size_t>(j)];
     fixed.set_bounds(j, v, v);
   }
-  SimplexSolver lp(options.lp_options);
+  // The incumbent's relaxation basis is primal-optimal for `fixed` up to
+  // the bound fixings, so the dual re-solve is typically pivot-free.
+  SimplexOptions lp_options = options.lp_options;
+  lp_options.warm_start = incumbent.basis;
+  SimplexSolver lp(lp_options);
   Solution refined = lp.solve(fixed);
   if (refined.status != SolveStatus::kOptimal) return incumbent;
   refined.status = incumbent.status;  // keep the proof status of the search

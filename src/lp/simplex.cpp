@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "gridsec/lp/basis.hpp"
 #include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
@@ -38,6 +39,8 @@ struct IterationOutcome {
   long bound_flips = 0;
   long bland_pivots = 0;      // pivots taken under Bland's rule
   bool cycle_fallback = false;  // cycling detected; Bland forced early
+  long refactorizations = 0;  // dense LU rebuilds of the basis matrix
+  long eta_updates = 0;       // product-form pivot updates applied
 };
 
 /// Extracts the basis matrix B (m x m) from the tableau.
@@ -54,9 +57,14 @@ Matrix basis_matrix(const Tableau& t) {
 }
 
 /// Recomputes the values of the basic variables from the nonbasic point:
-/// x_B = B^{-1} (b - A_N x_N). Returns false if B is singular.
-bool recompute_basics(Tableau& t) {
-  std::vector<double> rhs = t.b;
+/// x_B = B^{-1} (b - A_N x_N), with one step of iterative refinement so
+/// ill-conditioned bases still yield certificate-grade residuals.
+/// `factor` must be current for t's basis.
+void recompute_basics(Tableau& t, const BasisFactorization& factor) {
+  std::vector<double> rhs(static_cast<std::size_t>(t.m));
+  for (int i = 0; i < t.m; ++i) {
+    rhs[static_cast<std::size_t>(i)] = t.b[static_cast<std::size_t>(i)];
+  }
   for (int j = 0; j < t.n_total; ++j) {
     if (t.state[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
     const double xj = t.x[static_cast<std::size_t>(j)];
@@ -66,29 +74,46 @@ bool recompute_basics(Tableau& t) {
           t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) * xj;
     }
   }
-  auto sol = solve_linear_system(basis_matrix(t), std::move(rhs));
-  if (!sol.is_ok()) return false;
+  std::vector<double> xb = rhs;
+  factor.ftran(xb);
+  // Refine: xb += B^{-1} (rhs - B xb).
+  std::vector<double> res = rhs;
   for (int i = 0; i < t.m; ++i) {
-    t.x[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])] =
-        sol.value()[static_cast<std::size_t>(i)];
+    const auto is = static_cast<std::size_t>(i);
+    const double xi = xb[is];
+    if (xi == 0.0) continue;
+    const auto bcol = static_cast<std::size_t>(t.basis[is]);
+    for (int r = 0; r < t.m; ++r) {
+      res[static_cast<std::size_t>(r)] -=
+          t.a(static_cast<std::size_t>(r), bcol) * xi;
+    }
   }
-  return true;
+  factor.ftran(res);
+  for (int i = 0; i < t.m; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    t.x[static_cast<std::size_t>(t.basis[is])] = xb[is] + res[is];
+  }
 }
 
-/// Solves B^T y = c_B for the simplex multipliers.
-StatusOr<std::vector<double>> multipliers(const Tableau& t) {
+/// Solves B^T y = c_B for the simplex multipliers via btran.
+std::vector<double> multipliers(const Tableau& t,
+                                const BasisFactorization& factor) {
   std::vector<double> cb(static_cast<std::size_t>(t.m));
   for (int i = 0; i < t.m; ++i) {
     cb[static_cast<std::size_t>(i)] =
         t.cost[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])];
   }
-  return solve_linear_system(basis_matrix(t).transposed(), std::move(cb));
+  factor.btran(cb);
+  return cb;
 }
 
 /// Runs primal simplex pivots on `t` with the current cost vector until
-/// optimal / unbounded / iteration budget exhausted. `phase` and
-/// `iter_base` only label observer events (cumulative iteration ids).
-IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
+/// optimal / unbounded / iteration budget exhausted. `factor` must be
+/// current for t's basis on entry and is kept current across pivots with
+/// eta updates (refactorized on the update-count or accuracy trigger).
+/// `phase` and `iter_base` only label observer events (cumulative ids).
+IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
+                         const SimplexOptions& opt,
                          long max_iters, long bland_after,
                          const Deadline& deadline, int phase,
                          long iter_base) {
@@ -112,14 +137,7 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
       return out;
     }
     const bool bland = forced_bland || iter >= bland_after;
-    auto y_or = multipliers(t);
-    if (!y_or.is_ok()) {
-      // Singular basis: numerically wedged, not a budget problem.
-      out.status = SolveStatus::kNumericalError;
-      out.iterations = iter;
-      return out;
-    }
-    const std::vector<double>& y = y_or.value();
+    const std::vector<double> y = multipliers(t, factor);
 
     // Pricing: pick an entering column.
     int entering = -1;
@@ -164,18 +182,12 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
 
     // Direction of basic variables: w = B^{-1} A_q; moving the entering
     // variable by t changes x_B by -enter_dir * w * t.
-    std::vector<double> aq(static_cast<std::size_t>(t.m));
+    std::vector<double> w(static_cast<std::size_t>(t.m));
     for (int i = 0; i < t.m; ++i) {
-      aq[static_cast<std::size_t>(i)] =
+      w[static_cast<std::size_t>(i)] =
           t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(entering));
     }
-    auto w_or = solve_linear_system(basis_matrix(t), std::move(aq));
-    if (!w_or.is_ok()) {
-      out.status = SolveStatus::kNumericalError;
-      out.iterations = iter;
-      return out;
-    }
-    const std::vector<double>& w = w_or.value();
+    factor.ftran(w);
 
     const auto eq = static_cast<std::size_t>(entering);
     double t_limit = t.upper[eq] - t.lower[eq];  // bound-flip distance
@@ -266,6 +278,20 @@ IterationOutcome iterate(Tableau& t, const SimplexOptions& opt,
     t.x[lcol] = leaving_bound < 0 ? t.lower[lcol] : t.upper[lcol];
     t.basis[lrow] = entering;
     t.state[eq] = VarState::kBasic;
+    // Keep the factorization current: product-form update, with a dense
+    // rebuild when the eta chain is long or the update pivot is unsafe.
+    const bool chain_full =
+        factor.eta_count() + 1 >= BasisFactorization::kRefactorInterval;
+    if (chain_full || !factor.update(leaving_row, std::move(w))) {
+      ++out.refactorizations;
+      if (!factor.refactorize(basis_matrix(t))) {
+        out.status = SolveStatus::kNumericalError;
+        out.iterations = iter + 1;
+        return out;
+      }
+    } else {
+      ++out.eta_updates;
+    }
     if (observed) {
       obs::SimplexIterationEvent ev;
       ev.iteration = iter_base + iter;
@@ -293,6 +319,11 @@ struct SimplexMetricsGuard {
   long bound_flips = 0;
   long bland = 0;
   long cycle_fallbacks = 0;
+  long refactorizations = 0;
+  long eta_updates = 0;
+  long basis_repairs = 0;
+  bool warm_started = false;
+  bool warm_rejected = false;
   SolveStatus status = SolveStatus::kOptimal;
 
   ~SimplexMetricsGuard() {
@@ -308,6 +339,13 @@ struct SimplexMetricsGuard {
     static obs::Counter& c_timeouts = reg.counter("lp.simplex.time_limits");
     static obs::Counter& c_numerical =
         reg.counter("lp.simplex.numerical_errors");
+    static obs::Counter& c_refactor =
+        reg.counter("lp.simplex.refactorizations");
+    static obs::Counter& c_etas = reg.counter("lp.simplex.eta_updates");
+    static obs::Counter& c_warm = reg.counter("lp.simplex.warm_starts");
+    static obs::Counter& c_repairs = reg.counter("lp.simplex.basis_repairs");
+    static obs::Counter& c_warm_rejects =
+        reg.counter("lp.simplex.warm_start_rejects");
     static obs::Histogram& h_pivots = reg.histogram(
         "lp.simplex.pivots_per_solve",
         {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0});
@@ -317,6 +355,11 @@ struct SimplexMetricsGuard {
     c_flips.add(bound_flips);
     c_bland.add(bland);
     c_cycles.add(cycle_fallbacks);
+    c_refactor.add(refactorizations);
+    c_etas.add(eta_updates);
+    c_repairs.add(basis_repairs);
+    if (warm_started) c_warm.add();
+    if (warm_rejected) c_warm_rejects.add();
     if (status != SolveStatus::kOptimal) c_failed.add();
     if (status == SolveStatus::kTimeLimit) c_timeouts.add();
     if (status == SolveStatus::kNumericalError) c_numerical.add();
@@ -328,9 +371,208 @@ struct SimplexMetricsGuard {
     degenerate += out.degenerate_pivots;
     bound_flips += out.bound_flips;
     bland += out.bland_pivots;
+    refactorizations += out.refactorizations;
+    eta_updates += out.eta_updates;
     if (out.cycle_fallback) ++cycle_fallbacks;
   }
 };
+
+/// Demotes a would-be basic column to a nonbasic bound during crash
+/// repair. Artificial columns are retired outright (fixed at zero).
+void demote_candidate(Tableau& t, int col, int art_base,
+                      std::vector<bool>& artificial_used) {
+  const auto cs = static_cast<std::size_t>(col);
+  t.state[cs] = VarState::kAtLower;
+  t.x[cs] = t.lower[cs];
+  if (col >= art_base) {
+    t.upper[cs] = 0.0;
+    t.x[cs] = 0.0;
+    artificial_used[static_cast<std::size_t>(col - art_base)] = false;
+  }
+}
+
+/// Installs row i's artificial column as basic (bounds [0, inf), unit
+/// coefficient; phase 1 prices it at 1 and drives it out).
+void install_artificial(Tableau& t, int i, int art_base,
+                        std::vector<bool>& artificial_used) {
+  const int art = art_base + i;
+  const auto is = static_cast<std::size_t>(i);
+  const auto as = static_cast<std::size_t>(art);
+  t.a(is, as) = 1.0;
+  t.lower[as] = 0.0;
+  t.upper[as] = kInfinity;
+  t.x[as] = 0.0;
+  t.state[as] = VarState::kBasic;
+  t.basis[is] = art;
+  artificial_used[is] = true;
+}
+
+/// Applies SimplexOptions::warm_start to a freshly built tableau (states
+/// and x set to cold defaults, basis unassigned). Three repair stages:
+///   1. adopt the nonbasic statuses (stale at-upper states with an
+///      infinite bound are demoted);
+///   2. crash-select a linearly independent subset of the requested
+///      basic columns by Gaussian elimination, demoting dependent ones
+///      and filling uncovered rows with artificials;
+///   3. restore primal feasibility: compute x_B, clamp any basic that
+///      violates a bound onto that bound and hand its row to an
+///      artificial — leaving exactly the cold-start phase-1 shape, so
+///      the ordinary phase 1 removes the remaining infeasibility.
+/// Every demotion/clamp/fill counts as one repair. Returns false when
+/// the basis is unusable (singular after repair, or the feasibility pass
+/// fails to settle) — the caller then rebuilds and solves cold.
+bool apply_warm_start(Tableau& t, const SimplexOptions& options,
+                      const std::vector<int>& slack_of_row, int art_base,
+                      std::vector<bool>& artificial_used,
+                      BasisFactorization& factor, long& repairs,
+                      long& refactorizations) {
+  const Basis& warm = options.warm_start;
+  const double tol = options.feasibility_tol;
+  const int m = t.m;
+  const int n_warm = static_cast<int>(warm.variables.size());
+
+  // Stage 1: nonbasic statuses for the covered structural columns;
+  // uncovered ones keep the cold default (at lower bound).
+  for (int j = 0; j < n_warm; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    VarStatus s = warm.variables[js];
+    if (s == VarStatus::kAtUpper && !std::isfinite(t.upper[js])) {
+      s = VarStatus::kAtLower;  // stale: the bound is no longer finite
+      ++repairs;
+    }
+    switch (s) {
+      case VarStatus::kBasic:
+        t.state[js] = VarState::kBasic;  // value assigned in stage 3
+        break;
+      case VarStatus::kAtUpper:
+        t.state[js] = VarState::kAtUpper;
+        t.x[js] = t.upper[js];
+        break;
+      case VarStatus::kAtLower:
+        t.state[js] = VarState::kAtLower;
+        t.x[js] = t.lower[js];
+        break;
+    }
+  }
+
+  // Row statuses: a kBasic row contributes its slack — or, for an
+  // equality row, its artificial — to the basic set. Nonbasic rows keep
+  // the slack at its (lower) bound, which the cold defaults already are.
+  std::vector<int> row_basic_col(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    if (warm.rows[is] != VarStatus::kBasic) continue;
+    int col = slack_of_row[is];
+    if (col < 0) {
+      col = art_base + i;
+      const auto as = static_cast<std::size_t>(col);
+      t.a(is, as) = 1.0;
+      t.lower[as] = 0.0;
+      t.upper[as] = kInfinity;
+      artificial_used[is] = true;
+    }
+    t.state[static_cast<std::size_t>(col)] = VarState::kBasic;
+    row_basic_col[is] = col;
+  }
+
+  // Stage 2: crash selection. Eliminate over the candidate columns,
+  // assigning each independent one a pivot row.
+  std::vector<int> candidates;
+  for (int j = 0; j < n_warm; ++j) {
+    if (t.state[static_cast<std::size_t>(j)] == VarState::kBasic) {
+      candidates.push_back(j);
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int col = row_basic_col[static_cast<std::size_t>(i)];
+    if (col >= 0) candidates.push_back(col);
+  }
+  const std::size_t k = candidates.size();
+  Matrix work(static_cast<std::size_t>(m), k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto col = static_cast<std::size_t>(candidates[c]);
+    for (int r = 0; r < m; ++r) {
+      work(static_cast<std::size_t>(r), c) =
+          t.a(static_cast<std::size_t>(r), col);
+    }
+  }
+  std::vector<bool> used_row(static_cast<std::size_t>(m), false);
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+  constexpr double kCrashPivotTol = 1e-9;
+  for (std::size_t c = 0; c < k; ++c) {
+    int best_row = -1;
+    double best = kCrashPivotTol;
+    for (int r = 0; r < m; ++r) {
+      const auto rs = static_cast<std::size_t>(r);
+      if (used_row[rs]) continue;
+      const double mag = std::fabs(work(rs, c));
+      if (mag > best) {
+        best = mag;
+        best_row = r;
+      }
+    }
+    if (best_row < 0) {
+      // Linearly dependent on the columns already selected.
+      demote_candidate(t, candidates[c], art_base, artificial_used);
+      ++repairs;
+      continue;
+    }
+    const auto ps = static_cast<std::size_t>(best_row);
+    t.basis[ps] = candidates[c];
+    used_row[ps] = true;
+    const double diag = work(ps, c);
+    for (int r = 0; r < m; ++r) {
+      const auto rs = static_cast<std::size_t>(r);
+      if (used_row[rs] || work(rs, c) == 0.0) continue;
+      const double f = work(rs, c) / diag;
+      for (std::size_t c2 = c + 1; c2 < k; ++c2) {
+        work(rs, c2) -= f * work(ps, c2);
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[static_cast<std::size_t>(i)] >= 0) continue;
+    install_artificial(t, i, art_base, artificial_used);
+    ++repairs;
+  }
+
+  // Stage 3: primal repair. Each pass either settles or permanently
+  // demotes at least one basic, so m+2 passes always suffice.
+  for (int pass = 0; pass <= m + 1; ++pass) {
+    ++refactorizations;
+    if (!factor.refactorize(basis_matrix(t))) return false;
+    recompute_basics(t, factor);
+    bool changed = false;
+    for (int r = 0; r < m; ++r) {
+      const auto rs = static_cast<std::size_t>(r);
+      const int col = t.basis[rs];
+      const auto cs = static_cast<std::size_t>(col);
+      const double xv = t.x[cs];
+      if (col >= art_base) {
+        // A negative artificial: flip its column sign — negating a basis
+        // column negates only that coordinate of x_B — so phase 1 sees a
+        // nonnegative infeasibility to minimize.
+        if (xv < -tol) {
+          t.a(static_cast<std::size_t>(col - art_base), cs) *= -1.0;
+          t.x[cs] = -xv;
+          changed = true;
+        }
+        continue;
+      }
+      const bool below = xv < t.lower[cs] - tol;
+      const bool above =
+          std::isfinite(t.upper[cs]) && xv > t.upper[cs] + tol;
+      if (!below && !above) continue;
+      t.state[cs] = below ? VarState::kAtLower : VarState::kAtUpper;
+      t.x[cs] = below ? t.lower[cs] : t.upper[cs];
+      install_artificial(t, r, art_base, artificial_used);
+      ++repairs;
+      changed = true;
+    }
+    if (!changed) return true;
+  }
+  return false;  // never settled: numerical trouble, fall back to cold
+}
 
 /// Full solve; when `final_tableau` is non-null and the solve is optimal,
 /// the cleaned final tableau is copied out for post-optimal analysis.
@@ -397,38 +639,78 @@ Solution solve_impl_inner(const Problem& problem,
     }
   }
 
-  // Initial basis: slack when it yields a feasible basic value, else an
-  // artificial sized to the residual.
   const int art_base = n + n_slack;
   std::vector<bool> artificial_used(static_cast<std::size_t>(m), false);
-  for (int i = 0; i < m; ++i) {
-    const auto is = static_cast<std::size_t>(i);
-    double residual = t.b[is];
-    for (int j = 0; j < n; ++j) {
-      residual -= t.a(is, static_cast<std::size_t>(j)) *
-                  t.x[static_cast<std::size_t>(j)];
+  BasisFactorization factor;
+
+  // Warm start: adopt the caller's basis when it is dimensionally
+  // compatible, crash-repairing whatever does not fit. Any failure falls
+  // back to the cold start below — a warm start can never make a solve
+  // fail that would have succeeded cold.
+  bool warm_applied = false;
+  if (warm_start_enabled() && !options.warm_start.empty()) {
+    if (static_cast<int>(options.warm_start.rows.size()) == m &&
+        static_cast<int>(options.warm_start.variables.size()) <= n) {
+      Tableau backup = t;
+      long repairs = 0;
+      long refactorizations = 0;
+      if (apply_warm_start(t, options, slack_of_row, art_base,
+                           artificial_used, factor, repairs,
+                           refactorizations)) {
+        warm_applied = true;
+        metrics.warm_started = true;
+        metrics.basis_repairs += repairs;
+        metrics.refactorizations += refactorizations;
+      } else {
+        t = std::move(backup);
+        artificial_used.assign(static_cast<std::size_t>(m), false);
+        metrics.warm_rejected = true;
+        metrics.refactorizations += refactorizations;
+      }
+    } else {
+      metrics.warm_rejected = true;
     }
-    const auto& con = problem.constraint(i);
-    const int s = slack_of_row[is];
-    const bool slack_feasible =
-        s >= 0 && ((con.sense == Sense::kLessEqual && residual >= 0.0) ||
-                   (con.sense == Sense::kGreaterEqual && residual <= 0.0));
-    if (slack_feasible) {
-      const auto ss = static_cast<std::size_t>(s);
-      t.basis[is] = s;
-      t.state[ss] = VarState::kBasic;
-      t.x[ss] = con.sense == Sense::kLessEqual ? residual : -residual;
-      continue;
+  }
+  sol.warm_started = warm_applied;
+
+  // Cold initial basis: slack when it yields a feasible basic value, else
+  // an artificial sized to the residual.
+  if (!warm_applied) {
+    for (int i = 0; i < m; ++i) {
+      const auto is = static_cast<std::size_t>(i);
+      double residual = t.b[is];
+      for (int j = 0; j < n; ++j) {
+        residual -= t.a(is, static_cast<std::size_t>(j)) *
+                    t.x[static_cast<std::size_t>(j)];
+      }
+      const auto& con = problem.constraint(i);
+      const int s = slack_of_row[is];
+      const bool slack_feasible =
+          s >= 0 && ((con.sense == Sense::kLessEqual && residual >= 0.0) ||
+                     (con.sense == Sense::kGreaterEqual && residual <= 0.0));
+      if (slack_feasible) {
+        const auto ss = static_cast<std::size_t>(s);
+        t.basis[is] = s;
+        t.state[ss] = VarState::kBasic;
+        t.x[ss] = con.sense == Sense::kLessEqual ? residual : -residual;
+        continue;
+      }
+      const int art = art_base + i;
+      const auto as = static_cast<std::size_t>(art);
+      t.a(is, as) = residual >= 0.0 ? 1.0 : -1.0;
+      t.lower[as] = 0.0;
+      t.upper[as] = kInfinity;
+      t.x[as] = std::fabs(residual);
+      t.basis[is] = art;
+      t.state[as] = VarState::kBasic;
+      artificial_used[is] = true;
     }
-    const int art = art_base + i;
-    const auto as = static_cast<std::size_t>(art);
-    t.a(is, as) = residual >= 0.0 ? 1.0 : -1.0;
-    t.lower[as] = 0.0;
-    t.upper[as] = kInfinity;
-    t.x[as] = std::fabs(residual);
-    t.basis[is] = art;
-    t.state[as] = VarState::kBasic;
-    artificial_used[is] = true;
+    // The slack/artificial start basis is diagonal; factorize it once.
+    ++metrics.refactorizations;
+    if (!factor.refactorize(basis_matrix(t))) {
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
+    }
   }
 
   long max_iters = options.max_iterations;
@@ -442,15 +724,26 @@ Solution solve_impl_inner(const Problem& problem,
     any_artificial = any_artificial || artificial_used[static_cast<std::size_t>(i)];
   }
 
-  // Phase 1: drive artificials to zero.
-  if (any_artificial) {
+  // Phase 1: drive artificials to zero. A warm start whose repair left
+  // only zero-valued artificials is already feasible — skip straight to
+  // phase 2 (cold starts always run phase 1, preserving their behaviour).
+  double warm_art_total = 0.0;
+  if (any_artificial && warm_applied) {
+    for (int i = 0; i < m; ++i) {
+      if (artificial_used[static_cast<std::size_t>(i)]) {
+        warm_art_total += t.x[static_cast<std::size_t>(art_base + i)];
+      }
+    }
+  }
+  if (any_artificial &&
+      (!warm_applied || warm_art_total > options.feasibility_tol)) {
     for (int i = 0; i < m; ++i) {
       if (artificial_used[static_cast<std::size_t>(i)]) {
         t.cost[static_cast<std::size_t>(art_base + i)] = 1.0;
       }
     }
-    auto outcome = iterate(t, options, max_iters, bland_after, deadline,
-                           /*phase=*/1, /*iter_base=*/0);
+    auto outcome = iterate(t, factor, options, max_iters, bland_after,
+                           deadline, /*phase=*/1, /*iter_base=*/0);
     total_iters += outcome.iterations;
     metrics.absorb(outcome);
     if (outcome.status == SolveStatus::kIterationLimit ||
@@ -478,7 +771,9 @@ Solution solve_impl_inner(const Problem& problem,
       sol.iterations = total_iters;
       return sol;
     }
-    // Freeze artificials at zero for phase 2.
+  }
+  // Freeze artificials at zero for phase 2.
+  if (any_artificial) {
     for (int i = 0; i < m; ++i) {
       if (!artificial_used[static_cast<std::size_t>(i)]) continue;
       const auto as = static_cast<std::size_t>(art_base + i);
@@ -494,8 +789,8 @@ Solution solve_impl_inner(const Problem& problem,
     const double c = problem.variable(j).objective;
     t.cost[static_cast<std::size_t>(j)] = maximize ? -c : c;
   }
-  auto outcome = iterate(t, options, max_iters, bland_after, deadline,
-                         /*phase=*/2, /*iter_base=*/total_iters);
+  auto outcome = iterate(t, factor, options, max_iters, bland_after,
+                         deadline, /*phase=*/2, /*iter_base=*/total_iters);
   total_iters += outcome.iterations;
   metrics.absorb(outcome);
   sol.iterations = total_iters;
@@ -504,10 +799,33 @@ Solution solve_impl_inner(const Problem& problem,
     return sol;
   }
 
-  // Clean up accumulated drift before extraction.
-  if (!recompute_basics(t)) {
+  // Clean up drift accumulated through the eta chain before extraction:
+  // one fresh factorization, then exact basic values from it.
+  ++metrics.refactorizations;
+  if (!factor.refactorize(basis_matrix(t))) {
     sol.status = SolveStatus::kNumericalError;
     return sol;
+  }
+  recompute_basics(t, factor);
+
+
+  // Self-check against eta-chain drift: the pivot loop tracks x
+  // incrementally through the factorization, so if the factorization lost
+  // accuracy mid-solve the exact recomputation above can land a basic
+  // variable far outside its bounds. Returning that point as "optimal"
+  // would be wrong; report the numerical breakdown instead (warm-started
+  // solves are then retried cold by solve_impl).
+  for (int i = 0; i < m; ++i) {
+    const auto cs =
+        static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)]);
+    const double xv = t.x[cs];
+    const double scale = 1.0 + std::fabs(xv);
+    if (xv < t.lower[cs] - options.feasibility_tol * scale ||
+        (std::isfinite(t.upper[cs]) &&
+         xv > t.upper[cs] + options.feasibility_tol * scale)) {
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
+    }
   }
 
   sol.status = SolveStatus::kOptimal;
@@ -525,25 +843,63 @@ Solution solve_impl_inner(const Problem& problem,
   }
   sol.objective = problem.objective_value(sol.x);
 
-  // Duals from the final basis; convert to the problem's own sense.
-  auto y_or = multipliers(t);
-  if (y_or.is_ok()) {
-    sol.duals.resize(static_cast<std::size_t>(m));
+  // Duals from the final basis; convert to the problem's own sense. One
+  // refinement step (y += B^{-T}(c_B - B^T y)) keeps the reduced-cost
+  // residuals certificate-grade on ill-conditioned bases.
+  std::vector<double> y = multipliers(t, factor);
+  {
+    std::vector<double> res(static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) {
-      const double yi = y_or.value()[static_cast<std::size_t>(i)];
-      sol.duals[static_cast<std::size_t>(i)] = maximize ? -yi : yi;
-    }
-    sol.reduced_costs.resize(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      const auto js = static_cast<std::size_t>(j);
-      double dj = t.cost[js];
-      for (int i = 0; i < m; ++i) {
-        dj -= y_or.value()[static_cast<std::size_t>(i)] *
-              t.a(static_cast<std::size_t>(i), js);
+      const auto bcol =
+          static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)]);
+      double acc = t.cost[bcol];
+      for (int r = 0; r < m; ++r) {
+        acc -= t.a(static_cast<std::size_t>(r), bcol) *
+               y[static_cast<std::size_t>(r)];
       }
-      sol.reduced_costs[js] = maximize ? -dj : dj;
+      res[static_cast<std::size_t>(i)] = acc;
+    }
+    factor.btran(res);
+    for (int i = 0; i < m; ++i) {
+      y[static_cast<std::size_t>(i)] += res[static_cast<std::size_t>(i)];
     }
   }
+  sol.duals.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double yi = y[static_cast<std::size_t>(i)];
+    sol.duals[static_cast<std::size_t>(i)] = maximize ? -yi : yi;
+  }
+  sol.reduced_costs.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    double dj = t.cost[js];
+    for (int i = 0; i < m; ++i) {
+      dj -= y[static_cast<std::size_t>(i)] *
+            t.a(static_cast<std::size_t>(i), js);
+    }
+    sol.reduced_costs[js] = maximize ? -dj : dj;
+  }
+
+  // Export the combinatorial basis so sibling solves can warm-start.
+  sol.basis.variables.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    sol.basis.variables[js] =
+        t.state[js] == VarState::kBasic
+            ? VarStatus::kBasic
+            : (t.state[js] == VarState::kAtUpper ? VarStatus::kAtUpper
+                                                 : VarStatus::kAtLower);
+  }
+  sol.basis.rows.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    const int s = slack_of_row[is];
+    const auto rcol = static_cast<std::size_t>(s >= 0 ? s : art_base + i);
+    sol.basis.rows[is] = t.state[rcol] == VarState::kBasic
+                             ? VarStatus::kBasic
+                             : VarStatus::kAtLower;
+  }
+
   if (final_tableau != nullptr) *final_tableau = t;
   return sol;
 }
@@ -553,9 +909,29 @@ Solution solve_impl_inner(const Problem& problem,
 Solution solve_impl(const Problem& problem, const SimplexOptions& options,
                     Tableau* final_tableau) {
   GRIDSEC_TRACE_SPAN("lp.simplex.solve");
-  SimplexMetricsGuard metrics;
-  Solution sol = solve_impl_inner(problem, options, final_tableau, metrics);
-  metrics.status = sol.status;
+  Solution sol;
+  {
+    SimplexMetricsGuard metrics;
+    sol = solve_impl_inner(problem, options, final_tableau, metrics);
+    metrics.status = sol.status;
+    if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
+      metrics.warm_rejected = true;
+    }
+  }
+  if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
+    // The warm basis steered the pivot sequence into numerical breakdown.
+    // A warm start must never fail a solve that succeeds cold, so rerun
+    // from the ordinary slack/artificial basis.
+    GRIDSEC_LOG(kWarn, "lp.simplex")
+        .field("vars", problem.num_variables())
+        .field("rows", problem.num_constraints())
+        .message("warm-started solve wedged; retrying cold");
+    SimplexOptions cold = options;
+    cold.warm_start = Basis{};
+    SimplexMetricsGuard metrics;
+    sol = solve_impl_inner(problem, cold, final_tableau, metrics);
+    metrics.status = sol.status;
+  }
   // Degraded verdicts are worth a record even at the default level; clean
   // solves only show up under GRIDSEC_LOG_LEVEL=debug.
   if (sol.status == SolveStatus::kNumericalError ||
@@ -608,9 +984,12 @@ SensitivityReport analyze_sensitivity(const Problem& problem,
   const int n = problem.num_variables();
   const int m = problem.num_constraints();
 
-  auto y_or = multipliers(t);
-  if (!y_or.is_ok()) return report;  // numerically wedged: no ranges
-  const std::vector<double>& y = y_or.value();
+  // One factorization of the final basis serves every ranging query.
+  BasisFactorization factor;
+  if (!factor.refactorize(basis_matrix(t))) {
+    return report;  // numerically wedged: no ranges
+  }
+  const std::vector<double> y = multipliers(t, factor);
 
   // Map basic structural columns to their basis row.
   std::vector<int> row_of_col(static_cast<std::size_t>(t.n_total), -1);
@@ -638,12 +1017,9 @@ SensitivityReport analyze_sensitivity(const Problem& problem,
       // reduced cost by -delta * alpha_rk; keep their signs.
       const int r = row_of_col[js];
       GRIDSEC_ASSERT(r >= 0);
-      std::vector<double> er(static_cast<std::size_t>(t.m), 0.0);
-      er[static_cast<std::size_t>(r)] = 1.0;
-      auto z_or = solve_linear_system(basis_matrix(t).transposed(),
-                                      std::move(er));
-      if (!z_or.is_ok()) continue;  // leave infinite (conservative skip)
-      const std::vector<double>& z = z_or.value();
+      std::vector<double> z(static_cast<std::size_t>(t.m), 0.0);
+      z[static_cast<std::size_t>(r)] = 1.0;
+      factor.btran(z);
       double lo = -kInfinity, hi = kInfinity;
       for (int k = 0; k < t.n_total; ++k) {
         const auto ks = static_cast<std::size_t>(k);
@@ -682,12 +1058,11 @@ SensitivityReport analyze_sensitivity(const Problem& problem,
   // ---- RHS ranging: keep x_B within bounds as b_i moves. ----
   report.rhs_range.resize(static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) {
-    std::vector<double> ei(static_cast<std::size_t>(t.m), 0.0);
-    ei[static_cast<std::size_t>(i)] = 1.0;
-    auto w_or = solve_linear_system(basis_matrix(t), std::move(ei));
+    std::vector<double> w(static_cast<std::size_t>(t.m), 0.0);
+    w[static_cast<std::size_t>(i)] = 1.0;
+    factor.ftran(w);
     SensitivityRange range;
-    if (w_or.is_ok()) {
-      const std::vector<double>& w = w_or.value();
+    {
       double lo = -kInfinity, hi = kInfinity;
       for (int r = 0; r < t.m; ++r) {
         const auto rs = static_cast<std::size_t>(r);

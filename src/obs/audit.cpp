@@ -580,7 +580,15 @@ void write_solution(std::ostream& os, const Solution& s) {
   write_double_array(os, s.reduced_costs);
   os << ",\"bnb\":{\"nodes_explored\":" << s.bnb.nodes_explored
      << ",\"lp_solves\":" << s.bnb.lp_solves
-     << ",\"incumbent_updates\":" << s.bnb.incumbent_updates << "}}";
+     << ",\"incumbent_updates\":" << s.bnb.incumbent_updates << "}";
+  // Warm-start provenance: whether the solve started from a supplied basis,
+  // and the final basis itself so a replay can reproduce the warm path.
+  os << ",\"warm_started\":" << (s.warm_started ? "true" : "false");
+  if (!s.basis.empty()) {
+    os << ",\"basis\":";
+    json::write_string(os, lp::to_string(s.basis));
+  }
+  os << '}';
 }
 
 void write_certificate(std::ostream& os, const Certificate& c) {
@@ -781,6 +789,16 @@ Status parse_solution(const json::JsonValue& v, Solution* out) {
         bnb->find("incumbent_updates") != nullptr
             ? bnb->find("incumbent_updates")->number_or(0.0)
             : 0.0);
+  }
+  // Warm-start provenance (absent in pre-warm-start bundles).
+  if (const json::JsonValue* ws = v.find("warm_started"); ws != nullptr) {
+    out->warm_started =
+        ws->kind == json::JsonValue::Kind::kBool && ws->boolean;
+  }
+  if (const json::JsonValue* basis = v.find("basis"); basis != nullptr) {
+    auto parsed = lp::parse_basis(basis->string_or(""));
+    if (!parsed.is_ok()) return parsed.status();
+    out->basis = std::move(parsed.value());
   }
   return Status::ok();
 }

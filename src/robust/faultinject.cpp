@@ -500,6 +500,84 @@ void fuzz_network_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
   }
 }
 
+/// Leg 4: warm-started vs. cold simplex. Two comparisons per instance:
+/// re-solving the identical problem from its own optimal basis must be an
+/// exact (zero-pivot) confirmation of the cold optimum, and solving a
+/// cost-jittered sibling warm from the now-stale basis must agree with the
+/// sibling's cold solve. Warm starts change the path, never the answer.
+void fuzz_warm_start_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
+  lp::Problem p =
+      rng.bernoulli(0.5)
+          ? flow::build_social_welfare_lp(make_fuzz_grid(rng))
+          : make_random_lp(rng);
+
+  FaultReport report;
+  if (rng.bernoulli(ctx.options.fault_prob)) {
+    FaultInjector injector(rng.next());
+    report = injector.inject_random(p, 1 + pick_index(rng,
+                                            ctx.options.max_faults));
+    if (!report.applied.empty()) ++ctx.stats.faulted;
+  }
+
+  lp::SimplexOptions cold_options;
+  cold_options.time_limit_ms = ctx.options.time_limit_ms;
+  const lp::Solution cold = lp::SimplexSolver(cold_options).solve(p);
+  ++ctx.stats.warm_checks;
+  ctx.tally(cold.status);
+  if (!cold.optimal()) return;  // no basis to warm-start from
+
+  lp::SimplexOptions warm_options = cold_options;
+  warm_options.warm_start = cold.basis;
+  const lp::Solution warm = lp::SimplexSolver(warm_options).solve(p);
+  ctx.tally(warm.status);
+  const double tol =
+      ctx.options.objective_tol * (1.0 + std::fabs(cold.objective));
+  if (!warm.optimal() ||
+      std::fabs(warm.objective - cold.objective) > tol) {
+    std::ostringstream os;
+    os << "warm re-solve diverged (" << to_string(report)
+       << "): cold=" << cold.objective << "/" << lp::to_string(cold.status)
+       << " warm=" << warm.objective << "/" << lp::to_string(warm.status);
+    ctx.fail(seed, os.str());
+    return;
+  }
+  if (!warm.warm_started && !cold.basis.empty() &&
+      lp::warm_start_enabled()) {
+    ctx.fail(seed, "warm basis supplied but solve reported cold path (" +
+                       to_string(report) + ")");
+  }
+
+  // Jittered sibling: the stale basis must repair into the same verdict
+  // the cold solve reaches.
+  lp::Problem sibling = p;
+  jitter_costs(sibling, rng, 1e-4);
+  const lp::Solution sib_cold = lp::SimplexSolver(cold_options).solve(sibling);
+  const lp::Solution sib_warm = lp::SimplexSolver(warm_options).solve(sibling);
+  ctx.tally(sib_cold.status);
+  ctx.tally(sib_warm.status);
+  const VerdictClass a = classify(sib_cold.status);
+  const VerdictClass b = classify(sib_warm.status);
+  if (a != VerdictClass::kSoft && b != VerdictClass::kSoft && a != b) {
+    ctx.fail(seed, "warm vs cold verdict disagreement on jittered sibling (" +
+                       to_string(report) + "): cold=" +
+                       std::string(lp::to_string(sib_cold.status)) +
+                       " warm=" +
+                       std::string(lp::to_string(sib_warm.status)));
+    return;
+  }
+  if (a == VerdictClass::kHardOptimal && b == VerdictClass::kHardOptimal) {
+    const double sib_tol =
+        ctx.options.objective_tol * (1.0 + std::fabs(sib_cold.objective));
+    if (std::fabs(sib_cold.objective - sib_warm.objective) > sib_tol) {
+      std::ostringstream os;
+      os << "warm vs cold objective mismatch on jittered sibling ("
+         << to_string(report) << "): cold=" << sib_cold.objective
+         << " warm=" << sib_warm.objective;
+      ctx.fail(seed, os.str());
+    }
+  }
+}
+
 }  // namespace
 
 std::string to_string(const FuzzStats& stats) {
@@ -508,6 +586,7 @@ std::string to_string(const FuzzStats& stats) {
      << " faulted), " << stats.lp_checks << " LP checks, "
      << stats.adversary_checks << " adversary checks, "
      << stats.network_checks << " network checks, "
+     << stats.warm_checks << " warm-start checks, "
      << stats.failures.size() << " failures\n";
   for (const auto& [status, count] : stats.status_counts) {
     os << "  status " << status << ": " << count << "\n";
@@ -525,20 +604,26 @@ FuzzStats run_differential_fuzz(const FuzzOptions& options) {
   // order, so any failure reproduces from its printed seed alone.
   for (int i = 0; i < options.instances; ++i) {
     const auto seed = static_cast<std::uint64_t>(i);
-    Rng rng = parent.derive_stream(3 * seed);
+    Rng rng = parent.derive_stream(4 * seed);
     fuzz_lp_instance(ctx, seed, rng);
     ++stats.instances;
   }
   for (int i = 0; i < options.instances; ++i) {
     const auto seed = static_cast<std::uint64_t>(i);
-    Rng rng = parent.derive_stream(3 * seed + 1);
+    Rng rng = parent.derive_stream(4 * seed + 1);
     fuzz_adversary_instance(ctx, seed, rng);
     ++stats.instances;
   }
   for (int i = 0; i < options.instances; ++i) {
     const auto seed = static_cast<std::uint64_t>(i);
-    Rng rng = parent.derive_stream(3 * seed + 2);
+    Rng rng = parent.derive_stream(4 * seed + 2);
     fuzz_network_instance(ctx, seed, rng);
+    ++stats.instances;
+  }
+  for (int i = 0; i < options.instances; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    Rng rng = parent.derive_stream(4 * seed + 3);
+    fuzz_warm_start_instance(ctx, seed, rng);
     ++stats.instances;
   }
 

@@ -1,6 +1,7 @@
 #include "gridsec/sim/experiments.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace gridsec::sim {
 namespace {
@@ -28,11 +29,14 @@ std::vector<GainLossPoint> experiment_gain_loss(
     auto trials = run_trials_robust<Trial>(
         options.pool, static_cast<std::size_t>(options.trials),
         point_seed(options.seed, pi, 1),
-        [&](std::size_t, Rng& rng, int) -> StatusOr<Trial> {
+        [&](std::size_t, Rng& rng, int, lp::Basis* warm) -> StatusOr<Trial> {
           auto own =
               cps::Ownership::random(net.num_edges(), n_actors, rng);
-          auto im = cps::compute_impact_matrix(net, own, options.impact);
+          cps::ImpactOptions impact = options.impact;
+          impact.warm_start = *warm;
+          auto im = cps::compute_impact_matrix(net, own, impact);
           if (!im.is_ok()) return im.status();
+          *warm = std::move(im->base_basis);
           Trial t;
           t.gain = im->matrix.aggregate_gain();
           t.loss = im->matrix.aggregate_loss();
@@ -73,19 +77,27 @@ std::vector<AdversaryNoisePoint> experiment_adversary_noise(
     auto trials = run_trials_robust<Trial>(
         options.pool, static_cast<std::size_t>(options.trials),
         point_seed(options.seed, ai, 2),
-        [&](std::size_t, Rng& rng, int) -> StatusOr<Trial> {
+        [&](std::size_t, Rng& rng, int, lp::Basis* warm) -> StatusOr<Trial> {
           auto own =
               cps::Ownership::random(net.num_edges(), n_actors, rng);
-          auto truth = cps::compute_impact_matrix(net, own, options.impact);
+          cps::ImpactOptions impact = options.impact;
+          impact.warm_start = *warm;
+          auto truth = cps::compute_impact_matrix(net, own, impact);
           if (!truth.is_ok()) return truth.status();
+          // A retry of this trial (a believed solve below may fail
+          // numerically) restarts the truth solve from this basis.
+          *warm = truth->base_basis;
+          impact.warm_start = truth->base_basis;
           Trial t;
           for (double sigma : config.sigmas) {
             cps::NoiseSpec noise;
             noise.sigma = sigma;
             flow::Network view = cps::perturb_knowledge(net, noise, rng);
-            auto believed =
-                cps::compute_impact_matrix(view, own, options.impact);
+            auto believed = cps::compute_impact_matrix(view, own, impact);
             if (!believed.is_ok()) return believed.status();
+            // Each sigma step perturbs the same topology; the previous
+            // step's basis is the closest warm start for the next.
+            impact.warm_start = std::move(believed->base_basis);
             core::AttackPlan plan = sa.plan(believed->matrix);
             if (!plan.optimal() && !lp::is_budget_limited(plan.status)) {
               return lp::to_status(plan.status,

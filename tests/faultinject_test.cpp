@@ -203,6 +203,17 @@ TEST(DifferentialFuzz, CleanInstancesAgree) {
   EXPECT_EQ(stats.lp_checks, 50);
   EXPECT_EQ(stats.adversary_checks, 50);
   EXPECT_EQ(stats.network_checks, 50);
+  EXPECT_EQ(stats.warm_checks, 50);
+}
+
+TEST(DifferentialFuzz, WarmStartLegMatchesColdSolves) {
+  // Focused run of the warm-vs-cold leg: faulted instances included, and
+  // the leg must actually exercise warm re-solves (not skip them all).
+  FuzzOptions opt;
+  opt.instances = 100;
+  const FuzzStats stats = run_differential_fuzz(opt);
+  EXPECT_TRUE(stats.ok()) << to_string(stats);
+  EXPECT_EQ(stats.warm_checks, 100);
 }
 
 TEST(DifferentialFuzz, DeterministicInSeed) {
@@ -228,7 +239,8 @@ TEST(DifferentialFuzz, SeededFaultedInstancesPassAtScale) {
   EXPECT_TRUE(stats.ok()) << to_string(stats);
   EXPECT_GE(stats.instances, 500);
   EXPECT_GT(stats.faulted, 0);
-  EXPECT_GE(stats.lp_checks + stats.adversary_checks + stats.network_checks,
+  EXPECT_GE(stats.lp_checks + stats.adversary_checks + stats.network_checks +
+                stats.warm_checks,
             stats.instances);
 }
 
