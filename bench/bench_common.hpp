@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/prof.hpp"
 #include "gridsec/obs/report.hpp"
 #include "gridsec/util/table.hpp"
 #include "gridsec/util/thread_pool.hpp"
@@ -37,6 +38,10 @@ struct BenchArgs {
   // + per-case stats + metrics registry) to FILE (default
   // BENCH_<prog>.json). Empty = off.
   std::string json_file;
+  // --profile[=FILE]: enable the self-profiler for the whole run and write
+  // the gridsec.profile JSON to FILE (default PROF_<prog>.json) plus
+  // flamegraph-ready folded stacks to FILE with a .folded suffix.
+  std::string profile_file;
   // --reps=N / --warmup=N override the per-case defaults passed to
   // Harness::run_case (reps 0 / warmup -1 mean "use the case default").
   int reps = 0;
@@ -46,16 +51,20 @@ struct BenchArgs {
 [[noreturn]] inline void usage_exit(const char* prog, int code) {
   std::fprintf(stderr,
                "usage: %s [--trials=N] [--seed=S] [--threads=T] [--reps=N] "
-               "[--warmup=N] [--csv] [--json[=FILE]]\n",
+               "[--warmup=N] [--csv] [--json[=FILE]] [--profile[=FILE]]\n",
                prog);
   std::exit(code);
 }
 
-inline std::string default_json_name(const char* argv0) {
+inline std::string default_sidecar_name(const char* argv0, const char* kind) {
   std::string base = argv0;
   const std::size_t slash = base.find_last_of("/\\");
   if (slash != std::string::npos) base = base.substr(slash + 1);
-  return "BENCH_" + base + ".json";
+  return std::string(kind) + "_" + base + ".json";
+}
+
+inline std::string default_json_name(const char* argv0) {
+  return default_sidecar_name(argv0, "BENCH");
 }
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -101,6 +110,11 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (args.json_file.empty()) malformed();
     } else if (a == "--json") {
       args.json_file = default_json_name(argv[0]);
+    } else if (const char* s = value("--profile=")) {
+      args.profile_file = s;
+      if (args.profile_file.empty()) malformed();
+    } else if (a == "--profile") {
+      args.profile_file = default_sidecar_name(argv[0], "PROF");
     } else if (a == "--csv") {
       args.csv_only = true;
     } else if (a == "--help" || a == "-h") {
@@ -137,6 +151,7 @@ class Harness {
     report_.manifest.seed = args.seed;
     report_.manifest.trials = args.trials;
     if (args.threads != 0) report_.manifest.threads = args.threads;
+    if (!args_.profile_file.empty()) obs::Profiler::start();
   }
 
   /// Runs `fn` default_warmup (unmeasured) + default_reps (measured) times
@@ -149,6 +164,9 @@ class Harness {
     const int reps = args_.reps > 0 ? args_.reps : default_reps;
     const int warmup = args_.warmup >= 0 ? args_.warmup : default_warmup;
     for (int i = 0; i < warmup; ++i) static_cast<void>(fn());
+    // Publish heap-traffic totals so the counter deltas below include
+    // obs.alloc.count/bytes for the measured reps (see obs/prof.hpp).
+    obs::sync_alloc_counters();
     const auto before = obs::default_registry().counter_values();
     std::vector<double> seconds;
     seconds.reserve(static_cast<std::size_t>(reps));
@@ -174,9 +192,11 @@ class Harness {
     }
   }
 
-  /// Writes the BENCH_*.json report when --json was given. Call once,
+  /// Writes the BENCH_*.json report when --json was given and the
+  /// PROF_*.json + .folded profile when --profile was given. Call once,
   /// after every case ran.
   void emit_report() {
+    emit_profile();
     if (args_.json_file.empty()) return;
     report_.manifest.wall_time_seconds = elapsed_seconds(start_);
     std::ofstream out(args_.json_file);
@@ -201,9 +221,28 @@ class Harness {
   void finish_case(const std::string& name, int warmup,
                    const std::vector<double>& seconds,
                    const std::map<std::string, std::int64_t>& before) {
+    obs::sync_alloc_counters();
     report_.cases.push_back(obs::make_case(
         name, warmup, seconds, before,
         obs::default_registry().counter_values()));
+  }
+
+  void emit_profile() {
+    if (args_.profile_file.empty()) return;
+    obs::Profiler::stop();
+    const obs::Profile profile = obs::Profiler::snapshot();
+    std::ofstream out(args_.profile_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n",
+                   args_.profile_file.c_str());
+      return;
+    }
+    obs::write_profile_json(out, profile);
+    const std::string folded_file = args_.profile_file + ".folded";
+    std::ofstream folded(folded_file);
+    if (folded) obs::write_profile_folded(folded, profile);
+    std::fprintf(stderr, "profile -> %s (+ %s)\n",
+                 args_.profile_file.c_str(), folded_file.c_str());
   }
 
   BenchArgs args_;

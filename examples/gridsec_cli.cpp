@@ -16,6 +16,10 @@
 //   --cost=C       per-asset defense cost (defend; default 2000)
 //   --budget=B     system defense budget in assets (defend; default 12)
 //   --trace=FILE   write a Chrome trace-event JSON of the run to FILE
+//   --profile=FILE run under the self-profiler and write the
+//                  gridsec.profile JSON to FILE plus folded flamegraph
+//                  stacks to FILE.folded (render with gridsec-inspect
+//                  profile FILE; see docs/observability.md)
 //   --metrics      dump the metrics registry as JSON to stdout after the run
 //   --report=FILE  write a gridsec.bench_report run report (provenance
 //                  manifest + wall time + metric deltas) to FILE
@@ -52,6 +56,7 @@
 #include "gridsec/lp/basis.hpp"
 #include "gridsec/obs/audit.hpp"
 #include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/prof.hpp"
 #include "gridsec/obs/report.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/table.hpp"
@@ -69,9 +74,10 @@ struct CliArgs {
   bool collab = false;
   double cost = 2000.0;
   double budget_assets = 12.0;
-  std::string trace_file;   // empty = tracing off
-  std::string report_file;  // empty = no run report
-  std::string audit_file;   // empty = no audit bundle
+  std::string trace_file;    // empty = tracing off
+  std::string profile_file;  // empty = profiling off
+  std::string report_file;   // empty = no run report
+  std::string audit_file;    // empty = no audit bundle
   bool metrics = false;
   double time_limit_ms = 0.0;  // 0 = unlimited
   bool fail_fast = false;
@@ -90,7 +96,8 @@ int usage() {
                "usage: gridsec_cli "
                "{dump|impact|attack|defend|rents|stackelberg} <file> "
                "[--actors=N] [--seed=S] [--targets=K] [--collab] "
-               "[--cost=C] [--budget=B] [--trace=FILE] [--report=FILE] "
+               "[--cost=C] [--budget=B] [--trace=FILE] [--profile=FILE] "
+               "[--report=FILE] "
                "[--audit=FILE] [--metrics] [--time-limit-ms=N] "
                "[--fail-fast] [--warm-start=on|off]\n");
   return 2;
@@ -406,6 +413,9 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--trace=")) {
       args.trace_file = v;
       ok = !args.trace_file.empty();
+    } else if (const char* v = value("--profile=")) {
+      args.profile_file = v;
+      ok = !args.profile_file.empty();
     } else if (const char* v = value("--report=")) {
       args.report_file = v;
       ok = !args.report_file.empty();
@@ -447,9 +457,11 @@ int main(int argc, char** argv) {
   if (!args.report_file.empty()) {
     manifest = gridsec::obs::RunManifest::capture("gridsec_cli", argc, argv);
     manifest.seed = args.seed;
+    gridsec::obs::sync_alloc_counters();
     counters_before = gridsec::obs::default_registry().counter_values();
   }
   const auto run_start = std::chrono::steady_clock::now();
+  if (!args.profile_file.empty()) gridsec::obs::Profiler::start();
 
   if (!args.audit_file.empty()) {
     gridsec::obs::clear_audit_attribution();
@@ -459,6 +471,22 @@ int main(int argc, char** argv) {
   }
   if (!args.trace_file.empty()) gridsec::obs::Tracer::start();
   const int rc = run_command(*parsed, args);
+  if (!args.profile_file.empty()) {
+    gridsec::obs::Profiler::stop();
+    const gridsec::obs::Profile profile = gridsec::obs::Profiler::snapshot();
+    std::ofstream out(args.profile_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n",
+                   args.profile_file.c_str());
+      return 1;
+    }
+    gridsec::obs::write_profile_json(out, profile);
+    const std::string folded_file = args.profile_file + ".folded";
+    std::ofstream folded(folded_file);
+    if (folded) gridsec::obs::write_profile_folded(folded, profile);
+    std::fprintf(stderr, "profile: %s (+ %s)\n", args.profile_file.c_str(),
+                 folded_file.c_str());
+  }
   if (!args.audit_file.empty()) {
     // Prefer the first failing solve (that is the one worth explaining);
     // fall back to the last solve observed. Attribution rows were pushed
@@ -490,6 +518,7 @@ int main(int argc, char** argv) {
     manifest.wall_time_seconds = elapsed;
     report.manifest = std::move(manifest);
     const double rep_seconds[] = {elapsed};
+    gridsec::obs::sync_alloc_counters();
     report.cases.push_back(gridsec::obs::make_case(
         args.command, /*warmup=*/0, rep_seconds, counters_before,
         gridsec::obs::default_registry().counter_values()));

@@ -123,6 +123,12 @@ struct DiffOptions {
   /// Metric names starting with any of these prefixes are reported but
   /// never gate (e.g. thread-count-dependent scheduler counters).
   std::vector<std::string> ignore_prefixes;
+  /// Metric names ending with any of these suffixes carry wall-clock time
+  /// (nanosecond counters such as util.threadpool.busy_ns). Like wall
+  /// medians they depend on the hardware, so they are reported but never
+  /// gate — in either direction: their disappearance from the new report
+  /// is not treated as a coverage regression either.
+  std::vector<std::string> time_suffixes{"_ns"};
 };
 
 enum class DiffVerdict {
@@ -150,7 +156,9 @@ struct DiffReport {
 
 /// Compares `current` against `baseline` case-by-case. A case or tracked
 /// metric present in the baseline but missing from `current` counts as a
-/// regression (coverage loss); quantities only in `current` are kInfo.
+/// regression (coverage loss); quantities only in `current` — e.g. newly
+/// added counters that predate the baseline — are kInfo, never a failure.
+/// Time-suffixed and prefix-ignored metrics are kInfo on both sides.
 DiffReport diff_reports(const RunReport& baseline, const RunReport& current,
                         const DiffOptions& options = {});
 

@@ -49,6 +49,11 @@ class Tracer {
 
 /// RAII span: records [open, close) as one complete event when tracing was
 /// enabled at open. `name` must outlive the span (string literals do).
+///
+/// Spans are also the profiler's phase markers: when obs::Profiler is
+/// enabled (see obs/prof.hpp), every span open/close additionally pushes/
+/// pops a frame on the profiler's per-thread call stack. The two captures
+/// are independent — either can be on without the other.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -59,6 +64,7 @@ class TraceSpan {
  private:
   const char* name_;      // nullptr = inactive (tracing was off at open)
   std::uint64_t open_ns_;
+  bool prof_ = false;     // profiler was enabled at open
 };
 
 #define GRIDSEC_OBS_CONCAT_INNER(a, b) a##b

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -18,6 +19,17 @@ namespace gridsec {
 
 class ThreadPool {
  public:
+  /// Cumulative per-worker accounting since pool construction. busy_ns is
+  /// time spent inside task bodies; idle_ns is time spent parked on the
+  /// queue's condition variable (including the current wait, for workers
+  /// that are parked when worker_stats() is called). Dispatch overhead —
+  /// the sliver between wake-up and task start — lands in neither bucket.
+  struct WorkerStats {
+    std::int64_t busy_ns = 0;
+    std::int64_t idle_ns = 0;
+    std::int64_t tasks = 0;
+  };
+
   /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -33,16 +45,23 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
+  /// Snapshot of per-worker busy/idle totals, one entry per worker. The
+  /// same totals flow into the util.threadpool.busy_ns / idle_ns registry
+  /// counters (cumulative across every pool in the process).
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::vector<WorkerStats> stats_;          // indexed by worker, under mutex_
+  std::vector<std::uint64_t> waiting_since_;  // ns timestamp, 0 = not parked
 };
 
 /// Runs fn(i) for i in [0, n), distributing chunks over `pool`. Blocks until

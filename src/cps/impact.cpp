@@ -62,8 +62,10 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
 
   flow::AllocationOptions alloc = options.allocation;
   alloc.warm_start = options.warm_start;
-  flow::AllocationResult base =
-      flow::allocate_profits(net, ownership.owners(), n_actors, alloc);
+  flow::AllocationResult base = [&] {
+    GRIDSEC_TRACE_SPAN("cps.impact.base_solve");
+    return flow::allocate_profits(net, ownership.owners(), n_actors, alloc);
+  }();
   if (!base.optimal()) {
     // Preserve the failure class (time limit / numerical / infeasible) so
     // robust sweeps can apply the right retry policy.
@@ -85,6 +87,7 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
   // then restore the edge — instead of deep-copying the whole network per
   // target.
   flow::Network scratch = net;
+  GRIDSEC_TRACE_SPAN("cps.impact.target_solves");
   for (int t = 0; t < n_targets; ++t) {
     if (options.skip_unused_targets && capacity_attack &&
         base.flow[static_cast<std::size_t>(t)] <= 1e-12) {

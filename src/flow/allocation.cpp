@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::flow {
 
 std::vector<double> edge_profits_from_prices(
@@ -78,6 +80,7 @@ AllocationResult allocate_profits(const Network& net,
                                   std::span<const int> owners,
                                   int num_actors,
                                   const AllocationOptions& options) {
+  GRIDSEC_TRACE_SPAN("flow.allocation.profits");
   AllocationResult out;
   SocialWelfareOptions welfare_options = options.welfare;
   if (!options.warm_start.empty()) {

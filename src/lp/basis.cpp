@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "gridsec/obs/trace.hpp"
+
 namespace gridsec::lp {
 namespace {
 
@@ -80,6 +82,7 @@ StatusOr<Basis> parse_basis(std::string_view text) {
 }
 
 bool BasisFactorization::refactorize(const Matrix& b) {
+  GRIDSEC_TRACE_SPAN("lp.simplex.refactorize");
   GRIDSEC_ASSERT(b.rows() == b.cols());
   const std::size_t m = b.rows();
   lu_ = b;

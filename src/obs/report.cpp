@@ -318,6 +318,17 @@ bool has_ignored_prefix(const std::string& name,
   return false;
 }
 
+bool has_time_suffix(const std::string& name,
+                     const std::vector<std::string>& suffixes) {
+  for (const std::string& s : suffixes) {
+    if (!s.empty() && name.size() >= s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 double relative_change(double baseline, double current) {
   if (baseline == 0.0) return current == 0.0 ? 0.0 : 1e308;
   return (current - baseline) / std::abs(baseline);
@@ -370,13 +381,14 @@ DiffReport diff_reports(const RunReport& baseline, const RunReport& current,
       row.quantity = metric;
       row.baseline = base_delta.per_rep;
       const auto cur_metric = cur_case.metrics.find(metric);
-      if (has_ignored_prefix(metric, options.ignore_prefixes)) {
+      const bool time_metric = has_time_suffix(metric, options.time_suffixes);
+      if (time_metric || has_ignored_prefix(metric, options.ignore_prefixes)) {
         row.current = cur_metric != cur_case.metrics.end()
                           ? cur_metric->second.per_rep
                           : 0.0;
         row.rel_change = relative_change(row.baseline, row.current);
         row.verdict = DiffVerdict::kInfo;
-        row.note = "ignored prefix";
+        row.note = time_metric ? "time metric (not gated)" : "ignored prefix";
         push(std::move(row));
         continue;
       }

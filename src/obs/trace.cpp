@@ -7,6 +7,8 @@
 #include <ostream>
 #include <vector>
 
+#include "gridsec/obs/prof.hpp"
+
 namespace gridsec::obs {
 
 #ifndef GRIDSEC_NO_TRACING
@@ -118,9 +120,13 @@ void Tracer::write_chrome_json(std::ostream& os) {
 
 TraceSpan::TraceSpan(const char* name)
     : name_(Tracer::enabled() ? name : nullptr),
-      open_ns_(name_ != nullptr ? now_ns() : 0) {}
+      open_ns_(name_ != nullptr ? now_ns() : 0),
+      prof_(Profiler::enabled()) {
+  if (prof_) prof_detail::frame_push(name);
+}
 
 TraceSpan::~TraceSpan() {
+  if (prof_) prof_detail::frame_pop();
   if (name_ == nullptr) return;
   const std::uint64_t close_ns = now_ns();
   ThreadBuffer& buffer = local_buffer();

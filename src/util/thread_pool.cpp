@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/prof.hpp"
 #include "gridsec/util/error.hpp"
 
 namespace gridsec {
@@ -11,7 +13,9 @@ namespace {
 
 /// Pool gauges live in the default registry. Queue depth and active-worker
 /// count are written under the pool mutex the code already holds, so the
-/// extra cost is two relaxed stores per task transition.
+/// extra cost is two relaxed stores per task transition. busy_ns/idle_ns
+/// extend the gauges into cumulative time counters: busy accrues once per
+/// completed task, idle once per condition-variable wait.
 struct PoolMetrics {
   obs::Gauge& queue_depth =
       obs::default_registry().gauge("util.threadpool.queue_depth");
@@ -21,11 +25,22 @@ struct PoolMetrics {
       obs::default_registry().counter("util.threadpool.tasks_submitted");
   obs::Counter& completed =
       obs::default_registry().counter("util.threadpool.tasks_completed");
+  obs::Counter& busy_ns =
+      obs::default_registry().counter("util.threadpool.busy_ns");
+  obs::Counter& idle_ns =
+      obs::default_registry().counter("util.threadpool.idle_ns");
 };
 
 PoolMetrics& pool_metrics() {
   static PoolMetrics* m = new PoolMetrics();
   return *m;
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -34,9 +49,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  stats_.resize(threads);
+  waiting_since_.resize(threads, 0);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -68,12 +85,32 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::lock_guard lock(mutex_);
+  std::vector<WorkerStats> out = stats_;
+  // Workers parked on the queue right now have an open wait that has not
+  // been flushed into stats_ yet; add it so callers see live idle time.
+  const std::uint64_t now = mono_ns();
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    if (waiting_since_[w] != 0 && now > waiting_since_[w]) {
+      out[w].idle_ns += static_cast<std::int64_t>(now - waiting_since_[w]);
+    }
+  }
+  return out;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock lock(mutex_);
+      const std::uint64_t wait_start = mono_ns();
+      waiting_since_[worker] = wait_start;
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      waiting_since_[worker] = 0;
+      const auto idle = static_cast<std::int64_t>(mono_ns() - wait_start);
+      stats_[worker].idle_ns += idle;
+      pool_metrics().idle_ns.add(idle);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -81,9 +118,17 @@ void ThreadPool::worker_loop() {
       pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
       pool_metrics().active.set(static_cast<double>(active_));
     }
+    const std::uint64_t busy_start = mono_ns();
     task();  // exceptions are captured in the packaged_task's future
+    const auto busy = static_cast<std::int64_t>(mono_ns() - busy_start);
+    // Fold this worker's allocation counts into the process totals at the
+    // task boundary — the hooks themselves only touch thread_locals.
+    obs::prof_detail::flush_thread_allocs();
     {
       std::lock_guard lock(mutex_);
+      stats_[worker].busy_ns += busy;
+      stats_[worker].tasks += 1;
+      pool_metrics().busy_ns.add(busy);
       --active_;
       pool_metrics().active.set(static_cast<double>(active_));
       pool_metrics().completed.add();

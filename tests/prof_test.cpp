@@ -1,0 +1,324 @@
+// gridsec::obs::prof — phase-attributed profiling: frame capture via
+// TraceSpan, exclusive allocation attribution, folded/JSON export round
+// trips, registry publication, and TSan-exercised concurrent recording.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/prof.hpp"
+#include "gridsec/obs/trace.hpp"
+#include "gridsec/util/thread_pool.hpp"
+
+namespace gridsec::obs {
+namespace {
+
+#ifndef GRIDSEC_NO_PROFILING
+
+/// Allocates exactly one heap block of `bytes` requested bytes and keeps
+/// it alive until the returned pointer dies.
+std::unique_ptr<char[]> grab(std::size_t bytes) {
+  std::unique_ptr<char[]> p(new char[bytes]);
+  p[0] = 'x';  // touch so the allocation cannot be elided
+  return p;
+}
+
+class ProfilerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::stop();
+    Profiler::reset();
+  }
+  void TearDown() override {
+    Profiler::stop();
+    Profiler::reset();
+  }
+};
+
+using ProfilerTest = ProfilerFixture;
+
+TEST_F(ProfilerTest, DisabledByDefaultAndSpansRecordNothing) {
+  ASSERT_FALSE(Profiler::enabled());
+  { GRIDSEC_TRACE_SPAN("prof.test.unrecorded"); }
+  const Profile p = Profiler::snapshot();
+  EXPECT_EQ(p.root.find("prof.test.unrecorded"), nullptr);
+}
+
+TEST_F(ProfilerTest, BuildsCallTreeWithCountsAndTimes) {
+  Profiler::start();
+  for (int i = 0; i < 3; ++i) {
+    GRIDSEC_TRACE_SPAN("prof.test.outer");
+    {
+      GRIDSEC_TRACE_SPAN("prof.test.inner");
+      // Spin ~1ms of real CPU work so wall and cpu are both visibly > 0.
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+      volatile double sink = 0.0;
+      while (std::chrono::steady_clock::now() < until) sink = sink + 1.0;
+    }
+  }
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  ASSERT_EQ(p.threads, 1);
+  const ProfileNode* outer = p.root.find("prof.test.outer");
+  ASSERT_NE(outer, nullptr);
+  const ProfileNode* inner = outer->find("prof.test.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3);
+  EXPECT_EQ(inner->count, 3);
+  // Inclusive nesting: the parent contains the child.
+  EXPECT_GE(outer->wall_ns, inner->wall_ns);
+  EXPECT_GT(inner->wall_ns, 2'000'000);  // 3 reps x ~1ms spin
+  EXPECT_GT(inner->cpu_ns, 0);
+  // Exclusive split: excl = incl - children, clamped non-negative.
+  EXPECT_EQ(outer->excl_wall_ns, outer->wall_ns - inner->wall_ns);
+  EXPECT_EQ(inner->excl_wall_ns, inner->wall_ns);  // leaf: no children
+  EXPECT_GE(outer->excl_cpu_ns, 0);
+}
+
+TEST_F(ProfilerTest, AttributesAllocationsExclusivelyToTheActivePhase) {
+  Profiler::start();
+  {
+    GRIDSEC_TRACE_SPAN("prof.test.alloc_outer");
+    auto a = grab(1000);
+    {
+      GRIDSEC_TRACE_SPAN("prof.test.alloc_inner");
+      auto b = grab(5000);
+    }
+    auto c = grab(300);
+  }
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  const ProfileNode* outer = p.root.find("prof.test.alloc_outer");
+  ASSERT_NE(outer, nullptr);
+  const ProfileNode* inner = outer->find("prof.test.alloc_inner");
+  ASSERT_NE(inner, nullptr);
+  // The inner 5000-byte block is charged to the inner phase only. The
+  // profiler's own bookkeeping (tree nodes) adds a small constant, hence
+  // bounds instead of equality.
+  EXPECT_GE(inner->alloc_bytes, 5000);
+  EXPECT_LT(inner->alloc_bytes, 5000 + 2048);
+  EXPECT_GE(inner->alloc_count, 1);
+  EXPECT_LT(inner->alloc_count, 16);
+  // The outer phase carries its own 1000 + 300 bytes but NOT the inner
+  // 5000 — alloc attribution is exclusive, unlike wall/cpu time.
+  EXPECT_GE(outer->alloc_bytes, 1300);
+  EXPECT_LT(outer->alloc_bytes, 5000);
+}
+
+TEST_F(ProfilerTest, ResetDiscardsRecordedFrames) {
+  Profiler::start();
+  { GRIDSEC_TRACE_SPAN("prof.test.discarded"); }
+  Profiler::stop();
+  ASSERT_NE(Profiler::snapshot().root.find("prof.test.discarded"), nullptr);
+  Profiler::reset();
+  EXPECT_EQ(Profiler::snapshot().root.find("prof.test.discarded"), nullptr);
+}
+
+TEST_F(ProfilerTest, SnapshotIsCallableWhileRecording) {
+  Profiler::start();
+  GRIDSEC_TRACE_SPAN("prof.test.still_open");
+  const Profile p = Profiler::snapshot();
+  // The open frame has not completed, so it contributes no count yet; the
+  // call must simply not deadlock or crash.
+  const ProfileNode* open = p.root.find("prof.test.still_open");
+  if (open != nullptr) EXPECT_EQ(open->count, 0);
+}
+
+TEST_F(ProfilerTest, FoldedExportEmitsSemicolonPathsWithExclusiveWeights) {
+  Profiler::start();
+  {
+    GRIDSEC_TRACE_SPAN("prof.test.fold_outer");
+    auto a = grab(4096);
+    {
+      GRIDSEC_TRACE_SPAN("prof.test.fold_inner");
+      auto b = grab(8192);
+    }
+  }
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  std::ostringstream folded;
+  write_profile_folded(folded, p, ProfileWeight::kAllocBytes);
+  const std::string text = folded.str();
+  EXPECT_NE(text.find("prof.test.fold_outer "), std::string::npos) << text;
+  EXPECT_NE(text.find("prof.test.fold_outer;prof.test.fold_inner "),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ProfilerTest, JsonRoundTripPreservesTheTree) {
+  Profiler::start();
+  {
+    GRIDSEC_TRACE_SPAN("prof.test.rt_outer");
+    auto a = grab(2000);
+    { GRIDSEC_TRACE_SPAN("prof.test.rt_inner"); }
+  }
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  std::ostringstream os;
+  write_profile_json(os, p);
+  const StatusOr<Profile> back = parse_profile(os.str());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->schema_version, kProfileSchemaVersion);
+  EXPECT_EQ(back->threads, p.threads);
+  EXPECT_EQ(back->alloc.count, p.alloc.count);
+  EXPECT_EQ(back->alloc.bytes, p.alloc.bytes);
+  const ProfileNode* outer = back->root.find("prof.test.rt_outer");
+  ASSERT_NE(outer, nullptr);
+  const ProfileNode* orig = p.root.find("prof.test.rt_outer");
+  ASSERT_NE(orig, nullptr);
+  EXPECT_EQ(outer->count, orig->count);
+  EXPECT_EQ(outer->wall_ns, orig->wall_ns);
+  EXPECT_EQ(outer->excl_wall_ns, orig->excl_wall_ns);
+  EXPECT_EQ(outer->alloc_bytes, orig->alloc_bytes);
+  ASSERT_NE(outer->find("prof.test.rt_inner"), nullptr);
+}
+
+TEST_F(ProfilerTest, AllocTotalsTrackCountBytesLiveAndPeak) {
+  // live/peak need the usable-size path, which only runs while recording.
+  Profiler::start();
+  const AllocTotals before = alloc_totals();
+  auto block = grab(1 << 16);
+  const AllocTotals during = alloc_totals();
+  EXPECT_GE(during.count, before.count + 1);
+  EXPECT_GE(during.bytes, before.bytes + (1 << 16));
+  EXPECT_GE(during.live_bytes, before.live_bytes + (1 << 16));
+  EXPECT_GE(during.peak_bytes, during.live_bytes);
+  block.reset();
+  const AllocTotals after = alloc_totals();
+  EXPECT_LT(after.live_bytes, during.live_bytes);
+  EXPECT_GE(after.peak_bytes, during.live_bytes);  // peak never shrinks
+}
+
+TEST_F(ProfilerTest, SyncAllocCountersPublishesMonotonicRegistryCounters) {
+  sync_alloc_counters();
+  const std::int64_t c1 =
+      default_registry().counter("obs.alloc.count").value();
+  const std::int64_t b1 =
+      default_registry().counter("obs.alloc.bytes").value();
+  EXPECT_GT(c1, 0);
+  EXPECT_GT(b1, 0);
+  auto block = grab(10000);
+  sync_alloc_counters();
+  const std::int64_t c2 =
+      default_registry().counter("obs.alloc.count").value();
+  const std::int64_t b2 =
+      default_registry().counter("obs.alloc.bytes").value();
+  EXPECT_GT(c2, c1);
+  EXPECT_GE(b2, b1 + 10000);
+  // Delta publication: the counter never overtakes the process totals.
+  EXPECT_LE(c2, alloc_totals().count);
+}
+
+TEST_F(ProfilerTest, WeightValuesMatchNodeFields) {
+  ProfileNode n;
+  n.excl_wall_ns = 3'000'000;
+  n.excl_cpu_ns = 2'000'000;
+  n.alloc_count = 7;
+  n.alloc_bytes = 4096;
+  EXPECT_EQ(profile_weight_value(n, ProfileWeight::kWallMicros), 3000);
+  EXPECT_EQ(profile_weight_value(n, ProfileWeight::kCpuMicros), 2000);
+  EXPECT_EQ(profile_weight_value(n, ProfileWeight::kAllocCount), 7);
+  EXPECT_EQ(profile_weight_value(n, ProfileWeight::kAllocBytes), 4096);
+}
+
+TEST_F(ProfilerTest, FlattenProfileListsEveryPathDepthFirst) {
+  Profiler::start();
+  {
+    GRIDSEC_TRACE_SPAN("prof.test.flat_a");
+    { GRIDSEC_TRACE_SPAN("prof.test.flat_b"); }
+  }
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  const std::vector<ProfileRow> rows = flatten_profile(p);
+  bool found_a = false;
+  bool found_ab = false;
+  for (const ProfileRow& r : rows) {
+    if (r.path == "prof.test.flat_a") found_a = true;
+    if (r.path == "prof.test.flat_a;prof.test.flat_b") found_ab = true;
+  }
+  EXPECT_TRUE(found_a);
+  EXPECT_TRUE(found_ab);
+}
+
+// TSan coverage: workers record nested spans and allocate while the main
+// thread snapshots mid-flight. The profiler must be data-race free.
+TEST(Profiler, ConcurrentSpansAndAllocsAreTSanClean) {
+  Profiler::stop();
+  Profiler::reset();
+  Profiler::start();
+  ThreadPool pool(4);
+  std::atomic<bool> stop_snapshots{false};
+  std::thread snapshotter([&stop_snapshots] {
+    while (!stop_snapshots.load(std::memory_order_relaxed)) {
+      const Profile p = Profiler::snapshot();
+      EXPECT_GE(p.alloc.count, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  parallel_for(&pool, 64, [](std::size_t i) {
+    GRIDSEC_TRACE_SPAN("prof.test.worker_outer");
+    std::vector<std::unique_ptr<char[]>> blocks;
+    for (std::size_t j = 0; j < 8; ++j) {
+      GRIDSEC_TRACE_SPAN("prof.test.worker_inner");
+      blocks.push_back(grab(64 * (1 + (i % 7))));
+    }
+  });
+  stop_snapshots.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  Profiler::stop();
+  const Profile p = Profiler::snapshot();
+  const ProfileNode* outer = p.root.find("prof.test.worker_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 64);
+  const ProfileNode* inner = outer->find("prof.test.worker_inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 64 * 8);
+  EXPECT_GE(inner->alloc_count, 64 * 8);  // one grab() per inner span
+  Profiler::reset();
+}
+
+#endif  // GRIDSEC_NO_PROFILING
+
+// Parsing guards are available in every build flavor.
+TEST(ParseProfile, RejectsWrongSchemaAndGarbage) {
+  EXPECT_FALSE(parse_profile("not json").is_ok());
+  EXPECT_FALSE(parse_profile("{}").is_ok());
+  EXPECT_FALSE(
+      parse_profile(
+          R"({"schema":"gridsec.bench_report","schema_version":1,"tree":{}})")
+          .is_ok());
+  EXPECT_FALSE(
+      parse_profile(
+          R"({"schema":"gridsec.profile","schema_version":999,"tree":{}})")
+          .is_ok());
+  EXPECT_FALSE(
+      parse_profile(R"({"schema":"gridsec.profile","schema_version":1})")
+          .is_ok());
+}
+
+TEST(ParseProfile, AcceptsMinimalDocument) {
+  const StatusOr<Profile> p = parse_profile(
+      R"json({"schema":"gridsec.profile","schema_version":1,"threads":2,)json"
+      R"json("alloc":{"count":10,"bytes":640,"live_bytes":0,"peak_bytes":640},)json"
+      R"json("pool":{"busy_ns":5,"idle_ns":7},)json"
+      R"json("tree":{"name":"(root)","children":[)json"
+      R"json({"name":"a","count":1,"wall_ns":100,"excl_wall_ns":100}]}})json");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->threads, 2);
+  EXPECT_EQ(p->alloc.bytes, 640);
+  EXPECT_EQ(p->pool_busy_ns, 5);
+  EXPECT_EQ(p->pool_idle_ns, 7);
+  const ProfileNode* a = p->root.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->wall_ns, 100);
+}
+
+}  // namespace
+}  // namespace gridsec::obs

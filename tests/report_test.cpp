@@ -199,5 +199,78 @@ TEST(DiffReports, IgnoredPrefixesNeverGate) {
   EXPECT_TRUE(diff.clean());
 }
 
+TEST(DiffReports, AllocCountersOnlyInCandidateAreInfoNotCoverageFailure) {
+  // Baselines regenerated before the alloc counters existed must not fail
+  // against candidates that carry them: candidate-only metrics are info.
+  const RunReport baseline = small_report();
+  RunReport current = small_report();
+  current.cases[0].metrics["obs.alloc.count"] = {90000, 30000.0};
+  current.cases[0].metrics["obs.alloc.bytes"] = {9000000, 3000000.0};
+  const DiffReport diff = diff_reports(baseline, current);
+  EXPECT_TRUE(diff.clean());
+  int info_rows = 0;
+  for (const DiffRow& row : diff.rows) {
+    if (row.quantity.rfind("obs.alloc.", 0) == 0) {
+      EXPECT_EQ(row.verdict, DiffVerdict::kInfo);
+      ++info_rows;
+    }
+  }
+  EXPECT_EQ(info_rows, 2);
+}
+
+TEST(DiffReports, AllocCountRegressionPastTenPercentIsCaught) {
+  RunReport baseline = small_report();
+  baseline.cases[0].metrics["obs.alloc.count"] = {90000, 30000.0};
+  RunReport current = small_report();
+  // A deliberate ~10% allocation-count regression (clears the 4.0 absolute
+  // slack by orders of magnitude) must trip the default gate.
+  current.cases[0].metrics["obs.alloc.count"] = {99090, 33030.0};
+  const DiffReport diff = diff_reports(baseline, current);
+  EXPECT_FALSE(diff.clean());
+  bool found = false;
+  for (const DiffRow& row : diff.rows) {
+    if (row.quantity == "obs.alloc.count") {
+      EXPECT_EQ(row.verdict, DiffVerdict::kRegression);
+      EXPECT_NEAR(row.rel_change, 0.101, 1e-3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiffReports, TimeSuffixedMetricsNeverGateInEitherDirection) {
+  RunReport baseline = small_report();
+  baseline.cases[0].metrics["util.threadpool.busy_ns"] = {4000000, 1000000.0};
+  baseline.cases[0].metrics["util.threadpool.idle_ns"] = {8000000, 2000000.0};
+
+  // A 10x wall-time blowup in a _ns counter is hardware noise, not a gated
+  // regression.
+  RunReport slower = baseline;
+  slower.cases[0].metrics["util.threadpool.busy_ns"].per_rep = 10000000.0;
+  const DiffReport diff = diff_reports(baseline, slower);
+  EXPECT_TRUE(diff.clean());
+  bool found = false;
+  for (const DiffRow& row : diff.rows) {
+    if (row.quantity == "util.threadpool.busy_ns") {
+      EXPECT_EQ(row.verdict, DiffVerdict::kInfo);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Disappearance of a time metric is not a coverage loss either (runs on
+  // machines with different pool behavior simply lack the counter).
+  RunReport missing = baseline;
+  missing.cases[0].metrics.erase("util.threadpool.busy_ns");
+  missing.cases[0].metrics.erase("util.threadpool.idle_ns");
+  EXPECT_TRUE(diff_reports(baseline, missing).clean());
+
+  // Opting out of the default suffix list restores strict gating.
+  DiffOptions strict;
+  strict.time_suffixes.clear();
+  EXPECT_FALSE(diff_reports(baseline, slower, strict).clean());
+  EXPECT_FALSE(diff_reports(baseline, missing, strict).clean());
+}
+
 }  // namespace
 }  // namespace gridsec::obs

@@ -1,15 +1,103 @@
-// Tests for the thread pool and parallel_for.
+// Tests for the thread pool, parallel_for, and worker busy/idle accounting.
 #include "gridsec/util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "gridsec/obs/metrics.hpp"
 
 namespace gridsec {
 namespace {
+
+TEST(ThreadPool, WorkerStatsAccountBusyTimePerTask) {
+  ThreadPool pool(1);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  }
+  pool.wait_idle();
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tasks, 3);
+  // 3 x 5ms of sleeping inside task bodies; allow generous slack for
+  // coarse schedulers but busy time must clearly register.
+  EXPECT_GE(stats[0].busy_ns, 10'000'000);
+}
+
+TEST(ThreadPool, WorkerStatsIncludeLiveIdleForParkedWorkers) {
+  ThreadPool pool(2);
+  // No work submitted: both workers are parked from construction on. The
+  // open waits must show up as idle time without any task transition.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.tasks, 0);
+    EXPECT_EQ(s.busy_ns, 0);
+    EXPECT_GE(s.idle_ns, 4'000'000);  // parked for ~10ms, allow slack
+  }
+}
+
+TEST(ThreadPool, BusyAndIdleFlowIntoRegistryCounters) {
+  auto& registry = obs::default_registry();
+  const std::int64_t busy_before =
+      registry.counter("util.threadpool.busy_ns").value();
+  const std::int64_t idle_before =
+      registry.counter("util.threadpool.idle_ns").value();
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      });
+    }
+    pool.wait_idle();
+  }  // destructor joins the workers, flushing their final idle waits
+  EXPECT_GE(registry.counter("util.threadpool.busy_ns").value(),
+            busy_before + 4'000'000);  // 4 x 2ms with slack
+  EXPECT_GT(registry.counter("util.threadpool.idle_ns").value(),
+            idle_before);
+}
+
+TEST(ThreadPool, WorkerStatsUnderConcurrentLoadCoverEveryWorker) {
+  // TSan-exercised: stats are read while workers are mid-task.
+  ThreadPool pool(4);
+  std::atomic<bool> stop_poll{false};
+  std::thread poller([&pool, &stop_poll] {
+    while (!stop_poll.load(std::memory_order_relaxed)) {
+      const auto stats = pool.worker_stats();
+      EXPECT_EQ(stats.size(), 4u);
+      for (const auto& s : stats) {
+        EXPECT_GE(s.busy_ns, 0);
+        EXPECT_GE(s.idle_ns, 0);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  parallel_for(&pool, 64, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  stop_poll.store(true, std::memory_order_relaxed);
+  poller.join();
+  pool.wait_idle();
+  const auto stats = pool.worker_stats();
+  std::int64_t total_tasks = 0;
+  std::int64_t total_busy = 0;
+  for (const auto& s : stats) {
+    total_tasks += s.tasks;
+    total_busy += s.busy_ns;
+  }
+  // parallel_for submits one pump task per worker (4 for 64 items).
+  EXPECT_GE(total_tasks, 4);
+  EXPECT_GT(total_busy, 0);
+}
 
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(4);

@@ -16,7 +16,13 @@
 //                          counts, not seconds.
 //   --ignore=P1,P2,...     metric-name prefixes to report but never gate
 //                          (e.g. util.threadpool. when thread counts vary)
+//   --time-suffixes=S1,..  metric-name suffixes carrying wall-clock time;
+//                          reported but never gated in either direction,
+//                          including disappearance (default: _ns)
 //   --quiet                print only regressions and the verdict line
+//
+// Metrics present only in the candidate report (newly added counters) are
+// always informational — only baseline-side disappearance fails coverage.
 //
 // Exit codes: 0 = clean (self-diff is always clean), 1 = regression,
 // 2 = usage or parse error.
@@ -40,7 +46,8 @@ int usage() {
       stderr,
       "usage: gridsec-benchdiff [--metric-threshold=F] [--abs-slack=F]\n"
       "                         [--wall-threshold=F] [--ignore=P1,P2,...]\n"
-      "                         [--quiet] BASELINE.json NEW.json\n"
+      "                         [--time-suffixes=S1,S2,...] [--quiet]\n"
+      "                         BASELINE.json NEW.json\n"
       "       gridsec-benchdiff --validate REPORT.json\n");
   return 2;
 }
@@ -109,6 +116,8 @@ int main(int argc, char** argv) {
       if (!parse_double_flag(v, &options.wall_rel_threshold)) return usage();
     } else if (const char* v = value("--ignore=")) {
       options.ignore_prefixes = split_csv(v);
+    } else if (const char* v = value("--time-suffixes=")) {
+      options.time_suffixes = split_csv(v);
     } else if (a == "--validate") {
       validate_only = true;
     } else if (a == "--quiet") {

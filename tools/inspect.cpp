@@ -1,7 +1,13 @@
-// gridsec-inspect — render and validate gridsec.audit_bundle artifacts.
+// gridsec-inspect — render and validate gridsec.audit_bundle artifacts and
+// gridsec.profile self-profiles.
 //
 //   gridsec-inspect [options] BUNDLE.json       human-readable solve narrative
 //   gridsec-inspect --validate BUNDLE.json      recompute the certificate
+//   gridsec-inspect profile [options] PROF.json rank phases by exclusive cost
+//
+// Profile mode options:
+//   --top=N             rows to show (default 10)
+//   --weight=W          ranking weight: wall (default), cpu, allocs, bytes
 //
 // Rendering explains a solve after the fact: what was solved, what the
 // solver answered, which constraints were binding (and their shadow
@@ -23,11 +29,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gridsec/obs/audit.hpp"
+#include "gridsec/obs/prof.hpp"
 #include "gridsec/util/table.hpp"
 
 namespace {
@@ -35,9 +44,12 @@ namespace {
 using namespace gridsec;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: gridsec-inspect [--tail=N] [--quiet] BUNDLE.json\n"
-               "       gridsec-inspect --validate BUNDLE.json\n");
+  std::fprintf(
+      stderr,
+      "usage: gridsec-inspect [--tail=N] [--quiet] BUNDLE.json\n"
+      "       gridsec-inspect --validate BUNDLE.json\n"
+      "       gridsec-inspect profile [--top=N] "
+      "[--weight=wall|cpu|allocs|bytes] PROF.json\n");
   return 2;
 }
 
@@ -133,9 +145,113 @@ void print_log_tail(const obs::AuditBundle& b, std::size_t tail) {
   }
 }
 
+bool parse_weight(const std::string& s, obs::ProfileWeight* out) {
+  if (s == "wall") *out = obs::ProfileWeight::kWallMicros;
+  else if (s == "cpu") *out = obs::ProfileWeight::kCpuMicros;
+  else if (s == "allocs") *out = obs::ProfileWeight::kAllocCount;
+  else if (s == "bytes") *out = obs::ProfileWeight::kAllocBytes;
+  else return false;
+  return true;
+}
+
+const char* weight_column(obs::ProfileWeight w) {
+  switch (w) {
+    case obs::ProfileWeight::kWallMicros: return "excl wall (us)";
+    case obs::ProfileWeight::kCpuMicros: return "excl cpu (us)";
+    case obs::ProfileWeight::kAllocCount: return "allocs";
+    case obs::ProfileWeight::kAllocBytes: return "alloc bytes";
+  }
+  return "?";
+}
+
+int cmd_profile(int argc, char** argv) {
+  std::size_t top = 10;
+  obs::ProfileWeight weight = obs::ProfileWeight::kWallMicros;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.compare(0, 6, "--top=") == 0) {
+      if (!parse_size_flag(a.c_str() + 6, &top)) return usage();
+    } else if (a.compare(0, 9, "--weight=") == 0) {
+      if (!parse_weight(a.substr(9), &weight)) return usage();
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "gridsec-inspect: unknown option '%s'\n",
+                   a.c_str());
+      return usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 1) return usage();
+
+  std::ifstream in(files[0]);
+  if (!in) {
+    std::fprintf(stderr, "gridsec-inspect: cannot open '%s'\n",
+                 files[0].c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const StatusOr<obs::Profile> loaded = obs::parse_profile(buf.str());
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "gridsec-inspect: %s: %s\n", files[0].c_str(),
+                 loaded.status().to_string().c_str());
+    return 2;
+  }
+  const obs::Profile& p = loaded.value();
+
+  std::printf(
+      "profile v%d — %lld recording thread%s, %lld allocs / %lld bytes "
+      "(peak rss of heap %lld)\n",
+      p.schema_version, static_cast<long long>(p.threads),
+      p.threads == 1 ? "" : "s", static_cast<long long>(p.alloc.count),
+      static_cast<long long>(p.alloc.bytes),
+      static_cast<long long>(p.alloc.peak_bytes));
+  if (p.pool_busy_ns > 0 || p.pool_idle_ns > 0) {
+    const double busy_ms = static_cast<double>(p.pool_busy_ns) / 1e6;
+    const double idle_ms = static_cast<double>(p.pool_idle_ns) / 1e6;
+    const double util =
+        busy_ms + idle_ms > 0.0 ? 100.0 * busy_ms / (busy_ms + idle_ms) : 0.0;
+    std::printf("thread pool: busy %.1f ms, idle %.1f ms (%.0f%% utilized)\n",
+                busy_ms, idle_ms, util);
+  }
+
+  std::vector<obs::ProfileRow> rows = obs::flatten_profile(p);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [weight](const obs::ProfileRow& a,
+                            const obs::ProfileRow& b) {
+                     return obs::profile_weight_value(*a.node, weight) >
+                            obs::profile_weight_value(*b.node, weight);
+                   });
+  std::printf("\ntop phases by %s:\n", weight_column(weight));
+  Table t({"phase", "count", "excl wall (us)", "incl wall (us)",
+           "excl cpu (us)", "allocs", "alloc bytes"});
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    const obs::ProfileNode& n = *rows[i].node;
+    t.add_row({rows[i].path, std::to_string(n.count),
+               std::to_string(n.excl_wall_ns / 1000),
+               std::to_string(n.wall_ns / 1000),
+               std::to_string(n.excl_cpu_ns / 1000),
+               std::to_string(n.alloc_count),
+               std::to_string(n.alloc_bytes)});
+  }
+  t.print(std::cout);
+  if (rows.size() > top) {
+    std::printf("  ... %zu more phases elided (--top=N)\n",
+                rows.size() - top);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
+    return cmd_profile(argc, argv);
+  }
   bool validate_only = false;
   bool quiet = false;
   std::size_t tail = 10;
