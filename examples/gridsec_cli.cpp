@@ -58,6 +58,7 @@
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/prof.hpp"
 #include "gridsec/obs/report.hpp"
+#include "gridsec/robust/recovery.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/table.hpp"
 
@@ -99,7 +100,8 @@ int usage() {
                "[--cost=C] [--budget=B] [--trace=FILE] [--profile=FILE] "
                "[--report=FILE] "
                "[--audit=FILE] [--metrics] [--time-limit-ms=N] "
-               "[--fail-fast] [--warm-start=on|off]\n");
+               "[--fail-fast] [--warm-start=on|off] "
+               "[--recovery=ladder|off]\n");
   return 2;
 }
 
@@ -428,6 +430,10 @@ int main(int argc, char** argv) {
       const std::string mode = v;
       ok = mode == "on" || mode == "off";
       if (ok) gridsec::lp::set_warm_start_enabled(mode == "on");
+    } else if (const char* v = value("--recovery=")) {
+      const std::string mode = v;
+      ok = mode == "ladder" || mode == "off";
+      if (ok) gridsec::robust::set_recovery_enabled(mode == "ladder");
     } else if (a == "--collab") {
       args.collab = true;
     } else if (a == "--fail-fast") {
@@ -444,6 +450,11 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+
+  // Every LP solve below runs under the numerical-recovery ladder:
+  // a solve that hits kNumericalError escalates rung by rung instead of
+  // failing the command (--recovery=off reverts to plain failures).
+  gridsec::robust::install_recovery();
 
   auto parsed = gridsec::flow::read_network_file(args.file);
   if (!parsed.is_ok()) {

@@ -54,6 +54,9 @@ struct AllocationResult {
   /// Basis of the base welfare solve; feed it into
   /// AllocationOptions::warm_start for sibling allocations.
   lp::Basis basis;
+  /// True when the welfare solve needed the numerical-recovery ladder
+  /// (see FlowSolution::recovered).
+  bool recovered = false;
 
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::kOptimal;

@@ -35,6 +35,10 @@ struct FlowSolution {
   /// perturbed sibling network (same topology; changed capacities, costs
   /// or losses). Empty when the solve was not optimal.
   lp::Basis basis;
+  /// True when the numerical-recovery ladder (robust::recovery, when
+  /// installed) had to engage to produce this solution — the answer is
+  /// certified, but the instance is numerically fragile.
+  bool recovered = false;
 
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::kOptimal;

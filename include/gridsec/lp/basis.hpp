@@ -74,8 +74,10 @@ void set_warm_start_enabled(bool enabled);
 class BasisFactorization {
  public:
   /// Factorizes `b` (square). Discards any eta chain. Returns false when
-  /// `b` is singular (pivot below `pivot_tol`); the object is then
-  /// invalid until the next successful refactorize.
+  /// `b` is singular (pivot below `pivot_tol`); all factorization state
+  /// (LU, permutation, stored basis copy) is reset so the object is
+  /// cleanly invalid — not half-factorized — until the next successful
+  /// refactorize.
   bool refactorize(const Matrix& b);
 
   /// x := B^{-1} x. Requires valid().
@@ -83,6 +85,20 @@ class BasisFactorization {
 
   /// y := B^{-T} y. Requires valid().
   void btran(std::vector<double>& y) const;
+
+  /// x := B_new^{-1} x with iterative refinement: after the base solve the
+  /// true residual r = rhs − B_new·x is formed against the stored copy of
+  /// the basis matrix plus the eta chain, and correction steps
+  /// x += B_new^{-1} r are applied while they improve (at most
+  /// kMaxRefineSteps). Returns the number of correction steps taken; when
+  /// `residual_out` is non-null it receives the final relative residual
+  /// ‖r‖_∞ / (1 + ‖rhs‖_∞). Requires valid().
+  int ftran_refined(std::vector<double>& x,
+                    double* residual_out = nullptr) const;
+
+  /// y := B_new^{-T} y with iterative refinement (see ftran_refined).
+  int btran_refined(std::vector<double>& y,
+                    double* residual_out = nullptr) const;
 
   /// Appends the eta for a pivot in position `p` with direction `w`
   /// (= B^{-1} a_entering). Returns false — and leaves the factorization
@@ -94,6 +110,14 @@ class BasisFactorization {
   [[nodiscard]] std::size_t size() const { return perm_.size(); }
   [[nodiscard]] std::size_t eta_count() const { return etas_.size(); }
 
+  /// Worst-case growth indicator for the current factorization: the max of
+  /// the LU element growth observed at the last refactorize
+  /// (max|U| / max|B|) and the largest accepted eta ratio max|w| / |w_p|
+  /// since. Values past ~1e6 mean the eta chain is amplifying rounding by
+  /// that factor per application; the simplex driver refactorizes early
+  /// when it sees one (counted in lp.basis.residual_refactorizations).
+  [[nodiscard]] double pivot_growth() const { return pivot_growth_; }
+
   /// Eta chain length past which the caller should refactorize: the
   /// chain costs O(m) per solve per eta and accumulates rounding.
   static constexpr std::size_t kRefactorInterval = 64;
@@ -104,6 +128,15 @@ class BasisFactorization {
   /// entry would amplify rounding by >1e7 per application. update()
   /// refuses such pivots and the caller refactorizes densely.
   static constexpr double kEtaStabilityTol = 1e-7;
+  /// Cap on iterative-refinement correction steps per refined solve; one
+  /// step recovers nearly all attainable accuracy in double precision, the
+  /// second catches pathological conditioning.
+  static constexpr int kMaxRefineSteps = 2;
+  /// Relative residual below which a refined solve stops correcting.
+  static constexpr double kRefineTol = 1e-12;
+  /// pivot_growth() past this means the factorization is amplifying
+  /// rounding enough to distrust incremental values; callers refactorize.
+  static constexpr double kGrowthRefactorLimit = 1e6;
 
  private:
   struct Eta {
@@ -111,10 +144,21 @@ class BasisFactorization {
     std::vector<double> w;
   };
 
+  /// r := rhs − B_new·x (B_new = stored B · eta chain); returns ‖r‖_∞.
+  double residual_ftran(const std::vector<double>& x,
+                        const std::vector<double>& rhs,
+                        std::vector<double>& r) const;
+  /// r := rhs − B_new^T·y; returns ‖r‖_∞.
+  double residual_btran(const std::vector<double>& y,
+                        const std::vector<double>& rhs,
+                        std::vector<double>& r) const;
+
   Matrix lu_;              // L strictly below the diagonal (unit), U on/above
+  Matrix b_;               // copy of B at the last refactorize (residuals)
   std::vector<int> perm_;  // row permutation: (P*B)[i] = B[perm_[i]]
   std::vector<Eta> etas_;
   bool valid_ = false;
+  double pivot_growth_ = 1.0;
 };
 
 }  // namespace gridsec::lp

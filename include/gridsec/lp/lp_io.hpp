@@ -1,5 +1,6 @@
 // Debug serialization of a Problem in CPLEX-LP-ish text format, so models
-// can be eyeballed or fed to an external solver for cross-validation.
+// can be eyeballed, fed to an external solver for cross-validation, or
+// committed as on-disk corpora (tests/data/illcond) and read back.
 #pragma once
 
 #include <iosfwd>
@@ -11,10 +12,25 @@ namespace gridsec::lp {
 
 /// Writes `problem` in LP text format. Variable/constraint names are
 /// sanitized (non-alphanumerics replaced with '_'); unnamed entities get
-/// x<i> / c<i>.
+/// x<i> / c<i>. Numbers carry round-trip (max_digits10) precision so
+/// write→parse reproduces coefficients bit-exactly.
 void write_lp_format(std::ostream& os, const Problem& problem);
 
 /// Convenience: LP format as a string.
 std::string to_lp_format(const Problem& problem);
+
+/// Writes to_lp_format(problem) to `path` (kInternal on I/O failure).
+Status write_lp_file(const std::string& path, const Problem& problem);
+
+/// Parses the dialect write_lp_format emits: a Minimize/Maximize header,
+/// an " obj:" expression, "Subject To" rows ("name: expr {<=,>=,=} rhs"),
+/// a "Bounds" section listing every variable in index order ("L <= name"
+/// or "L <= name <= U"), an optional "General" section of integer
+/// variables (bounds [0,1] map back to kBinary), and "End". Malformed
+/// input yields kInvalidArgument; the parser never aborts.
+[[nodiscard]] StatusOr<Problem> parse_lp_format(const std::string& text);
+
+/// Reads `path` and parses it (kNotFound when unreadable).
+[[nodiscard]] StatusOr<Problem> read_lp_file(const std::string& path);
 
 }  // namespace gridsec::lp

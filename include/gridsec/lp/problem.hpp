@@ -84,6 +84,11 @@ class Problem {
   void set_bounds(int var, double lower, double upper);
   /// Overwrites an existing constraint's rhs.
   void set_rhs(int row, double rhs);
+  /// Multiplies every coefficient and the rhs of an existing constraint by
+  /// `factor` (must be positive so the sense is preserved). The feasible
+  /// set is unchanged; only the row's conditioning moves — this is what
+  /// the numerical-stress fault kinds and equilibration tests exercise.
+  void scale_constraint(int row, double factor);
 
   [[nodiscard]] Objective objective() const { return objective_; }
   [[nodiscard]] int num_variables() const {
@@ -144,11 +149,22 @@ Status to_status(SolveStatus s, std::string_view context);
   return s == SolveStatus::kIterationLimit || s == SolveStatus::kTimeLimit;
 }
 
+/// Largest finite magnitude validate_problem accepts for coefficients,
+/// bounds and rhs values. Anything beyond it overflows to Inf in ordinary
+/// pivot products (1e30 * 1e30 > DBL_MAX), so such data is rejected at the
+/// gate as kInvalidArgument instead of surfacing mid-solve as a
+/// kNumericalError.
+constexpr double kMaxMagnitude = 1e30;
+
 /// Input validation shared by every solver entry point: rejects NaN/Inf
 /// objective coefficients, constraint coefficients and rhs, non-finite or
-/// inconsistent bounds (NaN, lower > upper, infinite lower), and
-/// out-of-range constraint variable indices — via Status instead of
-/// undefined behaviour inside the pivoting arithmetic.
+/// inconsistent bounds (NaN, lower > upper, infinite lower), out-of-range
+/// constraint variable indices (all kNumericalError), and finite values
+/// beyond kMaxMagnitude (kInvalidArgument) — via Status instead of
+/// undefined behaviour inside the pivoting arithmetic. Note the solve
+/// entry points collapse any validation failure to
+/// SolveStatus::kNumericalError (there is no invalid-input solve status);
+/// callers wanting the distinction run validate_problem themselves.
 [[nodiscard]] Status validate_problem(const Problem& problem);
 
 /// Branch-and-bound search counters. Lives here (not milp.hpp) so Solution
@@ -157,6 +173,19 @@ struct BranchAndBoundStats {
   long nodes_explored = 0;
   long lp_solves = 0;
   long incumbent_updates = 0;
+};
+
+/// One rung attempt from the numerical-recovery ladder
+/// (robust::recovery). Carried as a plain string + status so the lp layer
+/// stays ignorant of the robust layer's rung enum; audit bundles persist
+/// the trail verbatim.
+struct RecoveryStepInfo {
+  std::string rung;  // "warm", "repaired_basis", "cold", "bland", ...
+  SolveStatus status = SolveStatus::kNumericalError;
+  // True on the (at most one) entry whose answer the ladder adopted: it
+  // passed independent certification (robust::recovery prefers the strict
+  // 1e-9 tier, falling back to default tolerances when no rung clears it).
+  bool certified = false;
 };
 
 /// A primal (and for LP, dual) solution.
@@ -178,6 +207,12 @@ struct Solution {
   /// repair) rather than the cold slack/artificial basis. Audit bundles
   /// record this provenance bit.
   bool warm_started = false;
+  /// Non-empty iff the numerical-recovery ladder engaged on this solve:
+  /// one entry per rung attempted (including the original failed
+  /// attempts), in order. The last entry with certified=true produced the
+  /// values in this Solution. Flows into audit bundles and the JSONL log
+  /// (docs/robustness.md#numerical-recovery).
+  std::vector<RecoveryStepInfo> recovery_trail;
 
   [[nodiscard]] bool optimal() const {
     return status == SolveStatus::kOptimal;
@@ -200,8 +235,48 @@ using SolveHook = void (*)(const Problem& problem, const Solution& solution,
 /// concurrently from many threads and must be internally synchronized.
 SolveHook set_solve_hook(SolveHook hook);
 
-/// The currently installed hook (nullptr when none). Solvers call this
+/// The currently installed hook (nullptr when none, or when suppressed on
+/// the calling thread — see ScopedSolveHookSuppress). Solvers call this
 /// once per solve; one relaxed atomic load when no hook is installed.
 [[nodiscard]] SolveHook solve_hook();
+
+/// RAII: suppresses the solve hook on the CURRENT THREAD for its lifetime.
+/// For harnesses that deliberately drive the solver into numerical
+/// trouble — the recovery ladder's diagnostic rung attempts and the
+/// stress-numerics fuzzer's probe solves. Reporting those engineered
+/// failures to an armed audit hook would count them as product defects;
+/// the real (outer) solve still reports normally. Nests safely.
+class ScopedSolveHookSuppress {
+ public:
+  ScopedSolveHookSuppress();
+  ~ScopedSolveHookSuppress();
+  ScopedSolveHookSuppress(const ScopedSolveHookSuppress&) = delete;
+  ScopedSolveHookSuppress& operator=(const ScopedSolveHookSuppress&) = delete;
+};
+
+/// Current nesting depth of ScopedSolveHookSuppress on the calling thread
+/// (0 = not suppressed). Exposed so tests can assert scopes balance.
+[[nodiscard]] int solve_hook_suppression_depth();
+
+struct SimplexOptions;  // simplex.hpp; the hook only needs a reference
+
+/// Numerical-recovery hook — the same dependency inversion as SolveHook:
+/// robust::recovery registers here, and SimplexSolver invokes the hook
+/// when a solve still ends in kNumericalError after its built-in
+/// warm→cold retry. The hook may run its escalation ladder (re-entrant
+/// solves must be guarded by the hook itself), overwrite *solution with a
+/// certified answer, and return true; returning false leaves the failed
+/// solution in place (the hook may still have attached a recovery_trail
+/// documenting the failed attempts). See robust/recovery.hpp.
+using RecoveryHook = bool (*)(const Problem& problem,
+                              const SimplexOptions& options,
+                              Solution* solution);
+
+/// Atomically installs `hook` (nullptr uninstalls); returns the previous
+/// hook. May be invoked concurrently from many threads.
+RecoveryHook set_recovery_hook(RecoveryHook hook);
+
+/// The currently installed recovery hook (nullptr when none).
+[[nodiscard]] RecoveryHook recovery_hook();
 
 }  // namespace gridsec::lp

@@ -25,7 +25,10 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;   // bound/constraint violation tolerance
   double optimality_tol = 1e-9;    // reduced-cost threshold
   long max_iterations = 0;         // 0 = automatic (scales with size)
-  long bland_after = 0;            // 0 = automatic; switch to Bland's rule
+  /// Pivot count after which pricing switches to Bland's rule.
+  /// 0 = automatic (20·(m+n), min 200); negative = Bland from the first
+  /// pivot (the recovery ladder's deterministic-termination rung).
+  long bland_after = 0;
   /// Wall-clock deadline in milliseconds, checked once per pivot (a pivot
   /// refactorizes the basis, so the clock read is noise). 0 = no limit.
   /// Expiry returns SolveStatus::kTimeLimit.
@@ -56,8 +59,12 @@ class SimplexSolver {
   /// Solves the continuous relaxation of `problem` (integrality markers are
   /// ignored). Never throws for solver outcomes; the status field reports
   /// infeasible/unbounded/iteration-limit/time-limit/numerical-error.
-  /// NaN/Inf coefficients and inconsistent bounds are rejected up front as
-  /// kNumericalError (see validate_problem) instead of corrupting pivots.
+  /// NaN/Inf coefficients, inconsistent bounds, and finite magnitudes past
+  /// lp::kMaxMagnitude are rejected up front (see validate_problem) instead
+  /// of corrupting pivots. When a solve on valid input still ends in
+  /// kNumericalError and robust::install_recovery() is in effect, the
+  /// recovery ladder runs before the verdict is returned — a recovered
+  /// Solution carries the rung-by-rung trail in recovery_trail.
   [[nodiscard]] Solution solve(const Problem& problem) const;
 
  private:

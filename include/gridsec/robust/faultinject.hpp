@@ -44,6 +44,16 @@ enum class FaultKind {
   kDisconnectedHub,   // all edges incident to one hub zeroed out
   kDegenerateTies,    // two costs made exactly equal (pivot/argmax ties)
   kExtremeRange,      // coefficients rescaled by ~1e9 (conditioning stress)
+  // Numerical-stress kinds (LP only; not in the classic random rotation —
+  // the stress_numerics fuzz leg draws them from its own pool so legacy
+  // fuzz streams stay bit-identical):
+  kExtremeDynamicRange,    // rows/objective rescaled by 2^±30: ~1e18 of
+                           // dynamic range inside one tableau
+  kNearDegenerateScaling,  // one row scaled to ~1e-12, parking its pivots
+                           // at the factorization's pivot tolerance
+  kBasisDrift,             // near-duplicate of an existing row (relative
+                           // 1e-12 perturbation): invites singular bases
+                           // and eta-chain drift
 };
 
 std::string_view to_string(FaultKind kind);
@@ -113,6 +123,14 @@ struct FuzzOptions {
   double time_limit_ms = 2000.0;
   /// Objective agreement tolerance for optimal-vs-optimal cross-checks.
   double objective_tol = 1e-6;
+  /// Enables the numerical-stress leg: instances faulted with the
+  /// kExtremeDynamicRange / kNearDegenerateScaling / kBasisDrift pool,
+  /// solved three ways — a cold Bland's-rule reference, a plain solve
+  /// with recovery suppressed, and solve_with_recovery() — and
+  /// cross-checked: every certified optimum must match the reference.
+  /// Off by default; drawn from an independent seed stream, so enabling
+  /// it never perturbs the four classic legs.
+  bool stress_numerics = false;
 };
 
 struct FuzzStats {
@@ -122,6 +140,13 @@ struct FuzzStats {
   int adversary_checks = 0;  // plan/plan_milp-vs-enumerate comparisons run
   int network_checks = 0;    // validate-vs-solve pipeline probes run
   int warm_checks = 0;       // warm-vs-cold simplex comparisons run
+  int recovery_checks = 0;   // stress-leg instances with a certified oracle
+  /// Stress-leg instances the plain (recovery-suppressed) solve failed to
+  /// certify — the denominator of the ladder's resolution rate.
+  int recovery_failed_plain = 0;
+  /// Of those, how many the recovery ladder brought back to a certified
+  /// optimum matching the reference (acceptance bar: >= 80%).
+  int recovery_resolved = 0;
   /// Tally of final solve statuses seen, keyed by lp::to_string(status).
   std::vector<std::pair<std::string, int>> status_counts;
   /// Human-readable disagreement diagnostics (each includes the seed).

@@ -59,6 +59,12 @@ RunningStats run_scalar_trials(
 // failure summary. A trial that succeeds on attempt 0 sees exactly the same
 // RNG stream as run_trials, so fully-successful sweeps are bit-identical to
 // the non-robust harness.
+//
+// Retries are the SECOND line of defense: with the numerical-recovery
+// ladder installed (robust::install_recovery), an LP solve that hits
+// kNumericalError escalates through the ladder in place and usually comes
+// back certified-optimal — the trial never fails at all. Only failures the
+// ladder cannot resolve (or non-LP trial errors) reach the retry loop here.
 
 struct RobustTrialOptions {
   /// Total attempts per trial (1 = no retry). Retries fire only for

@@ -52,6 +52,11 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
   GRIDSEC_TRACE_SPAN("cps.impact.matrix");
   static obs::Counter& c_computes =
       obs::default_registry().counter("cps.impact.matrix_computes");
+  // Targets whose attacked re-solve only succeeded because the
+  // numerical-recovery ladder engaged: the matrix entry is certified, but
+  // a sweep producing many of these is running close to the edge.
+  static obs::Counter& c_recovered =
+      obs::default_registry().counter("cps.impact.recovered_targets");
   c_computes.add();
   if (ownership.num_assets() != net.num_edges()) {
     return Status::invalid_argument(
@@ -104,6 +109,7 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
       ++out.failed_targets;
       continue;
     }
+    if (after.recovered) c_recovered.add();
     for (int a = 0; a < n_actors; ++a) {
       out.matrix.set(a, t,
                      after.actor_profit[static_cast<std::size_t>(a)] -

@@ -88,6 +88,7 @@ AllocationResult allocate_profits(const Network& net,
   }
   FlowSolution base = solve_social_welfare(net, welfare_options);
   out.status = base.status;
+  out.recovered = base.recovered;
   if (!base.optimal()) return out;
   out.welfare = base.welfare;
   out.basis = base.basis;

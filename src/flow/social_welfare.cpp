@@ -61,6 +61,7 @@ FlowSolution solve_social_welfare(const Network& net,
 
   FlowSolution out;
   out.status = lp_sol.status;
+  out.recovered = !lp_sol.recovery_trail.empty();
   if (!lp_sol.optimal()) return out;
 
   out.welfare = -lp_sol.objective;  // min cost -> max welfare

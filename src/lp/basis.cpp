@@ -90,6 +90,14 @@ bool BasisFactorization::refactorize(const Matrix& b) {
   for (std::size_t i = 0; i < m; ++i) perm_[i] = static_cast<int>(i);
   etas_.clear();
   valid_ = false;
+  pivot_growth_ = 1.0;
+
+  double max_b = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      max_b = std::max(max_b, std::fabs(b(i, j)));
+    }
+  }
 
   for (std::size_t k = 0; k < m; ++k) {
     // Partial pivoting: largest magnitude in column k at or below row k.
@@ -102,7 +110,15 @@ bool BasisFactorization::refactorize(const Matrix& b) {
         pivot = r;
       }
     }
-    if (best < kPivotTol) return false;  // singular
+    if (best < kPivotTol) {
+      // Singular: wipe the half-built factors too, so a failed refactorize
+      // mid-pivot cannot leave ftran/btran (or a later warm-start repair)
+      // looking at inconsistent state.
+      lu_ = Matrix();
+      b_ = Matrix();
+      perm_.clear();
+      return false;
+    }
     if (pivot != k) {
       lu_.swap_rows(pivot, k);
       std::swap(perm_[pivot], perm_[k]);
@@ -117,6 +133,18 @@ bool BasisFactorization::refactorize(const Matrix& b) {
       }
     }
   }
+  // Element-growth factor max|U| / max|B| — the classic LU stability
+  // indicator; seeds pivot_growth(), which eta updates then only raise.
+  double max_u = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      max_u = std::max(max_u, std::fabs(lu_(i, j)));
+    }
+  }
+  if (max_b > 0.0) {
+    pivot_growth_ = std::max(1.0, max_u / max_b);
+  }
+  b_ = b;
   valid_ = true;
   return true;
 }
@@ -200,8 +228,126 @@ bool BasisFactorization::update(int p, std::vector<double> w) {
   double wmax = 0.0;
   for (const double v : w) wmax = std::max(wmax, std::fabs(v));
   if (pivot < kEtaStabilityTol * wmax) return false;
+  // Accepted — but remember how much this eta can amplify rounding
+  // (each ftran/btran application divides by w[p]).
+  if (wmax > 0.0) pivot_growth_ = std::max(pivot_growth_, wmax / pivot);
   etas_.push_back({p, std::move(w)});
   return true;
+}
+
+double BasisFactorization::residual_ftran(const std::vector<double>& x,
+                                          const std::vector<double>& rhs,
+                                          std::vector<double>& r) const {
+  const std::size_t m = perm_.size();
+  // B_new = B · E_1 · … · E_k, so B_new·x = B·(E_1·(…·(E_k·x))).
+  // Apply etas innermost-first (reverse append order). Multiplying by
+  // E = I + (w − e_p)e_pᵀ: v_i += w_i·v_p for i ≠ p, v_p = w_p·v_p.
+  std::vector<double> v = x;
+  for (std::size_t k = etas_.size(); k-- > 0;) {
+    const Eta& e = etas_[k];
+    const auto p = static_cast<std::size_t>(e.row);
+    const double vp = v[p];
+    if (vp != 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (i != p) v[i] += e.w[i] * vp;
+      }
+      v[p] = e.w[p] * vp;
+    }
+  }
+  r.assign(m, 0.0);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = rhs[i];
+    for (std::size_t j = 0; j < m; ++j) acc -= b_(i, j) * v[j];
+    r[i] = acc;
+    norm = std::max(norm, std::fabs(acc));
+  }
+  return norm;
+}
+
+double BasisFactorization::residual_btran(const std::vector<double>& y,
+                                          const std::vector<double>& rhs,
+                                          std::vector<double>& r) const {
+  const std::size_t m = perm_.size();
+  // B_newᵀ = E_kᵀ·…·E_1ᵀ·Bᵀ, so B_newᵀ·y = E_kᵀ(…(E_1ᵀ(Bᵀ·y))):
+  // Bᵀ first, then etas in append order. (Eᵀv)_p = Σ_j w_j v_j, others
+  // unchanged.
+  std::vector<double> v(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += b_(i, j) * y[i];
+    v[j] = acc;
+  }
+  for (const Eta& e : etas_) {
+    const auto p = static_cast<std::size_t>(e.row);
+    double dot = 0.0;
+    for (std::size_t j = 0; j < m; ++j) dot += e.w[j] * v[j];
+    v[p] = dot;
+  }
+  r.assign(m, 0.0);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double acc = rhs[i] - v[i];
+    r[i] = acc;
+    norm = std::max(norm, std::fabs(acc));
+  }
+  return norm;
+}
+
+int BasisFactorization::ftran_refined(std::vector<double>& x,
+                                      double* residual_out) const {
+  GRIDSEC_ASSERT(valid_ && x.size() == perm_.size());
+  const std::vector<double> rhs = x;
+  ftran(x);
+  double rhs_norm = 0.0;
+  for (const double v : rhs) rhs_norm = std::max(rhs_norm, std::fabs(v));
+  const double scale = 1.0 + rhs_norm;
+  std::vector<double> r;
+  double rel = residual_ftran(x, rhs, r) / scale;
+  int steps = 0;
+  while (rel > kRefineTol && steps < kMaxRefineSteps) {
+    std::vector<double> d = r;
+    ftran(d);
+    std::vector<double> candidate = x;
+    for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += d[i];
+    std::vector<double> r2;
+    const double rel2 = residual_ftran(candidate, rhs, r2) / scale;
+    if (rel2 >= rel) break;  // correction no longer improves; stop
+    x = std::move(candidate);
+    r = std::move(r2);
+    rel = rel2;
+    ++steps;
+  }
+  if (residual_out != nullptr) *residual_out = rel;
+  return steps;
+}
+
+int BasisFactorization::btran_refined(std::vector<double>& y,
+                                      double* residual_out) const {
+  GRIDSEC_ASSERT(valid_ && y.size() == perm_.size());
+  const std::vector<double> rhs = y;
+  btran(y);
+  double rhs_norm = 0.0;
+  for (const double v : rhs) rhs_norm = std::max(rhs_norm, std::fabs(v));
+  const double scale = 1.0 + rhs_norm;
+  std::vector<double> r;
+  double rel = residual_btran(y, rhs, r) / scale;
+  int steps = 0;
+  while (rel > kRefineTol && steps < kMaxRefineSteps) {
+    std::vector<double> d = r;
+    btran(d);
+    std::vector<double> candidate = y;
+    for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += d[i];
+    std::vector<double> r2;
+    const double rel2 = residual_btran(candidate, rhs, r2) / scale;
+    if (rel2 >= rel) break;
+    y = std::move(candidate);
+    r = std::move(r2);
+    rel = rel2;
+    ++steps;
+  }
+  if (residual_out != nullptr) *residual_out = rel;
+  return steps;
 }
 
 }  // namespace gridsec::lp

@@ -2,8 +2,13 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 namespace gridsec::lp {
 namespace {
@@ -47,6 +52,10 @@ void write_expr(std::ostream& os, const std::vector<Term>& terms,
 }  // namespace
 
 void write_lp_format(std::ostream& os, const Problem& problem) {
+  // max_digits10 so a parse of this text reproduces every coefficient
+  // bit-exactly — required for the committed ill-conditioned corpus,
+  // whose whole point is pathological magnitudes.
+  const std::streamsize old_precision = os.precision(17);
   os << (problem.objective() == Objective::kMinimize ? "Minimize\n"
                                                      : "Maximize\n");
   os << " obj: ";
@@ -91,12 +100,314 @@ void write_lp_format(std::ostream& os, const Problem& problem) {
     }
   }
   os << "End\n";
+  os.precision(old_precision);
 }
 
 std::string to_lp_format(const Problem& problem) {
   std::ostringstream ss;
   write_lp_format(ss, problem);
   return ss.str();
+}
+
+Status write_lp_file(const std::string& path, const Problem& problem) {
+  std::ofstream os(path);
+  if (!os) return Status::internal("write_lp_file: cannot open " + path);
+  write_lp_format(os, problem);
+  os.flush();
+  if (!os) return Status::internal("write_lp_file: write failed: " + path);
+  return Status::ok();
+}
+
+namespace {
+
+// ---- Parser for the dialect the writer above emits. ----
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+bool parse_number(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == tok.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+Status bad_line(const char* what, const std::string& line) {
+  return Status::invalid_argument(std::string("parse_lp_format: ") + what +
+                                  ": '" + line + "'");
+}
+
+/// Parses "[-] [coef] name { +|- [coef] name }" (or the literal "0") from
+/// tokens[begin, end) into name→coefficient terms (repeated names sum).
+Status parse_expr(const std::vector<std::string>& tokens, std::size_t begin,
+                  std::size_t end,
+                  std::vector<std::pair<std::string, double>>* terms,
+                  const std::string& line) {
+  std::size_t i = begin;
+  if (i == end) return bad_line("empty expression", line);
+  if (end - begin == 1 && tokens[i] == "0") return Status::ok();
+  double sign = 1.0;
+  bool expect_term = true;
+  if (tokens[i] == "-") {
+    sign = -1.0;
+    ++i;
+  }
+  while (i < end) {
+    if (!expect_term) {
+      if (tokens[i] == "+") {
+        sign = 1.0;
+      } else if (tokens[i] == "-") {
+        sign = -1.0;
+      } else {
+        return bad_line("expected '+' or '-' between terms", line);
+      }
+      ++i;
+      expect_term = true;
+      continue;
+    }
+    if (i >= end) return bad_line("dangling sign", line);
+    double coef = 1.0;
+    double parsed = 0.0;
+    if (parse_number(tokens[i], &parsed)) {
+      coef = parsed;
+      ++i;
+      if (i >= end) return bad_line("coefficient without variable", line);
+    }
+    const std::string& name = tokens[i];
+    if (parse_number(name, &parsed)) {
+      return bad_line("expected a variable name", line);
+    }
+    terms->emplace_back(name, sign * coef);
+    ++i;
+    expect_term = false;
+  }
+  if (expect_term) return bad_line("dangling sign", line);
+  return Status::ok();
+}
+
+struct ParsedConstraint {
+  std::string name;
+  std::vector<std::pair<std::string, double>> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct ParsedBound {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+}  // namespace
+
+StatusOr<Problem> parse_lp_format(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+      const std::string t = trim(line);
+      if (!t.empty()) lines.push_back(t);
+    }
+  }
+  std::size_t pos = 0;
+  const auto at_end = [&] { return pos >= lines.size(); };
+
+  if (at_end()) {
+    return Status::invalid_argument("parse_lp_format: empty input");
+  }
+  Objective sense_obj;
+  if (lines[pos] == "Minimize") {
+    sense_obj = Objective::kMinimize;
+  } else if (lines[pos] == "Maximize") {
+    sense_obj = Objective::kMaximize;
+  } else {
+    return bad_line("expected Minimize/Maximize", lines[pos]);
+  }
+  ++pos;
+
+  // Objective expression (may wrap the "obj:" label only onto this line —
+  // the writer always emits it as one line).
+  if (at_end()) {
+    return Status::invalid_argument("parse_lp_format: missing objective");
+  }
+  std::vector<std::pair<std::string, double>> objective_terms;
+  {
+    const std::string& line = lines[pos];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return bad_line("missing ':' after objective label", line);
+    }
+    const auto tokens = tokenize(line.substr(colon + 1));
+    if (Status s = parse_expr(tokens, 0, tokens.size(), &objective_terms,
+                              line);
+        !s.is_ok()) {
+      return s;
+    }
+    ++pos;
+  }
+
+  if (at_end() || lines[pos] != "Subject To") {
+    return Status::invalid_argument("parse_lp_format: missing 'Subject To'");
+  }
+  ++pos;
+
+  std::vector<ParsedConstraint> constraints;
+  while (!at_end() && lines[pos] != "Bounds") {
+    const std::string& line = lines[pos];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return bad_line("missing ':' after constraint name", line);
+    }
+    ParsedConstraint con;
+    con.name = trim(line.substr(0, colon));
+    const auto tokens = tokenize(line.substr(colon + 1));
+    std::size_t sense_at = tokens.size();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i] == "<=" || tokens[i] == ">=" || tokens[i] == "=") {
+        sense_at = i;
+        // Keep scanning: the last relational token separates expr from
+        // rhs (bound-style "a <= x <= b" never appears in rows).
+      }
+    }
+    if (sense_at + 2 != tokens.size()) {
+      return bad_line("expected '<expr> {<=,>=,=} <rhs>'", line);
+    }
+    con.sense = tokens[sense_at] == "<="
+                    ? Sense::kLessEqual
+                    : (tokens[sense_at] == ">=" ? Sense::kGreaterEqual
+                                                : Sense::kEqual);
+    if (!parse_number(tokens[sense_at + 1], &con.rhs)) {
+      return bad_line("unparsable rhs", line);
+    }
+    if (Status s = parse_expr(tokens, 0, sense_at, &con.terms, line);
+        !s.is_ok()) {
+      return s;
+    }
+    constraints.push_back(std::move(con));
+    ++pos;
+  }
+  if (at_end()) {
+    return Status::invalid_argument("parse_lp_format: missing 'Bounds'");
+  }
+  ++pos;  // consume "Bounds"
+
+  // Bounds lines define the variables and their order (the writer emits
+  // one line per variable, in index order).
+  std::vector<ParsedBound> bounds;
+  std::unordered_map<std::string, int> var_index;
+  while (!at_end() && lines[pos] != "General" && lines[pos] != "End") {
+    const std::string& line = lines[pos];
+    const auto tokens = tokenize(line);
+    ParsedBound b;
+    if (tokens.size() == 3 && tokens[1] == "<=") {
+      // "L <= name"
+      if (!parse_number(tokens[0], &b.lower)) {
+        return bad_line("unparsable lower bound", line);
+      }
+      b.name = tokens[2];
+    } else if (tokens.size() == 5 && tokens[1] == "<=" && tokens[3] == "<=") {
+      // "L <= name <= U"
+      if (!parse_number(tokens[0], &b.lower) ||
+          !parse_number(tokens[4], &b.upper)) {
+        return bad_line("unparsable bound", line);
+      }
+      b.name = tokens[2];
+    } else {
+      return bad_line("expected 'L <= name [<= U]'", line);
+    }
+    if (var_index.count(b.name) != 0) {
+      return bad_line("duplicate variable in Bounds", line);
+    }
+    var_index.emplace(b.name, static_cast<int>(bounds.size()));
+    bounds.push_back(std::move(b));
+    ++pos;
+  }
+
+  // Optional General section: integer variables.
+  std::unordered_map<std::string, bool> general;
+  if (!at_end() && lines[pos] == "General") {
+    ++pos;
+    while (!at_end() && lines[pos] != "End") {
+      const auto tokens = tokenize(lines[pos]);
+      if (tokens.size() != 1) {
+        return bad_line("expected one variable name", lines[pos]);
+      }
+      if (var_index.count(tokens[0]) == 0) {
+        return bad_line("General names unknown variable", lines[pos]);
+      }
+      general[tokens[0]] = true;
+      ++pos;
+    }
+  }
+  if (at_end() || lines[pos] != "End") {
+    return Status::invalid_argument("parse_lp_format: missing 'End'");
+  }
+
+  // Assemble. Objective coefficients come from the objective expression;
+  // variables absent from it get 0.
+  std::unordered_map<std::string, double> obj_coef;
+  for (const auto& [name, coef] : objective_terms) {
+    if (var_index.count(name) == 0) {
+      return Status::invalid_argument(
+          "parse_lp_format: objective references unknown variable '" + name +
+          "'");
+    }
+    obj_coef[name] += coef;
+  }
+  Problem problem(sense_obj);
+  for (const ParsedBound& b : bounds) {
+    if (!(b.lower <= b.upper) || !std::isfinite(b.lower)) {
+      return Status::invalid_argument(
+          "parse_lp_format: inconsistent bounds for '" + b.name + "'");
+    }
+    VarType type = VarType::kContinuous;
+    if (general.count(b.name) != 0) {
+      type = (b.lower == 0.0 && b.upper == 1.0) ? VarType::kBinary
+                                                : VarType::kInteger;
+    }
+    const auto it = obj_coef.find(b.name);
+    problem.add_variable(b.name, b.lower, b.upper,
+                         it != obj_coef.end() ? it->second : 0.0, type);
+  }
+  for (const ParsedConstraint& con : constraints) {
+    LinearExpr expr;
+    for (const auto& [name, coef] : con.terms) {
+      const auto it = var_index.find(name);
+      if (it == var_index.end()) {
+        return Status::invalid_argument(
+            "parse_lp_format: constraint '" + con.name +
+            "' references unknown variable '" + name + "'");
+      }
+      expr.add(it->second, coef);
+    }
+    problem.add_constraint(con.name, std::move(expr), con.sense, con.rhs);
+  }
+  return problem;
+}
+
+StatusOr<Problem> read_lp_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::not_found("read_lp_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_lp_format(ss.str());
 }
 
 }  // namespace gridsec::lp

@@ -7,6 +7,8 @@ namespace gridsec::lp {
 
 namespace {
 std::atomic<SolveHook> g_solve_hook{nullptr};
+std::atomic<RecoveryHook> g_recovery_hook{nullptr};
+thread_local int g_solve_hook_suppressed = 0;
 }  // namespace
 
 SolveHook set_solve_hook(SolveHook hook) {
@@ -14,7 +16,26 @@ SolveHook set_solve_hook(SolveHook hook) {
 }
 
 SolveHook solve_hook() {
+  if (g_solve_hook_suppressed > 0) return nullptr;
   return g_solve_hook.load(std::memory_order_acquire);
+}
+
+ScopedSolveHookSuppress::ScopedSolveHookSuppress() {
+  ++g_solve_hook_suppressed;
+}
+
+ScopedSolveHookSuppress::~ScopedSolveHookSuppress() {
+  --g_solve_hook_suppressed;
+}
+
+int solve_hook_suppression_depth() { return g_solve_hook_suppressed; }
+
+RecoveryHook set_recovery_hook(RecoveryHook hook) {
+  return g_recovery_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+RecoveryHook recovery_hook() {
+  return g_recovery_hook.load(std::memory_order_acquire);
 }
 
 int Problem::add_variable(std::string name, double lower, double upper,
@@ -60,6 +81,15 @@ void Problem::set_bounds(int var, double lower, double upper) {
 void Problem::set_rhs(int row, double rhs) {
   GRIDSEC_ASSERT(row >= 0 && row < num_constraints());
   constraints_[static_cast<std::size_t>(row)].rhs = rhs;
+}
+
+void Problem::scale_constraint(int row, double factor) {
+  GRIDSEC_ASSERT(row >= 0 && row < num_constraints());
+  GRIDSEC_ASSERT_MSG(factor > 0.0 && std::isfinite(factor),
+                     "scale factor must be positive and finite");
+  auto& con = constraints_[static_cast<std::size_t>(row)];
+  for (Term& t : con.terms) t.coef *= factor;
+  con.rhs *= factor;
 }
 
 bool Problem::has_integer_variables() const {
@@ -152,17 +182,31 @@ Status validate_problem(const Problem& problem) {
     return Status::numerical_error("validate_problem: non-finite " + what +
                                    " at index " + std::to_string(index));
   };
+  // Finite but beyond kMaxMagnitude: pivot products overflow to Inf
+  // mid-solve, so such data is a modeling error, not a numerical accident.
+  const auto huge = [](const std::string& what, int index) {
+    return Status::invalid_argument(
+        "validate_problem: " + what + " at index " + std::to_string(index) +
+        " exceeds the magnitude cap 1e30");
+  };
+  const auto too_big = [](double v) {
+    return std::isfinite(v) && std::fabs(v) > kMaxMagnitude;
+  };
   for (int j = 0; j < problem.num_variables(); ++j) {
     const Variable& v = problem.variable(j);
     if (std::isnan(v.objective) || std::isinf(v.objective)) {
       return bad("objective coefficient", j);
     }
+    if (too_big(v.objective)) return huge("objective coefficient", j);
     // Bounds: lower must be finite (solvers anchor nonbasic columns there),
     // upper may be +inf but never NaN or -inf, and the interval must be
     // non-empty. NaN comparisons are false, so test each way explicitly.
     if (!std::isfinite(v.lower) || std::isnan(v.upper) ||
         v.upper == -kInfinity) {
       return bad("variable bound", j);
+    }
+    if (too_big(v.lower) || too_big(v.upper)) {
+      return huge("variable bound", j);
     }
     if (v.lower > v.upper) {
       return Status::numerical_error(
@@ -173,6 +217,7 @@ Status validate_problem(const Problem& problem) {
   for (int i = 0; i < problem.num_constraints(); ++i) {
     const Constraint& con = problem.constraint(i);
     if (!std::isfinite(con.rhs)) return bad("constraint rhs", i);
+    if (too_big(con.rhs)) return huge("constraint rhs", i);
     for (const Term& t : con.terms) {
       if (t.var < 0 || t.var >= problem.num_variables()) {
         return Status::numerical_error(
@@ -180,6 +225,7 @@ Status validate_problem(const Problem& problem) {
             " references unknown variable " + std::to_string(t.var));
       }
       if (!std::isfinite(t.coef)) return bad("constraint coefficient", i);
+      if (too_big(t.coef)) return huge("constraint coefficient", i);
     }
   }
   return Status::ok();

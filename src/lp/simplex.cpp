@@ -41,6 +41,12 @@ struct IterationOutcome {
   bool cycle_fallback = false;  // cycling detected; Bland forced early
   long refactorizations = 0;  // dense LU rebuilds of the basis matrix
   long eta_updates = 0;       // product-form pivot updates applied
+  long refine_steps = 0;      // iterative-refinement corrections applied
+  /// Refactorizations forced by a stability signal (refused or
+  /// growth-flagged eta pivot, or a drift repair that moved the basic
+  /// values) rather than the periodic chain-length schedule.
+  long residual_refactorizations = 0;
+  double pivot_growth = 0.0;  // max BasisFactorization::pivot_growth() seen
 };
 
 /// Extracts the basis matrix B (m x m) from the tableau.
@@ -56,11 +62,13 @@ Matrix basis_matrix(const Tableau& t) {
   return b;
 }
 
-/// Recomputes the values of the basic variables from the nonbasic point:
-/// x_B = B^{-1} (b - A_N x_N), with one step of iterative refinement so
-/// ill-conditioned bases still yield certificate-grade residuals.
-/// `factor` must be current for t's basis.
-void recompute_basics(Tableau& t, const BasisFactorization& factor) {
+/// Computes x_B = B^{-1} (b - A_N x_N) via the factorization's refined
+/// ftran (residual-checked iterative refinement) without writing into the
+/// tableau. Correction steps accumulate into *refine_steps; the final
+/// relative residual lands in *residual_out (both optional).
+std::vector<double> basic_values(const Tableau& t,
+                                 const BasisFactorization& factor,
+                                 long* refine_steps, double* residual_out) {
   std::vector<double> rhs(static_cast<std::size_t>(t.m));
   for (int i = 0; i < t.m; ++i) {
     rhs[static_cast<std::size_t>(i)] = t.b[static_cast<std::size_t>(i)];
@@ -74,24 +82,22 @@ void recompute_basics(Tableau& t, const BasisFactorization& factor) {
           t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) * xj;
     }
   }
-  std::vector<double> xb = rhs;
-  factor.ftran(xb);
-  // Refine: xb += B^{-1} (rhs - B xb).
-  std::vector<double> res = rhs;
+  const int steps = factor.ftran_refined(rhs, residual_out);
+  if (refine_steps != nullptr) *refine_steps += steps;
+  return rhs;
+}
+
+/// Recomputes the values of the basic variables from the nonbasic point
+/// with iterative refinement, so ill-conditioned bases still yield
+/// certificate-grade residuals. `factor` must be current for t's basis.
+void recompute_basics(Tableau& t, const BasisFactorization& factor,
+                      long* refine_steps = nullptr,
+                      double* residual_out = nullptr) {
+  const std::vector<double> xb =
+      basic_values(t, factor, refine_steps, residual_out);
   for (int i = 0; i < t.m; ++i) {
     const auto is = static_cast<std::size_t>(i);
-    const double xi = xb[is];
-    if (xi == 0.0) continue;
-    const auto bcol = static_cast<std::size_t>(t.basis[is]);
-    for (int r = 0; r < t.m; ++r) {
-      res[static_cast<std::size_t>(r)] -=
-          t.a(static_cast<std::size_t>(r), bcol) * xi;
-    }
-  }
-  factor.ftran(res);
-  for (int i = 0; i < t.m; ++i) {
-    const auto is = static_cast<std::size_t>(i);
-    t.x[static_cast<std::size_t>(t.basis[is])] = xb[is] + res[is];
+    t.x[static_cast<std::size_t>(t.basis[is])] = xb[is];
   }
 }
 
@@ -279,19 +285,57 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
     t.basis[lrow] = entering;
     t.state[eq] = VarState::kBasic;
     // Keep the factorization current: product-form update, with a dense
-    // rebuild when the eta chain is long or the update pivot is unsafe.
+    // rebuild when the eta chain is long, the update pivot is unsafe, or
+    // the accumulated pivot growth says the chain amplifies rounding.
     const bool chain_full =
         factor.eta_count() + 1 >= BasisFactorization::kRefactorInterval;
-    if (chain_full || !factor.update(leaving_row, std::move(w))) {
+    bool need_refactor = chain_full;
+    bool stability_event = false;
+    if (!need_refactor) {
+      if (!factor.update(leaving_row, std::move(w))) {
+        need_refactor = true;  // refused: pivot too small to trust
+        stability_event = true;
+      } else if (factor.pivot_growth() >
+                 BasisFactorization::kGrowthRefactorLimit) {
+        need_refactor = true;  // accepted but growth-flagged: rebuild early
+        stability_event = true;
+      } else {
+        ++out.eta_updates;
+      }
+    }
+    if (need_refactor) {
       ++out.refactorizations;
+      out.pivot_growth = std::max(out.pivot_growth, factor.pivot_growth());
       if (!factor.refactorize(basis_matrix(t))) {
         out.status = SolveStatus::kNumericalError;
         out.iterations = iter + 1;
         return out;
       }
-    } else {
-      ++out.eta_updates;
+      // Drift repair: the pivot loop tracks x incrementally, so a rebuilt
+      // factorization is the cheap moment to compare against the exact
+      // x_B = B^{-1}(b - A_N x_N). Adopt the recomputed values only when
+      // they moved measurably — clean solves keep bit-identical paths.
+      double residual = 0.0;
+      const std::vector<double> xb =
+          basic_values(t, factor, &out.refine_steps, &residual);
+      constexpr double kDriftRepairTol = 1e-9;
+      double drift = 0.0;
+      for (int i = 0; i < t.m; ++i) {
+        const auto is = static_cast<std::size_t>(i);
+        const auto bcol = static_cast<std::size_t>(t.basis[is]);
+        drift = std::max(drift, std::fabs(xb[is] - t.x[bcol]) /
+                                    (1.0 + std::fabs(xb[is])));
+      }
+      if (drift > kDriftRepairTol) {
+        for (int i = 0; i < t.m; ++i) {
+          const auto is = static_cast<std::size_t>(i);
+          t.x[static_cast<std::size_t>(t.basis[is])] = xb[is];
+        }
+        stability_event = true;
+      }
+      if (stability_event) ++out.residual_refactorizations;
     }
+    out.pivot_growth = std::max(out.pivot_growth, factor.pivot_growth());
     if (observed) {
       obs::SimplexIterationEvent ev;
       ev.iteration = iter_base + iter;
@@ -322,6 +366,9 @@ struct SimplexMetricsGuard {
   long refactorizations = 0;
   long eta_updates = 0;
   long basis_repairs = 0;
+  long refine_steps = 0;
+  long residual_refactorizations = 0;
+  double pivot_growth_max = 0.0;
   bool warm_started = false;
   bool warm_rejected = false;
   SolveStatus status = SolveStatus::kOptimal;
@@ -346,6 +393,10 @@ struct SimplexMetricsGuard {
     static obs::Counter& c_repairs = reg.counter("lp.simplex.basis_repairs");
     static obs::Counter& c_warm_rejects =
         reg.counter("lp.simplex.warm_start_rejects");
+    static obs::Counter& c_refines = reg.counter("lp.basis.refine_steps");
+    static obs::Counter& c_stability =
+        reg.counter("lp.basis.residual_refactorizations");
+    static obs::Gauge& g_growth = reg.gauge("lp.basis.pivot_growth_max");
     static obs::Histogram& h_pivots = reg.histogram(
         "lp.simplex.pivots_per_solve",
         {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0});
@@ -358,6 +409,12 @@ struct SimplexMetricsGuard {
     c_refactor.add(refactorizations);
     c_etas.add(eta_updates);
     c_repairs.add(basis_repairs);
+    c_refines.add(refine_steps);
+    c_stability.add(residual_refactorizations);
+    // High-water mark, not a sum. The read-then-set is racy across
+    // concurrent solves, but a missed update only understates a gauge
+    // that the next extreme solve restores — fine for an indicator.
+    if (pivot_growth_max > g_growth.value()) g_growth.set(pivot_growth_max);
     if (warm_started) c_warm.add();
     if (warm_rejected) c_warm_rejects.add();
     if (status != SolveStatus::kOptimal) c_failed.add();
@@ -373,6 +430,9 @@ struct SimplexMetricsGuard {
     bland += out.bland_pivots;
     refactorizations += out.refactorizations;
     eta_updates += out.eta_updates;
+    refine_steps += out.refine_steps;
+    residual_refactorizations += out.residual_refactorizations;
+    pivot_growth_max = std::max(pivot_growth_max, out.pivot_growth);
     if (out.cycle_fallback) ++cycle_fallbacks;
   }
 };
@@ -716,7 +776,8 @@ Solution solve_impl_inner(const Problem& problem,
   long max_iters = options.max_iterations;
   if (max_iters <= 0) max_iters = 2000 + 200L * (m + n);
   long bland_after = options.bland_after;
-  if (bland_after <= 0) bland_after = std::max(200L, 20L * (m + n));
+  if (bland_after == 0) bland_after = std::max(200L, 20L * (m + n));
+  if (bland_after < 0) bland_after = 0;  // force Bland from the first pivot
 
   long total_iters = 0;
   bool any_artificial = false;
@@ -800,13 +861,51 @@ Solution solve_impl_inner(const Problem& problem,
   }
 
   // Clean up drift accumulated through the eta chain before extraction:
-  // one fresh factorization, then exact basic values from it.
-  ++metrics.refactorizations;
-  if (!factor.refactorize(basis_matrix(t))) {
-    sol.status = SolveStatus::kNumericalError;
-    return sol;
+  // one fresh factorization, then refined basic values from it. A
+  // re-pricing pass on the fresh factorization then confirms the verdict:
+  // the pivot loop prices with multipliers pushed through the eta chain,
+  // so on a drifted chain "no attractive column" can be an artifact — a
+  // marginal reduced cost the refined duals extracted below would
+  // contradict at certificate grade. Resuming the pivot loop here repairs
+  // such optima instead of shipping them (the resume cap bounds the cost
+  // when an instance keeps re-tripping; the common case adds exactly one
+  // pricing sweep and zero pivots).
+  constexpr int kMaxOptimalityResumes = 3;
+  for (int resume = 0;; ++resume) {
+    ++metrics.refactorizations;
+    if (!factor.refactorize(basis_matrix(t))) {
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
+    }
+    recompute_basics(t, factor, &metrics.refine_steps);
+    metrics.pivot_growth_max =
+        std::max(metrics.pivot_growth_max, factor.pivot_growth());
+    if (resume >= kMaxOptimalityResumes || max_iters <= total_iters) break;
+    // Each confirmation pass gets a small budget: an instance whose
+    // pricing keeps flip-flopping at the tolerance boundary must fail
+    // fast into the recovery path, not grind away the caller's whole
+    // iteration allowance.
+    const long resume_budget =
+        std::min(max_iters - total_iters, 4L * (m + n) + 16);
+    outcome = iterate(t, factor, options, resume_budget, bland_after,
+                      deadline, /*phase=*/2, /*iter_base=*/total_iters);
+    total_iters += outcome.iterations;
+    metrics.absorb(outcome);
+    sol.iterations = total_iters;
+    if (outcome.status == SolveStatus::kTimeLimit) {
+      sol.status = outcome.status;
+      return sol;
+    }
+    if (outcome.status != SolveStatus::kOptimal) {
+      // The pivot loop said optimal, the confirmation pass now says
+      // otherwise (budget churn, a spurious unbounded ray): that
+      // contradiction is numerical instability, and reporting it as such
+      // hands the solve to the warm→cold retry and the recovery ladder.
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
+    }
+    if (outcome.iterations == 0) break;  // fresh-factor pricing agrees
   }
-  recompute_basics(t, factor);
 
 
   // Self-check against eta-chain drift: the pivot loop tracks x
@@ -843,26 +942,64 @@ Solution solve_impl_inner(const Problem& problem,
   }
   sol.objective = problem.objective_value(sol.x);
 
-  // Duals from the final basis; convert to the problem's own sense. One
-  // refinement step (y += B^{-T}(c_B - B^T y)) keeps the reduced-cost
+  // Duals from the final basis; convert to the problem's own sense.
+  // Residual-checked iterative refinement keeps the reduced-cost
   // residuals certificate-grade on ill-conditioned bases.
-  std::vector<double> y = multipliers(t, factor);
-  {
-    std::vector<double> res(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      const auto bcol =
-          static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)]);
-      double acc = t.cost[bcol];
-      for (int r = 0; r < m; ++r) {
-        acc -= t.a(static_cast<std::size_t>(r), bcol) *
-               y[static_cast<std::size_t>(r)];
-      }
-      res[static_cast<std::size_t>(i)] = acc;
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        t.cost[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])];
+  }
+  metrics.refine_steps += factor.btran_refined(y);
+  // Symmetric twin of the basic-value self-check above, for the dual
+  // side: a basic column's reduced cost c_j − yᵀA_j is exactly the
+  // residual of Bᵀy = c_B, so if refinement left any entry above
+  // certificate grade — scaled per column the way the certificate scales
+  // it — the duals and reduced costs derived from y below are fiction
+  // (observed as near-O(1) duality gaps on near-singular bases, where
+  // refinement stalls instead of converging). Report the breakdown;
+  // warm-started solves then retry cold and the recovery ladder handles
+  // the rest. The threshold sits just under the certificate's default
+  // dual tolerance (1e-6), plus a rounding floor: computing c_j − yᵀA_j
+  // itself rounds at eps per term of the dot product, so on extreme-range
+  // columns (Σ|y_r·a_rj| ~ 1e11) even an exact y shows an O(1e-5)
+  // residual. A residual under that floor is backward-error-perfect and
+  // must not be mistaken for contamination.
+  constexpr double kDualResidualTol = 5e-7;
+  constexpr double kAccumulationTol = 1e-13;  // ~450·eps: rounding floor
+  double gap_err = 0.0;    // Σ |r_i|·(1+|x_i|): duality-gap contamination
+  double gap_mag = 1.0;    // Σ |c_i·x_i| over the basis: gap check scale
+  double gap_floor = 0.0;  // Σ rounding-floor_i·(1+|x_i|): unavoidable
+  for (int i = 0; i < m; ++i) {
+    const auto cs =
+        static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)]);
+    double byi = 0.0;
+    double acc = 0.0;  // Σ_r |y_r·a_ri|: the dot product's rounding scale
+    for (int r = 0; r < m; ++r) {
+      const double term = y[static_cast<std::size_t>(r)] *
+                          t.a(static_cast<std::size_t>(r), cs);
+      byi += term;
+      acc += std::fabs(term);
     }
-    factor.btran(res);
-    for (int i = 0; i < m; ++i) {
-      y[static_cast<std::size_t>(i)] += res[static_cast<std::size_t>(i)];
+    const double ri = t.cost[cs] - byi;
+    if (std::fabs(ri) > kDualResidualTol * (1.0 + std::fabs(t.cost[cs])) +
+                            kAccumulationTol * acc) {
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
     }
+    gap_err += std::fabs(ri) * (1.0 + std::fabs(t.x[cs]));
+    gap_mag += std::fabs(t.cost[cs] * t.x[cs]);
+    gap_floor += kAccumulationTol * acc * (1.0 + std::fabs(t.x[cs]));
+  }
+  // A per-entry-clean residual can still poison the duality gap: a basic
+  // variable parked at (or near) a huge bound multiplies its residual
+  // into the dual objective via complementary slackness, so a 1e-8
+  // residual on a 1e7-bounded column opens an O(0.1) gap no certifier
+  // accepts. Weight each residual by its primal value and hold the sum
+  // to gap grade.
+  if (gap_err > kDualResidualTol * gap_mag + gap_floor) {
+    sol.status = SolveStatus::kNumericalError;
+    return sol;
   }
   sol.duals.resize(static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) {
@@ -926,11 +1063,23 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
         .field("vars", problem.num_variables())
         .field("rows", problem.num_constraints())
         .message("warm-started solve wedged; retrying cold");
+    static obs::Counter& c_warm_cold_retries =
+        obs::default_registry().counter("lp.simplex.warm_cold_retries");
+    c_warm_cold_retries.add();
     SimplexOptions cold = options;
     cold.warm_start = Basis{};
     SimplexMetricsGuard metrics;
     sol = solve_impl_inner(problem, cold, final_tableau, metrics);
     metrics.status = sol.status;
+  }
+  // Numerical-recovery ladder (robust::recovery, when installed): a last
+  // line of defense after the built-in warm→cold retry. Skipped on the
+  // sensitivity path — ranging needs the tableau of the actual failed
+  // solve, which a rung replacement would not match.
+  if (sol.status == SolveStatus::kNumericalError && final_tableau == nullptr) {
+    if (const RecoveryHook recover = recovery_hook(); recover != nullptr) {
+      recover(problem, options, &sol);
+    }
   }
   // Degraded verdicts are worth a record even at the default level; clean
   // solves only show up under GRIDSEC_LOG_LEVEL=debug.

@@ -293,17 +293,25 @@ void check_dual(const Problem& problem, const Solution& sol, Residuals& r) {
     dual_obj_mag += std::fabs(yi * row.rhs);
   }
 
-  // Reduced costs, recomputed from scratch.
+  // Reduced costs, recomputed from scratch. `dmag` tracks each column's
+  // accumulation magnitude |c_j| + Σ|y_i·a_ij| alongside: the recompute
+  // itself rounds at eps per term, so on a column whose duals reach 1e11
+  // even exact duals leave an O(1e-5) remainder. Violations under that
+  // floor are this check's own arithmetic, not the solver's.
+  constexpr double kCertRoundTol = 1e-13;  // ~450·eps: rounding floor
   std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> dmag(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     const double cj = problem.variable(j).objective;
     d[static_cast<std::size_t>(j)] = maximize ? -cj : cj;
+    dmag[static_cast<std::size_t>(j)] = std::fabs(cj);
   }
   for (int i = 0; i < m; ++i) {
     const double yi = y[static_cast<std::size_t>(i)];
     if (yi == 0.0) continue;
     for (const lp::Term& t : problem.constraint(i).terms) {
       d[static_cast<std::size_t>(t.var)] -= yi * t.coef;
+      dmag[static_cast<std::size_t>(t.var)] += std::fabs(yi * t.coef);
     }
   }
 
@@ -312,6 +320,8 @@ void check_dual(const Problem& problem, const Solution& sol, Residuals& r) {
     const double xj = sol.x[static_cast<std::size_t>(j)];
     const double dj = d[static_cast<std::size_t>(j)];
     const double cscale = 1.0 + std::fabs(v.objective);
+    const double dj_floor =
+        kCertRoundTol * dmag[static_cast<std::size_t>(j)];
     const double at_tol = r.feasibility_tol * (1.0 + std::fabs(xj));
     const bool at_lower = xj - v.lower <= at_tol;
     const bool at_upper = std::isfinite(v.upper) && v.upper - xj <= at_tol;
@@ -325,6 +335,7 @@ void check_dual(const Problem& problem, const Solution& sol, Residuals& r) {
     } else {
       violation = std::fabs(dj);
     }
+    violation = std::max(0.0, violation - dj_floor);
     r.note(&r.cert.complementary_slackness, violation, cscale,
            "var %d '%s': reduced cost %.6g inconsistent with x = %.6g", j,
            v.name.c_str(), dj, xj);
@@ -338,18 +349,26 @@ void check_dual(const Problem& problem, const Solution& sol, Residuals& r) {
              v.name.c_str(), reported, mine);
     }
 
-    // Dual objective contribution from the bound constraints.
-    if (dj > 0.0) {
-      dual_obj += dj * v.lower;
-      dual_obj_mag += std::fabs(dj * v.lower);
-    } else if (std::isfinite(v.upper)) {
-      dual_obj += dj * v.upper;
-      dual_obj_mag += std::fabs(dj * v.upper);
-    } else {
-      r.note(&r.cert.dual_residual, -dj, cscale,
+    // Dual objective contribution from the bound constraints. The bound
+    // multipliers are reconstructed from the sign of dj, so a reduced
+    // cost inside the dual tolerance band must count as zero here: the
+    // complementarity check above already excuses |dj| <= tol·cscale as
+    // noise, and branching on the sign of that noise would multiply it
+    // by an arbitrarily large opposite bound (a 1e-8 "negative" dj on a
+    // variable at lower with a 1e7 upper bound fakes an O(0.1) gap).
+    const double dj_eff =
+        std::fabs(dj) <= r.dual_tol * cscale + dj_floor ? 0.0 : dj;
+    if (dj_eff > 0.0) {
+      dual_obj += dj_eff * v.lower;
+      dual_obj_mag += std::fabs(dj_eff * v.lower);
+    } else if (dj_eff < 0.0 && std::isfinite(v.upper)) {
+      dual_obj += dj_eff * v.upper;
+      dual_obj_mag += std::fabs(dj_eff * v.upper);
+    } else if (dj_eff < 0.0) {
+      r.note(&r.cert.dual_residual, -dj_eff, cscale,
              "var %d '%s': negative reduced cost %.6g on an unbounded "
              "column",
-             j, v.name.c_str(), dj);
+             j, v.name.c_str(), dj_eff);
     }
   }
 
@@ -588,6 +607,22 @@ void write_solution(std::ostream& os, const Solution& s) {
     os << ",\"basis\":";
     json::write_string(os, lp::to_string(s.basis));
   }
+  // Recovery trail: present only when the numerical-recovery ladder
+  // engaged. One entry per rung attempted, in order — the audit of a
+  // failure shows the whole ladder, not just the verdict.
+  if (!s.recovery_trail.empty()) {
+    os << ",\"recovery_trail\":[";
+    for (std::size_t i = 0; i < s.recovery_trail.size(); ++i) {
+      const lp::RecoveryStepInfo& step = s.recovery_trail[i];
+      if (i > 0) os << ',';
+      os << "{\"rung\":";
+      json::write_string(os, step.rung);
+      os << ",\"status\":\"" << lp::to_string(step.status)
+         << "\",\"certified\":" << (step.certified ? "true" : "false")
+         << '}';
+    }
+    os << ']';
+  }
   os << '}';
 }
 
@@ -799,6 +834,28 @@ Status parse_solution(const json::JsonValue& v, Solution* out) {
     auto parsed = lp::parse_basis(basis->string_or(""));
     if (!parsed.is_ok()) return parsed.status();
     out->basis = std::move(parsed.value());
+  }
+  // Recovery trail (absent in pre-recovery bundles and on clean solves).
+  if (const json::JsonValue* trail = v.find("recovery_trail");
+      trail != nullptr) {
+    if (trail->kind != json::JsonValue::Kind::kArray) {
+      return parse_error("solution.recovery_trail must be an array");
+    }
+    for (const json::JsonValue& e : trail->array) {
+      const json::JsonValue* rung = e.find("rung");
+      const json::JsonValue* step_status = e.find("status");
+      lp::RecoveryStepInfo step;
+      if (rung == nullptr || step_status == nullptr ||
+          !parse_solve_status(step_status->string_or(""), &step.status)) {
+        return parse_error("malformed recovery_trail entry");
+      }
+      step.rung = rung->string_or("");
+      const json::JsonValue* cert = e.find("certified");
+      step.certified = cert != nullptr &&
+                       cert->kind == json::JsonValue::Kind::kBool &&
+                       cert->boolean;
+      out->recovery_trail.push_back(std::move(step));
+    }
   }
   return Status::ok();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -10,8 +11,10 @@
 #include "gridsec/flow/social_welfare.hpp"
 #include "gridsec/lp/presolve.hpp"
 #include "gridsec/lp/simplex.hpp"
+#include "gridsec/obs/audit.hpp"
 #include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
+#include "gridsec/robust/recovery.hpp"
 #include "gridsec/sim/scenario.hpp"
 
 namespace gridsec::robust {
@@ -25,6 +28,15 @@ constexpr FaultKind kAllKinds[] = {
     FaultKind::kZeroCapacity,     FaultKind::kNegativeCapacity,
     FaultKind::kDisconnectedHub,  FaultKind::kDegenerateTies,
     FaultKind::kExtremeRange,
+};
+
+// The numerical-stress pool is deliberately NOT merged into kAllKinds:
+// inject_random draws from kAllKinds by index, so growing that array would
+// silently reshuffle every historical fuzz seed.
+constexpr FaultKind kStressKinds[] = {
+    FaultKind::kExtremeDynamicRange,
+    FaultKind::kNearDegenerateScaling,
+    FaultKind::kBasisDrift,
 };
 
 int pick_index(Rng& rng, int n) {
@@ -42,6 +54,9 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kDisconnectedHub: return "disconnected_hub";
     case FaultKind::kDegenerateTies: return "degenerate_ties";
     case FaultKind::kExtremeRange: return "extreme_range";
+    case FaultKind::kExtremeDynamicRange: return "extreme_dynamic_range";
+    case FaultKind::kNearDegenerateScaling: return "near_degenerate_scaling";
+    case FaultKind::kBasisDrift: return "basis_drift";
   }
   return "unknown_fault";
 }
@@ -131,6 +146,50 @@ bool FaultInjector::do_inject(lp::Problem& p, FaultKind kind) {
       p.set_objective_coef(b, p.variable(b).objective * 1e-9);
       return true;
     }
+    case FaultKind::kExtremeDynamicRange: {
+      // ~1e18 of dynamic range inside one tableau: alternate objective
+      // coefficients across 2^±30 and push two rows to opposite extremes.
+      // Powers of two keep the mantissas exact, so the conditioning — not
+      // representation error — is what the solver fights.
+      for (int j = 0; j < nv; ++j) {
+        const double c = p.variable(j).objective;
+        p.set_objective_coef(j, (c == 0.0 ? 1.0 : c) *
+                                    ((j % 2 == 0) ? 0x1p30 : 0x1p-30));
+      }
+      const int nc = p.num_constraints();
+      if (nc > 0) p.scale_constraint(pick_index(rng_, nc), 0x1p30);
+      if (nc > 1) {
+        int r = pick_index(rng_, nc - 1);
+        p.scale_constraint(r, 0x1p-30);
+      }
+      return true;
+    }
+    case FaultKind::kNearDegenerateScaling: {
+      const int nc = p.num_constraints();
+      if (nc == 0) return false;
+      // A row whose coefficients sit at ~1e-12–1e-11 parks its candidate
+      // pivots at BasisFactorization's 1e-11 pivot tolerance: eta updates
+      // get refused, refactorizations churn, and sloppier codes wedge.
+      p.scale_constraint(pick_index(rng_, nc),
+                         rng_.bernoulli(0.5) ? 1e-12 : 1e12);
+      return true;
+    }
+    case FaultKind::kBasisDrift: {
+      const int nc = p.num_constraints();
+      if (nc == 0) return false;
+      // Append a near-duplicate of an existing row: the pair is linearly
+      // dependent to within 1e-12, so bases containing both slacks are
+      // numerically singular and warm-started bases drift.
+      const lp::Constraint& row = p.constraint(pick_index(rng_, nc));
+      lp::LinearExpr expr;
+      for (const lp::Term& t : row.terms) {
+        expr.add(t.var, t.coef * (1.0 + 1e-12 * rng_.uniform(-1.0, 1.0)));
+      }
+      if (expr.empty()) return false;
+      p.add_constraint("fault.drift", std::move(expr), row.sense,
+                       row.rhs * (1.0 + 1e-12 * rng_.uniform(-1.0, 1.0)));
+      return true;
+    }
   }
   return false;
 }
@@ -184,6 +243,10 @@ bool FaultInjector::do_inject(flow::Network& net, FaultKind kind) {
       net.set_capacity(b, net.edge(b).capacity * 1e6);
       return true;
     }
+    case FaultKind::kExtremeDynamicRange:
+    case FaultKind::kNearDegenerateScaling:
+    case FaultKind::kBasisDrift:
+      return false;  // tableau-conditioning faults; meaningless on a graph
   }
   return false;
 }
@@ -528,6 +591,9 @@ void fuzz_warm_start_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
 
   lp::SimplexOptions warm_options = cold_options;
   warm_options.warm_start = cold.basis;
+  obs::Counter& warm_cold_retries =
+      obs::default_registry().counter("lp.simplex.warm_cold_retries");
+  const std::int64_t retries_before = warm_cold_retries.value();
   const lp::Solution warm = lp::SimplexSolver(warm_options).solve(p);
   ctx.tally(warm.status);
   const double tol =
@@ -541,8 +607,12 @@ void fuzz_warm_start_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
     ctx.fail(seed, os.str());
     return;
   }
+  // A solve that wedged on the warm trajectory and took the documented
+  // warm→cold numerical retry legitimately reports the cold path; the
+  // retry counter distinguishes it from warm-start plumbing going dead.
   if (!warm.warm_started && !cold.basis.empty() &&
-      lp::warm_start_enabled()) {
+      lp::warm_start_enabled() &&
+      warm_cold_retries.value() == retries_before) {
     ctx.fail(seed, "warm basis supplied but solve reported cold path (" +
                        to_string(report) + ")");
   }
@@ -578,6 +648,133 @@ void fuzz_warm_start_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
   }
 }
 
+/// Stress leg (options.stress_numerics): instances faulted from the
+/// numerical-stress pool, solved three ways and cross-checked.
+///   reference — cold start, Bland's rule from the first pivot: slow but
+///               numerically boring; its certified optimum is the oracle.
+///   plain     — default solve with the recovery ladder suppressed
+///               (ScopedRecoveryDisable): measures how often the stress
+///               faults actually hurt.
+///   ladder    — solve_with_recovery(): must certify the same optimum as
+///               the reference, and must resolve (acceptance: >= 80% of)
+///               the instances the plain solve loses.
+void fuzz_stress_instance(FuzzContext& ctx, std::uint64_t seed, Rng& rng) {
+  // Every solve below runs on a deliberately ill-conditioned instance;
+  // an armed audit hook (tests link certify_all) would book the resulting
+  // uncertifiable "optima" as product defects. This leg carries its own
+  // stronger (scale-invariant, tight-tier) cross-checks instead.
+  lp::ScopedSolveHookSuppress no_audit;
+  lp::Problem p = make_random_lp(rng);
+  FaultInjector injector(rng.next());
+  FaultReport report;
+  const int count = 1 + pick_index(rng, 3);
+  for (int f = 0; f < count; ++f) {
+    const FaultKind kind = kStressKinds[pick_index(
+        rng, static_cast<int>(std::size(kStressKinds)))];
+    if (injector.inject(p, kind)) report.applied.push_back(kind);
+  }
+  if (!report.applied.empty()) ++ctx.stats.faulted;
+  if (!lp::validate_problem(p).is_ok()) return;  // stacked scalings can
+                                                 // trip the magnitude cap
+
+  // Scale-invariant certificate: verified against the original AND the
+  // equilibrated problem, where a 1e-12-scaled row can no longer hide its
+  // violations below certify()'s relative tolerances.
+  const lp::Equilibrated eq = lp::equilibrate(p);
+  const obs::CertifyOptions cert{.relaxation = true};
+  const auto certified_with = [&](const lp::Solution& sol,
+                                  const obs::CertifyOptions& c) {
+    if (!sol.optimal() || !obs::certify(p, sol, c).ok()) return false;
+    return !eq.scaled_any() ||
+           obs::certify(eq.scaled(), eq.rescale(sol), c).ok();
+  };
+  const auto strongly_certified = [&](const lp::Solution& sol) {
+    return certified_with(sol, cert);
+  };
+  // Two answers can disagree by O(1) while both certify with ~1e-16
+  // residuals — e.g. a pair of near-duplicate equality rows whose 1e-12
+  // difference implies an O(1) constraint no tolerance can see. Such an
+  // instance is ill-posed below every certificate's discriminating power:
+  // neither answer is "wrong", so an objective mismatch only counts as a
+  // failure when the suspect answer stops certifying at tight (1e-9)
+  // tolerances.
+  obs::CertifyOptions tight = cert;
+  tight.feasibility_tol = 1e-9;
+  tight.dual_tol = 1e-9;
+  tight.duality_gap_tol = 1e-9;
+  const auto ambiguous_mismatch = [&](const lp::Solution& sol) {
+    return certified_with(sol, tight);
+  };
+
+  // Oracle: cold-start Bland's rule on the equilibrated data — slow,
+  // cycling-proof, and well-scaled by construction.
+  lp::SimplexOptions ref_options;
+  ref_options.time_limit_ms = ctx.options.time_limit_ms;
+  ref_options.bland_after = -1;
+  lp::Solution reference;
+  {
+    ScopedRecoveryDisable off;
+    reference = eq.scaled_any()
+                    ? eq.unscale(lp::SimplexSolver(ref_options)
+                                     .solve(eq.scaled()))
+                    : lp::SimplexSolver(ref_options).solve(p);
+  }
+  // The oracle must itself clear the tight certificate — an answer that
+  // only certifies loosely cannot adjudicate the tight bar the ladder is
+  // held to. Instances with no tightly certifiable optimum (genuinely
+  // infeasible/unbounded, wedged, or conditioned beyond 1e-9) are skipped.
+  if (!certified_with(reference, tight)) {
+    return;
+  }
+  ++ctx.stats.recovery_checks;
+
+  lp::SimplexOptions so;
+  so.time_limit_ms = ctx.options.time_limit_ms;
+  lp::Solution plain;
+  {
+    ScopedRecoveryDisable off;
+    plain = lp::SimplexSolver(so).solve(p);
+  }
+  ctx.tally(plain.status);
+  // The plain solve counts as OK only under the tight certificate — the
+  // ladder's own acceptance bar. A plain answer that certifies loosely but
+  // not tightly can be arbitrarily wrong (the loose tolerances are what a
+  // ~1e-7 dual-sign or equality violation hides beneath); that is the
+  // baseline defect the ladder exists to fix, so it tallies as a plain
+  // failure rather than a fuzz failure.
+  const bool plain_ok = certified_with(plain, tight);
+  if (!plain_ok) ++ctx.stats.recovery_failed_plain;
+
+  const lp::Solution laddered = solve_with_recovery(p, so);
+  ctx.tally(laddered.status);
+  const bool ladder_strict = certified_with(laddered, tight);
+  const bool ladder_loose = strongly_certified(laddered);
+  const double tol =
+      ctx.options.objective_tol * (1.0 + std::fabs(reference.objective));
+  // Wrong certified optimum: the ladder adopted an answer (at either
+  // tier) whose objective contradicts the oracle AND which the tight
+  // certificate rejects. (When both answers tightly certify despite
+  // disagreeing, the instance is ill-posed below every certificate's
+  // discriminating power — see ambiguous_mismatch above.)
+  if (ladder_loose &&
+      std::fabs(laddered.objective - reference.objective) > tol &&
+      !ambiguous_mismatch(laddered)) {
+    std::ostringstream os;
+    os << "stress (" << to_string(report)
+       << "): ladder certified a wrong optimum: " << laddered.objective
+       << " vs reference " << reference.objective;
+    ctx.fail(seed, os.str());
+    return;
+  }
+  if (!plain_ok && ladder_strict) ++ctx.stats.recovery_resolved;
+  if (plain_ok && !ladder_strict) {
+    ctx.fail(seed, "stress (" + to_string(report) +
+                       "): ladder lost an instance the plain solve "
+                       "certifies: " +
+                       std::string(lp::to_string(laddered.status)));
+  }
+}
+
 }  // namespace
 
 std::string to_string(const FuzzStats& stats) {
@@ -587,6 +784,9 @@ std::string to_string(const FuzzStats& stats) {
      << stats.adversary_checks << " adversary checks, "
      << stats.network_checks << " network checks, "
      << stats.warm_checks << " warm-start checks, "
+     << stats.recovery_checks << " recovery checks ("
+     << stats.recovery_resolved << "/" << stats.recovery_failed_plain
+     << " plain failures resolved), "
      << stats.failures.size() << " failures\n";
   for (const auto& [status, count] : stats.status_counts) {
     os << "  status " << status << ": " << count << "\n";
@@ -625,6 +825,17 @@ FuzzStats run_differential_fuzz(const FuzzOptions& options) {
     Rng rng = parent.derive_stream(4 * seed + 3);
     fuzz_warm_start_instance(ctx, seed, rng);
     ++stats.instances;
+  }
+  if (options.stress_numerics) {
+    // Independent parent stream: enabling the stress leg must not perturb
+    // the four classic legs' historical seed → instance mapping.
+    const Rng stress_parent(options.seed ^ 0x9E3779B97F4A7C15ULL);
+    for (int i = 0; i < options.instances; ++i) {
+      const auto seed = static_cast<std::uint64_t>(i);
+      Rng rng = stress_parent.derive_stream(seed);
+      fuzz_stress_instance(ctx, seed, rng);
+      ++stats.instances;
+    }
   }
 
   stats.status_counts.assign(ctx.status_tally.begin(), ctx.status_tally.end());

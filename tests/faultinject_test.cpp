@@ -84,6 +84,11 @@ TEST(FaultKind, ToStringIsStable) {
   EXPECT_EQ(to_string(FaultKind::kDisconnectedHub), "disconnected_hub");
   EXPECT_EQ(to_string(FaultKind::kDegenerateTies), "degenerate_ties");
   EXPECT_EQ(to_string(FaultKind::kExtremeRange), "extreme_range");
+  EXPECT_EQ(to_string(FaultKind::kExtremeDynamicRange),
+            "extreme_dynamic_range");
+  EXPECT_EQ(to_string(FaultKind::kNearDegenerateScaling),
+            "near_degenerate_scaling");
+  EXPECT_EQ(to_string(FaultKind::kBasisDrift), "basis_drift");
 }
 
 TEST(FaultReport, ClassifiesFaults) {
@@ -216,6 +221,18 @@ TEST(DifferentialFuzz, WarmStartLegMatchesColdSolves) {
   EXPECT_EQ(stats.warm_checks, 100);
 }
 
+TEST(DifferentialFuzz, StressNumericsSmoke) {
+  // Small always-on slice of the numerical-stress leg (CI scales it up
+  // via GRIDSEC_FUZZ_INSTANCES + GRIDSEC_FUZZ_STRESS_NUMERICS): the
+  // ladder must never certify a wrong optimum, at any scale.
+  FuzzOptions opt;
+  opt.instances = 60;
+  opt.stress_numerics = true;
+  const FuzzStats stats = run_differential_fuzz(opt);
+  EXPECT_TRUE(stats.ok()) << to_string(stats);
+  EXPECT_GT(stats.recovery_checks, 0) << to_string(stats);
+}
+
 TEST(DifferentialFuzz, DeterministicInSeed) {
   FuzzOptions opt;
   opt.instances = 25;
@@ -235,13 +252,35 @@ TEST(DifferentialFuzz, SeededFaultedInstancesPassAtScale) {
   if (const char* env = std::getenv("GRIDSEC_FUZZ_INSTANCES")) {
     opt.instances = std::max(1, std::atoi(env));
   }
+  // GRIDSEC_FUZZ_STRESS_NUMERICS=1 adds the numerical-stress leg: every
+  // instance additionally runs the three-way (reference / plain / ladder)
+  // recovery cross-check on stress-faulted data. The leg asserts the
+  // ladder never certifies a wrong optimum and resolves >= 80% of the
+  // instances the plain solve loses (checked below when enough plain
+  // failures accumulated for the ratio to be meaningful).
+  if (const char* env = std::getenv("GRIDSEC_FUZZ_STRESS_NUMERICS")) {
+    opt.stress_numerics = std::atoi(env) != 0;
+  }
   const FuzzStats stats = run_differential_fuzz(opt);
   EXPECT_TRUE(stats.ok()) << to_string(stats);
   EXPECT_GE(stats.instances, 500);
   EXPECT_GT(stats.faulted, 0);
+  // `instances` counts every leg; the stress leg's work lands in
+  // recovery_checks (oracle-skipped instances contribute nothing), so the
+  // four classic tallies only cover the classic 4/5ths of the total.
+  const long classic_instances =
+      opt.stress_numerics ? (stats.instances * 4) / 5 : stats.instances;
   EXPECT_GE(stats.lp_checks + stats.adversary_checks + stats.network_checks +
                 stats.warm_checks,
-            stats.instances);
+            classic_instances);
+  if (opt.stress_numerics) {
+    EXPECT_GT(stats.recovery_checks, 0) << to_string(stats);
+    if (stats.recovery_failed_plain >= 20) {
+      EXPECT_GE(stats.recovery_resolved,
+                (stats.recovery_failed_plain * 8) / 10)
+          << to_string(stats);
+    }
+  }
 }
 
 }  // namespace

@@ -82,6 +82,16 @@ void print_summary(const obs::AuditBundle& b) {
         "incumbent updates\n",
         s.bnb.nodes_explored, s.bnb.lp_solves, s.bnb.incumbent_updates);
   }
+  if (!s.recovery_trail.empty()) {
+    std::printf("recovery ladder (%zu rungs attempted):\n",
+                s.recovery_trail.size());
+    for (std::size_t i = 0; i < s.recovery_trail.size(); ++i) {
+      const lp::RecoveryStepInfo& step = s.recovery_trail[i];
+      std::printf("  %zu. %-14s %-16s %s\n", i + 1, step.rung.c_str(),
+                  std::string(lp::to_string(step.status)).c_str(),
+                  step.certified ? "certified — answer adopted" : "");
+    }
+  }
 }
 
 void print_certificate(const obs::Certificate& c, const char* label) {
