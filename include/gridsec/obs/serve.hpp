@@ -1,0 +1,62 @@
+// Embedded single-threaded telemetry endpoint — the seed of the
+// gridsec-serve ops surface.
+//
+// TelemetryServer binds a loopback TCP socket and answers three routes:
+//   GET /metrics  — OpenMetrics text exposition of the metric registry
+//                   (telemetry.hpp), Content-Type kOpenMetricsContentType;
+//   GET /healthz  — "ok" (liveness);
+//   GET /progress — JSON array of live ProgressTracker snapshots.
+// Anything else is 404; non-GET methods are 405. One background thread
+// accepts and serves connections sequentially (scrapes are rare and the
+// exposition is small); requests never block solver threads beyond the
+// registry's existing mutexes.
+//
+// Security posture: binds 127.0.0.1 only — this is an operator's local
+// inspection port, not a public listener.
+//
+// Under -DGRIDSEC_NO_SERVE=ON the implementation is compiled out: start()
+// returns an error Status naming the option and no socket code is linked.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gridsec/util/error.hpp"
+
+namespace gridsec::obs {
+
+class MetricRegistry;
+
+struct TelemetryServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  /// port() — the CLI logs it so scrapers can find it).
+  int port = 0;
+  /// Registry to expose; nullptr = default_registry().
+  MetricRegistry* registry = nullptr;
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer();
+  ~TelemetryServer();  // stops if running
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens, spawns the serving thread, and enables
+  /// ProgressTracker. Fails if already running, the port is out of range,
+  /// or (GRIDSEC_NO_SERVE) the endpoint is compiled out.
+  Status start(const TelemetryServerOptions& options = {});
+  /// Wakes the serving thread and joins it. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const;
+  /// The bound port while running, -1 otherwise.
+  [[nodiscard]] int port() const;
+  /// Requests answered so far (any route, any status).
+  [[nodiscard]] std::uint64_t requests() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gridsec::obs

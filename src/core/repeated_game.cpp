@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gridsec/obs/telemetry.hpp"
+
 namespace gridsec::core {
 
 double RepeatedGameResult::total_adversary_gain() const {
@@ -43,7 +45,9 @@ StatusOr<RepeatedGameResult> play_repeated_game(
   std::vector<double> hits(static_cast<std::size_t>(truth.num_edges()), 0.0);
   StrategicAdversary sa(game.adversary);
 
+  obs::Progress progress("core.game.rounds", config.rounds);
   for (int round = 0; round < config.rounds; ++round) {
+    progress.advance();
     RoundOutcome ro;
     // Defender invests on current beliefs.
     ro.defense = game.collaborative

@@ -1,0 +1,245 @@
+#include "gridsec/obs/serve.hpp"
+
+#ifndef GRIDSEC_NO_SERVE
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "gridsec/obs/log.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/prof.hpp"
+#include "gridsec/obs/telemetry.hpp"
+#include "json.hpp"
+
+namespace gridsec::obs {
+namespace {
+
+/// Strips the query string and fragment: routing keys on the path only.
+std::string request_path(const std::string& target) {
+  const std::size_t cut = target.find_first_of("?#");
+  return cut == std::string::npos ? target : target.substr(0, cut);
+}
+
+std::string progress_json() {
+  std::ostringstream os;
+  os << "{\"progress\":[";
+  bool first = true;
+  for (const auto& p : ProgressTracker::snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    json::write_string(os, p.name);
+    os << ",\"total\":" << p.total << ",\"done\":" << p.done
+       << ",\"rate_per_second\":" << p.rate_per_second
+       << ",\"eta_seconds\":" << p.eta_seconds << ",\"stalled\":"
+       << (p.stalled ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void write_response(int fd, int code, const char* reason,
+                    const char* content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  const std::string out = os.str();
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct TelemetryServer::Impl {
+  MetricRegistry* registry = nullptr;
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+  int bound_port = -1;
+  std::thread thread;
+  bool thread_running = false;
+  std::atomic<std::uint64_t> requests{0};
+
+  void serve_connection(int fd);
+  void loop();
+};
+
+void TelemetryServer::Impl::serve_connection(int fd) {
+  // One short request per connection; a 2 s receive timeout bounds how
+  // long a stuck client can hold the (single) serving thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char buf[4096];
+  std::string request;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16384) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // no request line at all
+  std::istringstream line(request.substr(0, line_end));
+  std::string method, target, version;
+  line >> method >> target >> version;
+  requests.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET") {
+    write_response(fd, 405, "Method Not Allowed", "text/plain; charset=utf-8",
+                   "method not allowed\n");
+    return;
+  }
+  const std::string path = request_path(target);
+  if (path == "/metrics") {
+    static Counter& c_scrapes =
+        default_registry().counter("obs.telemetry.scrapes");
+    c_scrapes.add();
+    sync_alloc_counters();
+    std::ostringstream body;
+    write_openmetrics(body, *registry);
+    write_response(fd, 200, "OK", kOpenMetricsContentType, body.str());
+  } else if (path == "/healthz") {
+    write_response(fd, 200, "OK", "text/plain; charset=utf-8", "ok\n");
+  } else if (path == "/progress") {
+    write_response(fd, 200, "OK", "application/json; charset=utf-8",
+                   progress_json());
+  } else {
+    write_response(fd, 404, "Not Found", "text/plain; charset=utf-8",
+                   "not found\n");
+  }
+}
+
+void TelemetryServer::Impl::loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd, POLLIN, 0};
+    fds[1] = {wake_pipe[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop() wrote the pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+TelemetryServer::TelemetryServer() : impl_(std::make_unique<Impl>()) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+Status TelemetryServer::start(const TelemetryServerOptions& options) {
+  if (impl_->thread_running) {
+    return Status::invalid_argument("telemetry server already running");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::invalid_argument("telemetry server port must be 0..65535");
+  }
+  impl_->registry =
+      options.registry != nullptr ? options.registry : &default_registry();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::internal("telemetry server: socket() failed");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::internal("telemetry server: cannot bind 127.0.0.1:" +
+                            std::to_string(options.port));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return Status::internal("telemetry server: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Status::internal("telemetry server: getsockname() failed");
+  }
+  if (::pipe(impl_->wake_pipe) < 0) {
+    ::close(fd);
+    return Status::internal("telemetry server: pipe() failed");
+  }
+  impl_->listen_fd = fd;
+  impl_->bound_port = ntohs(addr.sin_port);
+  ProgressTracker::set_enabled(true);
+  impl_->thread = std::thread([this] { impl_->loop(); });
+  impl_->thread_running = true;
+  GRIDSEC_LOG(kInfo, "obs.telemetry")
+      .field("port", impl_->bound_port)
+      .message("telemetry endpoint listening on 127.0.0.1");
+  return Status::ok();
+}
+
+void TelemetryServer::stop() {
+  if (!impl_->thread_running) return;
+  const char byte = 'x';
+  // A full pipe means a wake-up is already pending; either way the loop
+  // sees POLLIN and exits.
+  (void)!::write(impl_->wake_pipe[1], &byte, 1);
+  impl_->thread.join();
+  impl_->thread_running = false;
+  ::close(impl_->listen_fd);
+  ::close(impl_->wake_pipe[0]);
+  ::close(impl_->wake_pipe[1]);
+  impl_->listen_fd = -1;
+  impl_->wake_pipe[0] = impl_->wake_pipe[1] = -1;
+  impl_->bound_port = -1;
+}
+
+bool TelemetryServer::running() const { return impl_->thread_running; }
+
+int TelemetryServer::port() const { return impl_->bound_port; }
+
+std::uint64_t TelemetryServer::requests() const {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+}  // namespace gridsec::obs
+
+#else  // GRIDSEC_NO_SERVE: the endpoint is compiled out entirely.
+
+namespace gridsec::obs {
+
+struct TelemetryServer::Impl {};
+
+TelemetryServer::TelemetryServer() = default;
+TelemetryServer::~TelemetryServer() = default;
+
+Status TelemetryServer::start(const TelemetryServerOptions&) {
+  return Status::invalid_argument(
+      "telemetry endpoint compiled out (GRIDSEC_NO_SERVE)");
+}
+
+void TelemetryServer::stop() {}
+bool TelemetryServer::running() const { return false; }
+int TelemetryServer::port() const { return -1; }
+std::uint64_t TelemetryServer::requests() const { return 0; }
+
+}  // namespace gridsec::obs
+
+#endif  // GRIDSEC_NO_SERVE

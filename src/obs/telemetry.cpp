@@ -1,0 +1,726 @@
+#include "gridsec/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "gridsec/obs/log.hpp"
+#include "gridsec/obs/prof.hpp"
+#include "gridsec/obs/report.hpp"
+#include "gridsec/util/thread_pool.hpp"
+#include "json.hpp"
+
+namespace gridsec::obs {
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Round-trip-exact double formatting for the timeseries artifact (JSON
+/// has no infinities; clamp like metrics.cpp does).
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+Counter& stalls_counter() {
+  static Counter& c = default_registry().counter("obs.telemetry.stalls");
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Progress tracking.
+
+namespace telemetry_detail {
+
+struct ProgressTask {
+  const char* name;
+  std::atomic<std::int64_t> total;
+  std::atomic<std::int64_t> done{0};
+  std::uint64_t start_ns = 0;
+  std::atomic<std::uint64_t> last_advance_ns{0};
+  std::atomic<bool> stalled{false};
+};
+
+}  // namespace telemetry_detail
+
+using telemetry_detail::ProgressTask;
+
+namespace {
+
+/// Live-scope registry. The enabled flag is the only thing dormant call
+/// sites touch; the mutex guards the scope list against concurrent
+/// construction/destruction/snapshot.
+struct ProgressState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;
+  std::vector<ProgressTask*> tasks;
+};
+
+ProgressState& progress_state() {
+  static ProgressState* s = new ProgressState();
+  return *s;
+}
+
+ProgressSnapshot snapshot_task(const ProgressTask& task,
+                               std::uint64_t now) {
+  ProgressSnapshot out;
+  out.name = task.name;
+  out.total = task.total.load(std::memory_order_relaxed);
+  out.done = task.done.load(std::memory_order_relaxed);
+  out.elapsed_seconds =
+      static_cast<double>(now - task.start_ns) * 1e-9;
+  if (out.done > 0 && out.elapsed_seconds > 0.0) {
+    out.rate_per_second =
+        static_cast<double>(out.done) / out.elapsed_seconds;
+  }
+  if (out.total > 0 && out.rate_per_second > 0.0 && out.done < out.total) {
+    out.eta_seconds =
+        static_cast<double>(out.total - out.done) / out.rate_per_second;
+  } else if (out.total > 0 && out.done >= out.total) {
+    out.eta_seconds = 0.0;
+  }
+  out.stalled = task.stalled.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
+bool ProgressTracker::enabled() {
+  return progress_state().enabled.load(std::memory_order_relaxed);
+}
+
+void ProgressTracker::set_enabled(bool enabled) {
+  progress_state().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<ProgressSnapshot> ProgressTracker::snapshot() {
+  auto& state = progress_state();
+  const std::uint64_t now = mono_ns();
+  std::lock_guard lock(state.mutex);
+  std::vector<ProgressSnapshot> out;
+  out.reserve(state.tasks.size());
+  for (const ProgressTask* task : state.tasks) {
+    out.push_back(snapshot_task(*task, now));
+  }
+  return out;
+}
+
+std::size_t ProgressTracker::active_count() {
+  auto& state = progress_state();
+  std::lock_guard lock(state.mutex);
+  return state.tasks.size();
+}
+
+std::size_t ProgressTracker::check_stalls(double stall_seconds) {
+  if (stall_seconds <= 0.0) return 0;
+  auto& state = progress_state();
+  const std::uint64_t now = mono_ns();
+  const auto threshold_ns =
+      static_cast<std::uint64_t>(stall_seconds * 1e9);
+  std::size_t fired = 0;
+  std::lock_guard lock(state.mutex);
+  for (ProgressTask* task : state.tasks) {
+    const std::int64_t total = task->total.load(std::memory_order_relaxed);
+    const std::int64_t done = task->done.load(std::memory_order_relaxed);
+    if (total > 0 && done >= total) continue;  // complete, just not closed
+    std::uint64_t last = task->last_advance_ns.load(std::memory_order_relaxed);
+    if (last == 0) last = task->start_ns;
+    if (now <= last || now - last < threshold_ns) continue;
+    if (task->stalled.exchange(true, std::memory_order_relaxed)) continue;
+    ++fired;
+    stalls_counter().add();
+    GRIDSEC_LOG(kWarn, "obs.telemetry")
+        .field("scope", task->name)
+        .field("done", done)
+        .field("total", total)
+        .field("seconds_since_progress",
+               static_cast<double>(now - last) * 1e-9)
+        .message("progress stalled");
+  }
+  return fired;
+}
+
+Progress::Progress(const char* name, std::int64_t total) {
+  auto& state = progress_state();
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  task_ = new ProgressTask();
+  task_->name = name;
+  task_->total.store(total, std::memory_order_relaxed);
+  task_->start_ns = mono_ns();
+  std::lock_guard lock(state.mutex);
+  state.tasks.push_back(task_);
+}
+
+Progress::~Progress() {
+  if (task_ == nullptr) return;
+  auto& state = progress_state();
+  {
+    std::lock_guard lock(state.mutex);
+    std::erase(state.tasks, task_);
+  }
+  delete task_;
+}
+
+void Progress::advance_slow(std::int64_t delta) {
+  task_->done.fetch_add(delta, std::memory_order_relaxed);
+  task_->last_advance_ns.store(mono_ns(), std::memory_order_relaxed);
+  task_->stalled.store(false, std::memory_order_relaxed);
+}
+
+void Progress::set_total(std::int64_t total) {
+  if (task_ != nullptr) task_->total.store(total, std::memory_order_relaxed);
+}
+
+std::int64_t Progress::done() const {
+  return task_ != nullptr ? task_->done.load(std::memory_order_relaxed) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Build provenance.
+
+const BuildInfo& current_build_info() {
+  static const BuildInfo* info = [] {
+    const RunManifest m = RunManifest::capture("", 0, nullptr);
+    return new BuildInfo{m.git_sha, m.build_type, m.compiler};
+  }();
+  return *info;
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries artifact.
+
+namespace {
+
+void write_progress_json(std::ostream& os, const ProgressSnapshot& p) {
+  os << "{\"name\":";
+  json::write_string(os, p.name);
+  os << ",\"total\":" << p.total << ",\"done\":" << p.done
+     << ",\"elapsed_seconds\":";
+  write_double(os, p.elapsed_seconds);
+  os << ",\"rate_per_second\":";
+  write_double(os, p.rate_per_second);
+  os << ",\"eta_seconds\":";
+  write_double(os, p.eta_seconds);
+  os << ",\"stalled\":" << (p.stalled ? "true" : "false") << '}';
+}
+
+void write_sample_json(std::ostream& os, const TelemetrySample& s) {
+  os << "{\"t_seconds\":";
+  write_double(os, s.t_seconds);
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) os << ',';
+    first = false;
+    json::write_string(os, name);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) os << ',';
+    first = false;
+    json::write_string(os, name);
+    os << ':';
+    write_double(os, v);
+  }
+  os << "},\"workers\":[";
+  first = true;
+  for (const auto& w : s.workers) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"pool\":" << w.pool << ",\"worker\":" << w.worker
+       << ",\"busy_ns\":" << w.busy_ns << ",\"idle_ns\":" << w.idle_ns
+       << ",\"tasks\":" << w.tasks << '}';
+  }
+  os << "],\"progress\":[";
+  first = true;
+  for (const auto& p : s.progress) {
+    if (!first) os << ',';
+    first = false;
+    write_progress_json(os, p);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_timeseries_json(std::ostream& os, const Timeseries& ts) {
+  os << "{\"schema\":";
+  json::write_string(os, kTimeseriesSchemaName);
+  os << ",\"schema_version\":" << ts.schema_version
+     << ",\"start_time_utc\":";
+  json::write_string(os, ts.start_time_utc);
+  os << ",\"cadence_ms\":";
+  write_double(os, ts.cadence_ms);
+  os << ",\"dropped\":" << ts.dropped << ",\"build\":{\"git_sha\":";
+  json::write_string(os, ts.build.git_sha);
+  os << ",\"build_type\":";
+  json::write_string(os, ts.build.build_type);
+  os << ",\"compiler\":";
+  json::write_string(os, ts.build.compiler);
+  os << "},\"samples\":[";
+  bool first = true;
+  for (const auto& s : ts.samples) {
+    if (!first) os << ',';
+    first = false;
+    write_sample_json(os, s);
+  }
+  os << "]}\n";
+}
+
+void write_timeseries_csv(std::ostream& os, const Timeseries& ts) {
+  os << "t_seconds,kind,name,value\n";
+  for (const auto& s : ts.samples) {
+    char t[40];
+    std::snprintf(t, sizeof(t), "%.6f", s.t_seconds);
+    for (const auto& [name, v] : s.counters) {
+      os << t << ",counter," << name << ',' << v << '\n';
+    }
+    for (const auto& [name, v] : s.gauges) {
+      os << t << ",gauge," << name << ',';
+      write_double(os, v);
+      os << '\n';
+    }
+    for (const auto& w : s.workers) {
+      os << t << ",worker_busy_ns,pool" << w.pool << ".w" << w.worker << ','
+         << w.busy_ns << '\n';
+      os << t << ",worker_idle_ns,pool" << w.pool << ".w" << w.worker << ','
+         << w.idle_ns << '\n';
+      os << t << ",worker_tasks,pool" << w.pool << ".w" << w.worker << ','
+         << w.tasks << '\n';
+    }
+    for (const auto& p : s.progress) {
+      os << t << ",progress_done," << p.name << ',' << p.done << '\n';
+      os << t << ",progress_total," << p.name << ',' << p.total << '\n';
+    }
+  }
+}
+
+namespace {
+
+using json::JsonValue;
+
+std::int64_t int_or(const JsonValue* v, std::int64_t fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber
+             ? static_cast<std::int64_t>(v->number)
+             : fallback;
+}
+
+double num_or(const JsonValue* v, double fallback) {
+  return v != nullptr ? v->number_or(fallback) : fallback;
+}
+
+std::string str_or(const JsonValue* v, std::string fallback) {
+  return v != nullptr ? v->string_or(std::move(fallback))
+                      : std::move(fallback);
+}
+
+}  // namespace
+
+StatusOr<Timeseries> parse_timeseries(const std::string& json_text) {
+  json::JsonParser parser(json_text);
+  auto parsed = parser.parse();
+  if (!parsed.is_ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::invalid_argument("timeseries: root is not an object");
+  }
+  const std::string schema = str_or(root.find("schema"), "");
+  if (schema != kTimeseriesSchemaName) {
+    return Status::invalid_argument("timeseries: schema is '" + schema +
+                                    "', expected '" + kTimeseriesSchemaName +
+                                    "'");
+  }
+  const auto version = int_or(root.find("schema_version"), -1);
+  if (version != kTimeseriesSchemaVersion) {
+    return Status::invalid_argument(
+        "timeseries: unsupported schema_version " + std::to_string(version));
+  }
+  Timeseries ts;
+  ts.schema_version = static_cast<int>(version);
+  ts.start_time_utc = str_or(root.find("start_time_utc"), "");
+  ts.cadence_ms = num_or(root.find("cadence_ms"), 0.0);
+  ts.dropped = static_cast<std::uint64_t>(int_or(root.find("dropped"), 0));
+  if (const JsonValue* build = root.find("build")) {
+    ts.build.git_sha = str_or(build->find("git_sha"), "");
+    ts.build.build_type = str_or(build->find("build_type"), "");
+    ts.build.compiler = str_or(build->find("compiler"), "");
+  }
+  const JsonValue* samples = root.find("samples");
+  if (samples == nullptr || samples->kind != JsonValue::Kind::kArray) {
+    return Status::invalid_argument("timeseries: missing samples array");
+  }
+  ts.samples.reserve(samples->array.size());
+  for (const JsonValue& sv : samples->array) {
+    if (sv.kind != JsonValue::Kind::kObject) {
+      return Status::invalid_argument("timeseries: sample is not an object");
+    }
+    TelemetrySample s;
+    s.t_seconds = num_or(sv.find("t_seconds"), 0.0);
+    if (const JsonValue* counters = sv.find("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        s.counters[name] = static_cast<std::int64_t>(v.number_or(0.0));
+      }
+    }
+    if (const JsonValue* gauges = sv.find("gauges")) {
+      for (const auto& [name, v] : gauges->object) {
+        s.gauges[name] = v.number_or(0.0);
+      }
+    }
+    if (const JsonValue* workers = sv.find("workers")) {
+      for (const JsonValue& wv : workers->array) {
+        WorkerSample w;
+        w.pool = static_cast<int>(int_or(wv.find("pool"), 0));
+        w.worker = static_cast<int>(int_or(wv.find("worker"), 0));
+        w.busy_ns = int_or(wv.find("busy_ns"), 0);
+        w.idle_ns = int_or(wv.find("idle_ns"), 0);
+        w.tasks = int_or(wv.find("tasks"), 0);
+        s.workers.push_back(w);
+      }
+    }
+    if (const JsonValue* progress = sv.find("progress")) {
+      for (const JsonValue& pv : progress->array) {
+        ProgressSnapshot p;
+        p.name = str_or(pv.find("name"), "");
+        p.total = int_or(pv.find("total"), 0);
+        p.done = int_or(pv.find("done"), 0);
+        p.elapsed_seconds = num_or(pv.find("elapsed_seconds"), 0.0);
+        p.rate_per_second = num_or(pv.find("rate_per_second"), 0.0);
+        p.eta_seconds = num_or(pv.find("eta_seconds"), -1.0);
+        const JsonValue* stalled = pv.find("stalled");
+        p.stalled = stalled != nullptr && stalled->boolean;
+        s.progress.push_back(std::move(p));
+      }
+    }
+    ts.samples.push_back(std::move(s));
+  }
+  return ts;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler.
+
+struct TelemetrySampler::Impl {
+  TelemetrySamplerOptions options;
+  MetricRegistry* registry = nullptr;
+  std::string start_time_utc;
+  std::uint64_t start_ns = 0;
+
+  mutable std::mutex ring_mutex;
+  std::deque<TelemetrySample> ring;
+  std::uint64_t dropped = 0;
+
+  std::thread thread;
+  bool thread_running = false;
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  bool stop_requested = false;
+
+  double last_heartbeat_t = -1e18;
+
+  void take_sample();
+  void heartbeat(const TelemetrySample& sample);
+  void loop();
+};
+
+void TelemetrySampler::Impl::take_sample() {
+  // Publish allocation totals first so the counter snapshot includes live
+  // heap traffic, and count this sample before reading so the ring entry
+  // agrees with the registry's own obs.telemetry.samples value.
+  sync_alloc_counters();
+  static Counter& c_samples =
+      default_registry().counter("obs.telemetry.samples");
+  c_samples.add();
+
+  TelemetrySample s;
+  s.t_seconds = static_cast<double>(mono_ns() - start_ns) * 1e-9;
+  s.counters = registry->counter_values();
+  s.gauges = registry->gauge_values();
+  const auto pools = ThreadPool::stats_for_all_pools();
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    for (std::size_t w = 0; w < pools[p].size(); ++w) {
+      s.workers.push_back({static_cast<int>(p), static_cast<int>(w),
+                           pools[p][w].busy_ns, pools[p][w].idle_ns,
+                           pools[p][w].tasks});
+    }
+  }
+  s.progress = ProgressTracker::snapshot();
+  ProgressTracker::check_stalls(options.stall_after_seconds);
+  heartbeat(s);
+
+  std::lock_guard lock(ring_mutex);
+  ring.push_back(std::move(s));
+  if (ring.size() > options.ring_capacity) {
+    ring.pop_front();
+    ++dropped;
+    static Counter& c_dropped =
+        default_registry().counter("obs.telemetry.dropped_samples");
+    c_dropped.add();
+  }
+}
+
+void TelemetrySampler::Impl::heartbeat(const TelemetrySample& sample) {
+  if (options.heartbeat_every_seconds <= 0.0) return;
+  if (sample.t_seconds - last_heartbeat_t < options.heartbeat_every_seconds) {
+    return;
+  }
+  last_heartbeat_t = sample.t_seconds;
+  static Counter& c_heartbeats =
+      default_registry().counter("obs.telemetry.heartbeats");
+  c_heartbeats.add();
+  const ProgressSnapshot* head =
+      sample.progress.empty() ? nullptr : &sample.progress.front();
+  GRIDSEC_LOG(kInfo, "obs.telemetry")
+      .field("t_seconds", sample.t_seconds)
+      .field("scopes", sample.progress.size())
+      .field("scope", head != nullptr ? head->name : std::string("-"))
+      .field("done", head != nullptr ? head->done : 0)
+      .field("total", head != nullptr ? head->total : 0)
+      .field("eta_seconds", head != nullptr ? head->eta_seconds : -1.0)
+      .message("heartbeat");
+  if (options.progress_to_stderr) {
+    std::string line = "gridsec: t=" +
+                       std::to_string(sample.t_seconds).substr(0, 6) + "s";
+    for (std::size_t i = 0; i < sample.progress.size() && i < 3; ++i) {
+      const ProgressSnapshot& p = sample.progress[i];
+      line += "  " + p.name + " " + std::to_string(p.done);
+      if (p.total > 0) line += "/" + std::to_string(p.total);
+      char extra[64];
+      if (p.eta_seconds >= 0.0) {
+        std::snprintf(extra, sizeof(extra), " (%.1f/s, eta %.1fs)",
+                      p.rate_per_second, p.eta_seconds);
+      } else {
+        std::snprintf(extra, sizeof(extra), " (%.1f/s)", p.rate_per_second);
+      }
+      line += extra;
+      if (p.stalled) line += " STALLED";
+    }
+    if (sample.progress.empty()) line += "  (no active scopes)";
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void TelemetrySampler::Impl::loop() {
+  take_sample();  // t≈0 baseline
+  const auto cadence = std::chrono::duration<double, std::milli>(
+      options.cadence_ms);
+  std::unique_lock lock(wake_mutex);
+  while (!stop_requested) {
+    if (wake_cv.wait_for(lock, cadence, [this] { return stop_requested; })) {
+      break;
+    }
+    lock.unlock();
+    take_sample();
+    lock.lock();
+  }
+}
+
+TelemetrySampler::TelemetrySampler() : impl_(std::make_unique<Impl>()) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+Status TelemetrySampler::start(const TelemetrySamplerOptions& options) {
+  if (impl_->thread_running) {
+    return Status::invalid_argument("telemetry sampler already running");
+  }
+  if (!(options.cadence_ms > 0.0)) {
+    return Status::invalid_argument("telemetry sampler cadence_ms must be > 0");
+  }
+  if (options.ring_capacity == 0) {
+    return Status::invalid_argument(
+        "telemetry sampler ring_capacity must be > 0");
+  }
+  if (options.stall_after_seconds < 0.0 ||
+      options.heartbeat_every_seconds < 0.0) {
+    return Status::invalid_argument(
+        "telemetry sampler watchdog/heartbeat intervals must be >= 0");
+  }
+  impl_->options = options;
+  impl_->registry =
+      options.registry != nullptr ? options.registry : &default_registry();
+  impl_->start_time_utc = RunManifest::capture("", 0, nullptr).start_time_utc;
+  impl_->start_ns = mono_ns();
+  impl_->stop_requested = false;
+  ProgressTracker::set_enabled(true);
+  impl_->thread = std::thread([this] { impl_->loop(); });
+  impl_->thread_running = true;
+  return Status::ok();
+}
+
+void TelemetrySampler::stop() {
+  if (!impl_->thread_running) return;
+  {
+    std::lock_guard lock(impl_->wake_mutex);
+    impl_->stop_requested = true;
+  }
+  impl_->wake_cv.notify_all();
+  impl_->thread.join();
+  impl_->thread_running = false;
+  // Final sample: the ring's last entry is the registry's exit state.
+  impl_->take_sample();
+}
+
+bool TelemetrySampler::running() const { return impl_->thread_running; }
+
+void TelemetrySampler::sample_now() {
+  if (impl_->registry == nullptr) {
+    // Never started: sample the default registry against a fresh origin.
+    impl_->registry = &default_registry();
+    impl_->start_time_utc =
+        RunManifest::capture("", 0, nullptr).start_time_utc;
+    impl_->start_ns = mono_ns();
+  }
+  impl_->take_sample();
+}
+
+Timeseries TelemetrySampler::snapshot() const {
+  Timeseries ts;
+  ts.start_time_utc = impl_->start_time_utc;
+  ts.cadence_ms = impl_->options.cadence_ms;
+  ts.build = current_build_info();
+  std::lock_guard lock(impl_->ring_mutex);
+  ts.dropped = impl_->dropped;
+  ts.samples.assign(impl_->ring.begin(), impl_->ring.end());
+  return ts;
+}
+
+std::size_t TelemetrySampler::samples() const {
+  std::lock_guard lock(impl_->ring_mutex);
+  return impl_->ring.size();
+}
+
+std::uint64_t TelemetrySampler::dropped() const {
+  std::lock_guard lock(impl_->ring_mutex);
+  return impl_->dropped;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exposition.
+
+std::string openmetrics_name(const std::string& dotted) {
+  std::string out = "gridsec_";
+  out.reserve(out.size() + dotted.size());
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string openmetrics_escape_label(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_om_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  }
+}
+
+void write_family_header(std::ostream& os, const std::string& name,
+                         const char* type, const std::string& help) {
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+void write_quantile_family(std::ostream& os, const std::string& base,
+                           const std::string& source, const char* what,
+                           const DistSnapshot& d) {
+  write_family_header(os, base, "gauge",
+                      std::string(what) + " quantiles of " + source + ".");
+  os << base << "{quantile=\"0.5\"} ";
+  write_om_value(os, d.p50);
+  os << '\n' << base << "{quantile=\"0.9\"} ";
+  write_om_value(os, d.p90);
+  os << '\n' << base << "{quantile=\"0.99\"} ";
+  write_om_value(os, d.p99);
+  os << '\n';
+  write_family_header(os, base + "_sum", "gauge",
+                      std::string("Sum of observations of ") + source + ".");
+  os << base << "_sum ";
+  write_om_value(os, d.sum);
+  os << '\n';
+  write_family_header(os, base + "_observations", "counter",
+                      std::string("Observations recorded by ") + source + ".");
+  os << base << "_observations_total " << d.count << '\n';
+}
+
+}  // namespace
+
+void write_openmetrics(std::ostream& os, const MetricRegistry& registry) {
+  const BuildInfo& build = current_build_info();
+  write_family_header(os, "gridsec_build_info", "gauge",
+                      "Build provenance; the value is always 1.");
+  os << "gridsec_build_info{git_sha=\""
+     << openmetrics_escape_label(build.git_sha) << "\",build_type=\""
+     << openmetrics_escape_label(build.build_type) << "\",compiler=\""
+     << openmetrics_escape_label(build.compiler) << "\"} 1\n";
+
+  for (const auto& [name, value] : registry.counter_values()) {
+    const std::string om = openmetrics_name(name);
+    write_family_header(os, om, "counter",
+                        "Registry counter " + name + ".");
+    os << om << "_total " << value << '\n';
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const std::string om = openmetrics_name(name);
+    write_family_header(os, om, "gauge", "Registry gauge " + name + ".");
+    os << om << ' ';
+    write_om_value(os, value);
+    os << '\n';
+  }
+  for (const auto& [name, d] : registry.histogram_snapshots()) {
+    write_quantile_family(os, openmetrics_name(name),
+                          "registry histogram " + name, "Bucket-interpolated",
+                          d);
+  }
+  for (const auto& [name, d] : registry.timer_snapshots()) {
+    write_quantile_family(os, openmetrics_name(name) + "_seconds",
+                          "registry timer " + name + " (seconds)",
+                          "Reservoir-estimated", d);
+  }
+  os << "# EOF\n";
+}
+
+}  // namespace gridsec::obs

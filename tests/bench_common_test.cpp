@@ -40,7 +40,8 @@ TEST(BenchArgs, Defaults) {
 TEST(BenchArgs, ParsesEveryFlag) {
   const BenchArgs args =
       parse({"--trials=7", "--seed=42", "--threads=3", "--reps=5",
-             "--warmup=2", "--csv", "--json=out.json"});
+             "--warmup=2", "--csv", "--json=out.json", "--metrics-port=0",
+             "--timeseries=ts.json", "--progress"});
   EXPECT_EQ(args.trials, 7);
   EXPECT_EQ(args.seed, 42u);
   EXPECT_EQ(args.threads, 3u);
@@ -48,6 +49,16 @@ TEST(BenchArgs, ParsesEveryFlag) {
   EXPECT_EQ(args.warmup, 2);
   EXPECT_TRUE(args.csv_only);
   EXPECT_EQ(args.json_file, "out.json");
+  EXPECT_EQ(args.metrics_port, 0);
+  EXPECT_EQ(args.timeseries_file, "ts.json");
+  EXPECT_TRUE(args.progress);
+}
+
+TEST(BenchArgs, TelemetryDefaultsOff) {
+  const BenchArgs args = parse({});
+  EXPECT_EQ(args.metrics_port, -1);
+  EXPECT_TRUE(args.timeseries_file.empty());
+  EXPECT_FALSE(args.progress);
 }
 
 TEST(BenchArgs, BareJsonDerivesFilenameFromProgram) {
@@ -84,6 +95,17 @@ TEST(BenchArgsDeathTest, RejectsNegativeSeedInsteadOfWrapping) {
   EXPECT_EXIT(parse({"--seed=abc"}), testing::ExitedWithCode(2),
               "malformed value");
   EXPECT_EXIT(parse({"--seed="}), testing::ExitedWithCode(2),
+              "malformed value");
+}
+
+TEST(BenchArgsDeathTest, RejectsMalformedTelemetryFlags) {
+  EXPECT_EXIT(parse({"--metrics-port=70000"}), testing::ExitedWithCode(2),
+              "malformed value");
+  EXPECT_EXIT(parse({"--metrics-port=-1"}), testing::ExitedWithCode(2),
+              "malformed value");
+  EXPECT_EXIT(parse({"--metrics-port=abc"}), testing::ExitedWithCode(2),
+              "malformed value");
+  EXPECT_EXIT(parse({"--timeseries="}), testing::ExitedWithCode(2),
               "malformed value");
 }
 

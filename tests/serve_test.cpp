@@ -1,0 +1,221 @@
+// Tests for the embedded telemetry HTTP endpoint (gridsec/obs/serve.hpp).
+// Under -DGRIDSEC_NO_SERVE=ON only the stub-refusal test runs.
+#include "gridsec/obs/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/telemetry.hpp"
+
+#ifndef GRIDSEC_NO_SERVE
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gridsec::obs {
+namespace {
+
+struct HttpResponse {
+  int code = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Minimal blocking HTTP client against 127.0.0.1:port.
+HttpResponse http_get(int port, const std::string& path,
+                      const std::string& method = "GET") {
+  HttpResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  const std::string request = method + " " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end != std::string::npos && line_end > 9) {
+    out.code = std::atoi(response.c_str() + 9);
+  }
+  const std::size_t ct = response.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    const std::size_t eol = response.find("\r\n", ct);
+    out.content_type = response.substr(ct + 14, eol - ct - 14);
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    out.body = response.substr(header_end + 4);
+  }
+  return out;
+}
+
+TEST(ServeTest, EndpointsRespond) {
+  MetricRegistry reg;
+  reg.counter("tests.serve.requests_seen").add(11);
+  TelemetryServer server;
+  TelemetryServerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.registry = &reg;
+  ASSERT_TRUE(server.start(opts).is_ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const HttpResponse health = http_get(server.port(), "/healthz");
+  EXPECT_EQ(health.code, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpResponse metrics = http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.code, 200);
+  EXPECT_EQ(metrics.content_type, kOpenMetricsContentType);
+  EXPECT_NE(metrics.body.find("gridsec_tests_serve_requests_seen_total 11\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("gridsec_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# EOF\n"), std::string::npos);
+
+  const HttpResponse progress = http_get(server.port(), "/progress");
+  EXPECT_EQ(progress.code, 200);
+  EXPECT_NE(progress.body.find("{\"progress\":["), std::string::npos);
+
+  EXPECT_EQ(http_get(server.port(), "/nope").code, 404);
+  EXPECT_EQ(http_get(server.port(), "/metrics", "POST").code, 405);
+  // Query strings are stripped before routing.
+  EXPECT_EQ(http_get(server.port(), "/healthz?verbose=1").code, 200);
+
+  EXPECT_GE(server.requests(), 6u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), -1);
+  server.stop();  // idempotent
+}
+
+TEST(ServeTest, MetricsReflectLiveRegistry) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("tests.serve.live");
+  TelemetryServer server;
+  TelemetryServerOptions opts;
+  opts.registry = &reg;
+  ASSERT_TRUE(server.start(opts).is_ok());
+
+  c.add(1);
+  const HttpResponse first = http_get(server.port(), "/metrics");
+  EXPECT_NE(first.body.find("gridsec_tests_serve_live_total 1\n"),
+            std::string::npos);
+  c.add(41);
+  const HttpResponse second = http_get(server.port(), "/metrics");
+  EXPECT_NE(second.body.find("gridsec_tests_serve_live_total 42\n"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServeTest, ScrapesCounterAdvances) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.start({}).is_ok());
+  Counter& scrapes = default_registry().counter("obs.telemetry.scrapes");
+  const std::int64_t before = scrapes.value();
+  static_cast<void>(http_get(server.port(), "/metrics"));
+  static_cast<void>(http_get(server.port(), "/metrics"));
+  EXPECT_EQ(scrapes.value(), before + 2);
+  server.stop();
+}
+
+TEST(ServeTest, StartValidation) {
+  TelemetryServer server;
+  TelemetryServerOptions opts;
+  opts.port = 70000;
+  EXPECT_FALSE(server.start(opts).is_ok());
+  opts.port = 0;
+  ASSERT_TRUE(server.start(opts).is_ok());
+  EXPECT_FALSE(server.start(opts).is_ok());  // already running
+  server.stop();
+}
+
+TEST(ServeTest, EnablesProgressTracker) {
+  const bool was_enabled = ProgressTracker::enabled();
+  ProgressTracker::set_enabled(false);
+  TelemetryServer server;
+  ASSERT_TRUE(server.start({}).is_ok());
+  EXPECT_TRUE(ProgressTracker::enabled());
+  server.stop();
+  ProgressTracker::set_enabled(was_enabled);
+}
+
+// TSan coverage: scrapes race against registry writers.
+TEST(ServeConcurrency, ScrapesWhileWriting) {
+  MetricRegistry reg;
+  TelemetryServer server;
+  TelemetryServerOptions opts;
+  opts.registry = &reg;
+  ASSERT_TRUE(server.start(opts).is_ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&reg, &stop, w] {
+      Counter& c = reg.counter("tests.serve.race." + std::to_string(w));
+      while (!stop.load()) {
+        c.add();
+        reg.gauge("tests.serve.race_gauge").set(static_cast<double>(w));
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const HttpResponse r = http_get(server.port(), "/metrics");
+    EXPECT_EQ(r.code, 200);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace gridsec::obs
+
+#else  // GRIDSEC_NO_SERVE
+
+namespace gridsec::obs {
+namespace {
+
+TEST(ServeTest, CompiledOutStubRefuses) {
+  TelemetryServer server;
+  const Status st = server.start({});
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.to_string().find("GRIDSEC_NO_SERVE"), std::string::npos);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), -1);
+  server.stop();  // harmless no-op
+}
+
+}  // namespace
+}  // namespace gridsec::obs
+
+#endif  // GRIDSEC_NO_SERVE

@@ -1,0 +1,583 @@
+// Tests for gridsec::obs telemetry: OpenMetrics exposition conformance,
+// gridsec.timeseries round-trips, the background sampler, progress/ETA
+// tracking, and the stall watchdog.
+#include "gridsec/obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gridsec/obs/log.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/sim/montecarlo.hpp"
+#include "gridsec/util/thread_pool.hpp"
+
+namespace gridsec::obs {
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Restores the tracker's enabled flag on scope exit so tests cannot leak
+/// an enabled tracker into unrelated suites.
+struct TrackerGuard {
+  bool was_enabled = ProgressTracker::enabled();
+  ~TrackerGuard() { ProgressTracker::set_enabled(was_enabled); }
+};
+
+// ---------------------------------------------------------------------------
+// OpenMetrics conformance.
+
+TEST(OpenMetrics, NameSanitization) {
+  EXPECT_EQ(openmetrics_name("lp.simplex.pivots"),
+            "gridsec_lp_simplex_pivots");
+  EXPECT_EQ(openmetrics_name("a.b-c/d e"), "gridsec_a_b_c_d_e");
+  EXPECT_EQ(openmetrics_name("Already_OK:colon9"),
+            "gridsec_Already_OK:colon9");
+}
+
+TEST(OpenMetrics, LabelEscaping) {
+  EXPECT_EQ(openmetrics_escape_label("plain"), "plain");
+  EXPECT_EQ(openmetrics_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(openmetrics_escape_label("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(openmetrics_escape_label("new\nline"), "new\\nline");
+}
+
+TEST(OpenMetrics, CountersAndGauges) {
+  MetricRegistry reg;
+  reg.counter("tests.om.hits").add(42);
+  reg.gauge("tests.om.level").set(2.5);
+  std::ostringstream os;
+  write_openmetrics(os, reg);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# HELP gridsec_tests_om_hits "), std::string::npos);
+  EXPECT_NE(out.find("# TYPE gridsec_tests_om_hits counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\ngridsec_tests_om_hits_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE gridsec_tests_om_level gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\ngridsec_tests_om_level 2.5\n"), std::string::npos);
+  // The exposition must terminate with the OpenMetrics EOF marker.
+  EXPECT_GE(out.size(), 6u);
+  EXPECT_EQ(out.substr(out.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, HistogramQuantiles) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("tests.om.hist", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  std::ostringstream os;
+  write_openmetrics(os, reg);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("gridsec_tests_om_hist{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(out.find("gridsec_tests_om_hist{quantile=\"0.9\"} "),
+            std::string::npos);
+  EXPECT_NE(out.find("gridsec_tests_om_hist{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE gridsec_tests_om_hist_observations counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("gridsec_tests_om_hist_observations_total 100\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("gridsec_tests_om_hist_sum 5050\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, TimerSecondsSuffix) {
+  MetricRegistry reg;
+  Timer& t = reg.timer("tests.om.solve");
+  t.observe_seconds(0.25);
+  t.observe_seconds(0.75);
+  std::ostringstream os;
+  write_openmetrics(os, reg);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("gridsec_tests_om_solve_seconds{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(out.find("gridsec_tests_om_solve_seconds_sum 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("gridsec_tests_om_solve_seconds_observations_total 2\n"),
+      std::string::npos);
+}
+
+TEST(OpenMetrics, BuildInfoGauge) {
+  MetricRegistry reg;
+  std::ostringstream os;
+  write_openmetrics(os, reg);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE gridsec_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("gridsec_build_info{git_sha=\""), std::string::npos);
+  EXPECT_NE(out.find("\"} 1\n"), std::string::npos);
+  const BuildInfo& info = current_build_info();
+  EXPECT_NE(out.find("build_type=\"" +
+                     openmetrics_escape_label(info.build_type) + "\""),
+            std::string::npos);
+}
+
+// Whole-exposition grammar check: every line is a comment, blank, the EOF
+// marker, or `name[{labels}] value`; every sample's family was declared by
+// a preceding # TYPE line.
+TEST(OpenMetrics, ExpositionGrammar) {
+  MetricRegistry reg;
+  reg.counter("tests.om.c").add(7);
+  reg.gauge("tests.om.g").set(-1.5);
+  reg.histogram("tests.om.h", {1.0, 2.0}).observe(1.5);
+  reg.timer("tests.om.t").observe_seconds(0.1);
+  std::ostringstream os;
+  write_openmetrics(os, reg);
+
+  std::istringstream in(os.str());
+  std::string line;
+  std::vector<std::string> typed_families;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(saw_eof) << "content after # EOF: " << line;
+    ASSERT_FALSE(line.empty());
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.compare(0, 7, "# TYPE ") == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge") << line;
+      typed_families.push_back(family);
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_EQ(line.compare(0, 7, "# HELP "), 0) << line;
+      continue;
+    }
+    // Sample line: name with optional {labels}, one space, value.
+    const std::size_t space = line.find_last_of(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    // The sample must belong to a declared family (counters append _total
+    // to the family name).
+    bool declared = false;
+    for (const std::string& fam : typed_families) {
+      if (name == fam || name == fam + "_total") declared = true;
+    }
+    EXPECT_TRUE(declared) << "undeclared sample: " << line;
+    char* end = nullptr;
+    const std::string value = line.substr(space + 1);
+    std::strtod(value.c_str(), &end);
+    const bool numeric = end != value.c_str() && *end == '\0';
+    EXPECT_TRUE(numeric || value == "NaN" || value == "+Inf" ||
+                value == "-Inf")
+        << line;
+  }
+  EXPECT_TRUE(saw_eof);
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries artifact.
+
+Timeseries make_timeseries() {
+  Timeseries ts;
+  ts.start_time_utc = "2026-01-02T03:04:05Z";
+  ts.cadence_ms = 100.0;
+  ts.build = {"abc123", "Release", "gcc 12"};
+  ts.dropped = 3;
+  TelemetrySample s1;
+  s1.t_seconds = 0.001;
+  s1.counters = {{"lp.simplex.pivots", 10}, {"sim.montecarlo.trials", 2}};
+  s1.gauges = {{"obs.alloc.live_bytes", 512.0}};
+  s1.workers = {{0, 0, 1000, 2000, 3}, {0, 1, 1500, 1500, 4}};
+  ProgressSnapshot p;
+  p.name = "sim.montecarlo.trials";
+  p.total = 100;
+  p.done = 2;
+  p.elapsed_seconds = 0.5;
+  p.rate_per_second = 4.0;
+  p.eta_seconds = 24.5;
+  p.stalled = true;
+  s1.progress = {p};
+  TelemetrySample s2;
+  s2.t_seconds = 0.101;
+  s2.counters = {{"lp.simplex.pivots", 50}};
+  ts.samples = {s1, s2};
+  return ts;
+}
+
+TEST(TimeseriesIo, JsonRoundTrip) {
+  const Timeseries ts = make_timeseries();
+  std::ostringstream os;
+  write_timeseries_json(os, ts);
+  const StatusOr<Timeseries> back = parse_timeseries(os.str());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  const Timeseries& rt = back.value();
+  EXPECT_EQ(rt.schema_version, kTimeseriesSchemaVersion);
+  EXPECT_EQ(rt.start_time_utc, ts.start_time_utc);
+  EXPECT_EQ(rt.cadence_ms, ts.cadence_ms);
+  EXPECT_EQ(rt.build.git_sha, "abc123");
+  EXPECT_EQ(rt.build.build_type, "Release");
+  EXPECT_EQ(rt.build.compiler, "gcc 12");
+  EXPECT_EQ(rt.dropped, 3u);
+  ASSERT_EQ(rt.samples.size(), 2u);
+  EXPECT_EQ(rt.samples[0].t_seconds, 0.001);
+  EXPECT_EQ(rt.samples[0].counters, ts.samples[0].counters);
+  EXPECT_EQ(rt.samples[0].gauges, ts.samples[0].gauges);
+  ASSERT_EQ(rt.samples[0].workers.size(), 2u);
+  EXPECT_EQ(rt.samples[0].workers[1].worker, 1);
+  EXPECT_EQ(rt.samples[0].workers[1].busy_ns, 1500);
+  ASSERT_EQ(rt.samples[0].progress.size(), 1u);
+  EXPECT_EQ(rt.samples[0].progress[0].name, "sim.montecarlo.trials");
+  EXPECT_EQ(rt.samples[0].progress[0].done, 2);
+  EXPECT_EQ(rt.samples[0].progress[0].total, 100);
+  EXPECT_EQ(rt.samples[0].progress[0].eta_seconds, 24.5);
+  EXPECT_TRUE(rt.samples[0].progress[0].stalled);
+  EXPECT_EQ(rt.samples[1].counters.at("lp.simplex.pivots"), 50);
+}
+
+TEST(TimeseriesIo, RejectsWrongSchema) {
+  EXPECT_FALSE(parse_timeseries("{").is_ok());
+  EXPECT_FALSE(parse_timeseries("[]").is_ok());
+  EXPECT_FALSE(
+      parse_timeseries(
+          R"({"schema":"nope","schema_version":1,"samples":[]})")
+          .is_ok());
+  EXPECT_FALSE(
+      parse_timeseries(
+          R"({"schema":"gridsec.timeseries","schema_version":99,"samples":[]})")
+          .is_ok());
+  EXPECT_FALSE(
+      parse_timeseries(R"({"schema":"gridsec.timeseries","schema_version":1})")
+          .is_ok());
+  EXPECT_TRUE(
+      parse_timeseries(
+          R"({"schema":"gridsec.timeseries","schema_version":1,"samples":[]})")
+          .is_ok());
+}
+
+TEST(TimeseriesIo, CsvFlattening) {
+  const Timeseries ts = make_timeseries();
+  std::ostringstream os;
+  write_timeseries_csv(os, ts);
+  const std::string out = os.str();
+  EXPECT_EQ(out.compare(0, 31, "t_seconds,kind,name,value\n0.001"), 0);
+  EXPECT_NE(out.find(",counter,lp.simplex.pivots,10\n"), std::string::npos);
+  EXPECT_NE(out.find(",gauge,obs.alloc.live_bytes,512\n"),
+            std::string::npos);
+  EXPECT_NE(out.find(",worker_busy_ns,pool0.w1,1500\n"), std::string::npos);
+  EXPECT_NE(out.find(",progress_done,sim.montecarlo.trials,2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find(",progress_total,sim.montecarlo.trials,100\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Progress tracking.
+
+TEST(ProgressTest, DisabledScopesAreFree) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(false);
+  Progress p("tests.progress.disabled", 10);
+  EXPECT_FALSE(p.active());
+  p.advance(5);
+  EXPECT_EQ(p.done(), 0);
+  EXPECT_EQ(ProgressTracker::active_count(), 0u);
+}
+
+TEST(ProgressTest, SnapshotRateAndEta) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  Progress p("tests.progress.math", 10);
+  ASSERT_TRUE(p.active());
+  EXPECT_EQ(ProgressTracker::active_count(), 1u);
+  p.advance(4);
+  sleep_ms(2);
+  std::vector<ProgressSnapshot> snaps = ProgressTracker::snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "tests.progress.math");
+  EXPECT_EQ(snaps[0].done, 4);
+  EXPECT_EQ(snaps[0].total, 10);
+  EXPECT_GT(snaps[0].elapsed_seconds, 0.0);
+  EXPECT_GT(snaps[0].rate_per_second, 0.0);
+  EXPECT_GT(snaps[0].eta_seconds, 0.0);
+  p.advance(6);
+  snaps = ProgressTracker::snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].done, 10);
+  EXPECT_EQ(snaps[0].eta_seconds, 0.0);  // complete
+}
+
+TEST(ProgressTest, IndeterminateTotalHasNoEta) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  Progress p("tests.progress.indeterminate", 0);
+  p.advance(100);
+  sleep_ms(1);
+  const std::vector<ProgressSnapshot> snaps = ProgressTracker::snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].total, 0);
+  EXPECT_LT(snaps[0].eta_seconds, 0.0);
+}
+
+TEST(ProgressTest, SetTotalAndDeregistration) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  {
+    Progress p("tests.progress.rescope", 0);
+    p.set_total(50);
+    const std::vector<ProgressSnapshot> snaps = ProgressTracker::snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].total, 50);
+  }
+  EXPECT_EQ(ProgressTracker::active_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog.
+
+TEST(WatchdogTest, FiresOncePerEpisodeAndRearms) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  Counter& stalls = default_registry().counter("obs.telemetry.stalls");
+  const std::int64_t before = stalls.value();
+
+  Progress p("tests.watchdog.scope", 5);
+  p.advance();
+  sleep_ms(20);
+  EXPECT_EQ(ProgressTracker::check_stalls(0.005), 1u);
+  EXPECT_EQ(stalls.value(), before + 1);
+  std::vector<ProgressSnapshot> snaps = ProgressTracker::snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_TRUE(snaps[0].stalled);
+  // Same episode: no re-fire until the scope advances again.
+  EXPECT_EQ(ProgressTracker::check_stalls(0.005), 0u);
+  EXPECT_EQ(stalls.value(), before + 1);
+
+  p.advance();  // re-arms the watchdog
+  snaps = ProgressTracker::snapshot();
+  EXPECT_FALSE(snaps[0].stalled);
+  sleep_ms(20);
+  EXPECT_EQ(ProgressTracker::check_stalls(0.005), 1u);
+  EXPECT_EQ(stalls.value(), before + 2);
+
+  // The stall left a warn record behind.
+  bool found = false;
+  for (const std::string& line : Logger::tail(50)) {
+    if (line.find("progress stalled") != std::string::npos &&
+        line.find("tests.watchdog.scope") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WatchdogTest, CompleteScopesNeverStall) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  Progress p("tests.watchdog.complete", 3);
+  p.advance(3);
+  sleep_ms(15);
+  EXPECT_EQ(ProgressTracker::check_stalls(0.005), 0u);
+}
+
+TEST(WatchdogTest, ZeroThresholdDisables) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(true);
+  Progress p("tests.watchdog.off", 5);
+  sleep_ms(10);
+  EXPECT_EQ(ProgressTracker::check_stalls(0.0), 0u);
+}
+
+// Acceptance: an injected worker stall inside a real Monte-Carlo sweep is
+// caught by the sampler's watchdog while the sweep is still running.
+TEST(WatchdogTest, SamplerCatchesInjectedWorkerStall) {
+  TrackerGuard guard;
+  Counter& stalls = default_registry().counter("obs.telemetry.stalls");
+  const std::int64_t before = stalls.value();
+
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 5.0;
+  opts.stall_after_seconds = 0.05;
+  opts.heartbeat_every_seconds = 0.0;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+
+  // One serial "worker" that sits on its first trial far past the stall
+  // threshold before making any progress.
+  const std::vector<int> r = sim::run_trials<int>(
+      nullptr, 2, 7, [](std::size_t i, Rng&) {
+        if (i == 0) sleep_ms(150);
+        return static_cast<int>(i);
+      });
+  sampler.stop();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_GT(stalls.value(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler.
+
+TEST(SamplerTest, StartValidation) {
+  TrackerGuard guard;
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 0.0;
+  EXPECT_FALSE(sampler.start(opts).is_ok());
+  opts.cadence_ms = 1.0;
+  opts.ring_capacity = 0;
+  EXPECT_FALSE(sampler.start(opts).is_ok());
+  opts.ring_capacity = 8;
+  opts.stall_after_seconds = -1.0;
+  EXPECT_FALSE(sampler.start(opts).is_ok());
+  opts.stall_after_seconds = 0.0;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.start(opts).is_ok());  // already running
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+}
+
+TEST(SamplerTest, FinalSampleMatchesRegistryExitSnapshot) {
+  TrackerGuard guard;
+  MetricRegistry reg;
+  Counter& work = reg.counter("tests.sampler.work");
+  reg.gauge("tests.sampler.level").set(1.0);
+
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 2.0;
+  opts.heartbeat_every_seconds = 0.0;
+  opts.registry = &reg;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+  for (int i = 0; i < 10; ++i) {
+    work.add(3);
+    reg.gauge("tests.sampler.level").set(static_cast<double>(i));
+    sleep_ms(2);
+  }
+  sampler.stop();
+
+  const Timeseries ts = sampler.snapshot();
+  ASSERT_GE(ts.samples.size(), 2u);
+  EXPECT_EQ(ts.cadence_ms, 2.0);
+  EXPECT_FALSE(ts.start_time_utc.empty());
+  EXPECT_EQ(ts.build.git_sha, current_build_info().git_sha);
+  // stop() appended one final sample; it must agree exactly with the
+  // registry's exit state.
+  const TelemetrySample& last = ts.samples.back();
+  EXPECT_EQ(last.counters, reg.counter_values());
+  EXPECT_EQ(last.gauges, reg.gauge_values());
+  EXPECT_EQ(last.counters.at("tests.sampler.work"), 30);
+  // Monotone timestamps.
+  for (std::size_t i = 1; i < ts.samples.size(); ++i) {
+    EXPECT_GE(ts.samples[i].t_seconds, ts.samples[i - 1].t_seconds);
+  }
+  // And the artifact round-trips.
+  std::ostringstream os;
+  write_timeseries_json(os, ts);
+  const StatusOr<Timeseries> back = parse_timeseries(os.str());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().samples.size(), ts.samples.size());
+  EXPECT_EQ(back.value().samples.back().counters, last.counters);
+}
+
+TEST(SamplerTest, RingBoundEvictsOldest) {
+  TrackerGuard guard;
+  MetricRegistry reg;
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 1.0;
+  opts.ring_capacity = 4;
+  opts.heartbeat_every_seconds = 0.0;
+  opts.registry = &reg;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+  sleep_ms(40);
+  sampler.stop();
+  EXPECT_LE(sampler.samples(), 4u);
+  EXPECT_GT(sampler.dropped(), 0u);
+  EXPECT_EQ(sampler.snapshot().dropped, sampler.dropped());
+}
+
+TEST(SamplerTest, SampleNowWithoutStart) {
+  TrackerGuard guard;
+  TelemetrySampler sampler;
+  sampler.sample_now();
+  EXPECT_EQ(sampler.samples(), 1u);
+  const Timeseries ts = sampler.snapshot();
+  ASSERT_EQ(ts.samples.size(), 1u);
+  EXPECT_FALSE(ts.samples[0].counters.empty());
+}
+
+TEST(SamplerTest, EnablesProgressTrackerAndRecordsScopes) {
+  TrackerGuard guard;
+  ProgressTracker::set_enabled(false);
+  MetricRegistry reg;
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 2.0;
+  opts.heartbeat_every_seconds = 0.0;
+  opts.registry = &reg;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+  EXPECT_TRUE(ProgressTracker::enabled());
+  {
+    Progress p("tests.sampler.scope", 8);
+    p.advance(3);
+    sleep_ms(10);
+    sampler.stop();
+  }
+  const Timeseries ts = sampler.snapshot();
+  bool saw_scope = false;
+  for (const TelemetrySample& s : ts.samples) {
+    for (const ProgressSnapshot& p : s.progress) {
+      if (p.name == "tests.sampler.scope" && p.done >= 3) saw_scope = true;
+    }
+  }
+  EXPECT_TRUE(saw_scope);
+}
+
+// ---------------------------------------------------------------------------
+// TSan coverage: the sampler snapshots the registry, pools, and progress
+// scopes while solver threads hammer all three.
+
+TEST(TelemetryConcurrency, SamplerWhileSolving) {
+  TrackerGuard guard;
+  TelemetrySampler sampler;
+  TelemetrySamplerOptions opts;
+  opts.cadence_ms = 1.0;
+  opts.stall_after_seconds = 0.001;  // exercise the watchdog path too
+  opts.heartbeat_every_seconds = 0.0;
+  ASSERT_TRUE(sampler.start(opts).is_ok());
+
+  Counter& work = default_registry().counter("tests.telemetry.race");
+  ThreadPool pool(3);
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load()) {
+      static_cast<void>(ProgressTracker::snapshot());
+      static_cast<void>(sampler.samples());
+      sampler.sample_now();
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    Progress progress("tests.telemetry.round", 64);
+    parallel_for(&pool, 64, [&](std::size_t) {
+      work.add();
+      default_registry().gauge("tests.telemetry.gauge").set(1.0);
+      progress.advance();
+    });
+  }
+  stop.store(true);
+  observer.join();
+  sampler.stop();
+  EXPECT_EQ(work.value(), 20 * 64);
+  EXPECT_GE(sampler.snapshot().samples.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridsec::obs
