@@ -5,7 +5,8 @@
 //   GET /metrics  — OpenMetrics text exposition of the metric registry
 //                   (telemetry.hpp), Content-Type kOpenMetricsContentType;
 //   GET /healthz  — "ok" (liveness);
-//   GET /progress — JSON array of live ProgressTracker snapshots.
+//   GET /progress — JSON object {"progress":[...]} wrapping the live
+//                   ProgressTracker snapshots.
 // Anything else is 404; non-GET methods are 405. One background thread
 // accepts and serves connections sequentially (scrapes are rare and the
 // exposition is small); requests never block solver threads beyond the

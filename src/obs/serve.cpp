@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -59,7 +60,10 @@ void write_response(int fd, int code, const char* reason,
   const std::string out = os.str();
   std::size_t sent = 0;
   while (sent < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    // MSG_NOSIGNAL: a scraper that disconnects mid-response must yield
+    // EPIPE here, not a process-killing SIGPIPE on the serving thread.
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) return;  // peer went away; nothing to salvage
     sent += static_cast<std::size_t>(n);
   }
@@ -81,15 +85,20 @@ struct TelemetryServer::Impl {
 };
 
 void TelemetryServer::Impl::serve_connection(int fd) {
-  // One short request per connection; a 2 s receive timeout bounds how
-  // long a stuck client can hold the (single) serving thread.
+  // One short request per connection. The 2 s receive timeout re-arms on
+  // every recv(), so a trickling client could otherwise hold the (single)
+  // serving thread indefinitely; the overall deadline bounds the whole
+  // request read regardless of how the bytes arrive.
   timeval timeout{};
   timeout.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   char buf[4096];
   std::string request;
   while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < 16384) {
+         request.size() < 16384 &&
+         std::chrono::steady_clock::now() < deadline) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
@@ -107,9 +116,9 @@ void TelemetryServer::Impl::serve_connection(int fd) {
   }
   const std::string path = request_path(target);
   if (path == "/metrics") {
-    static Counter& c_scrapes =
-        default_registry().counter("obs.telemetry.scrapes");
-    c_scrapes.add();
+    // On the configured registry (not default_registry()) so the scrape
+    // count shows up in the exposition it belongs to.
+    registry->counter("obs.telemetry.scrapes").add();
     sync_alloc_counters();
     std::ostringstream body;
     write_openmetrics(body, *registry);

@@ -438,7 +438,9 @@ struct TelemetrySampler::Impl {
   std::condition_variable wake_cv;
   bool stop_requested = false;
 
-  double last_heartbeat_t = -1e18;
+  // Atomic: sample_now() runs take_sample() -> heartbeat() on the caller's
+  // thread while the background sampler does the same concurrently.
+  std::atomic<double> last_heartbeat_t{-1e18};
 
   void take_sample();
   void heartbeat(const TelemetrySample& sample);
@@ -448,11 +450,10 @@ struct TelemetrySampler::Impl {
 void TelemetrySampler::Impl::take_sample() {
   // Publish allocation totals first so the counter snapshot includes live
   // heap traffic, and count this sample before reading so the ring entry
-  // agrees with the registry's own obs.telemetry.samples value.
+  // agrees with the registry's own obs.telemetry.samples value — which is
+  // why the counter lives on the configured registry, not default_registry().
   sync_alloc_counters();
-  static Counter& c_samples =
-      default_registry().counter("obs.telemetry.samples");
-  c_samples.add();
+  registry->counter("obs.telemetry.samples").add();
 
   TelemetrySample s;
   s.t_seconds = static_cast<double>(mono_ns() - start_ns) * 1e-9;
@@ -475,21 +476,19 @@ void TelemetrySampler::Impl::take_sample() {
   if (ring.size() > options.ring_capacity) {
     ring.pop_front();
     ++dropped;
-    static Counter& c_dropped =
-        default_registry().counter("obs.telemetry.dropped_samples");
-    c_dropped.add();
+    registry->counter("obs.telemetry.dropped_samples").add();
   }
 }
 
 void TelemetrySampler::Impl::heartbeat(const TelemetrySample& sample) {
   if (options.heartbeat_every_seconds <= 0.0) return;
-  if (sample.t_seconds - last_heartbeat_t < options.heartbeat_every_seconds) {
-    return;
-  }
-  last_heartbeat_t = sample.t_seconds;
-  static Counter& c_heartbeats =
-      default_registry().counter("obs.telemetry.heartbeats");
-  c_heartbeats.add();
+  // CAS loop: exactly one of two concurrent samplers claims the beat.
+  double last = last_heartbeat_t.load(std::memory_order_relaxed);
+  do {
+    if (sample.t_seconds - last < options.heartbeat_every_seconds) return;
+  } while (!last_heartbeat_t.compare_exchange_weak(
+      last, sample.t_seconds, std::memory_order_relaxed));
+  registry->counter("obs.telemetry.heartbeats").add();
   const ProgressSnapshot* head =
       sample.progress.empty() ? nullptr : &sample.progress.front();
   GRIDSEC_LOG(kInfo, "obs.telemetry")

@@ -49,8 +49,8 @@ HttpResponse http_get(int port, const std::string& path,
                               "Connection: close\r\n\r\n";
   std::size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) break;
     sent += static_cast<std::size_t>(n);
   }
@@ -144,6 +144,53 @@ TEST(ServeTest, ScrapesCounterAdvances) {
   static_cast<void>(http_get(server.port(), "/metrics"));
   static_cast<void>(http_get(server.port(), "/metrics"));
   EXPECT_EQ(scrapes.value(), before + 2);
+  server.stop();
+}
+
+// Regression for the SIGPIPE hazard: a scraper that disconnects without
+// reading the response (RST via zero-linger close) must not kill the
+// process — write_response() sends with MSG_NOSIGNAL and treats EPIPE as
+// peer-went-away. Repeated to give the abort a real chance to race in.
+TEST(ServeTest, SurvivesClientDisconnectMidResponse) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.start({}).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request =
+        "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+    static_cast<void>(
+        ::send(fd, request.data(), request.size(), MSG_NOSIGNAL));
+    linger lin{};
+    lin.l_onoff = 1;
+    lin.l_linger = 0;  // close() sends RST instead of FIN
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+    ::close(fd);
+  }
+  const HttpResponse alive = http_get(server.port(), "/healthz");
+  EXPECT_EQ(alive.code, 200);
+  server.stop();
+}
+
+TEST(ServeTest, ScrapesCountOnConfiguredRegistry) {
+  MetricRegistry reg;
+  TelemetryServer server;
+  TelemetryServerOptions opts;
+  opts.registry = &reg;
+  ASSERT_TRUE(server.start(opts).is_ok());
+  const std::int64_t default_before =
+      default_registry().counter("obs.telemetry.scrapes").value();
+  static_cast<void>(http_get(server.port(), "/metrics"));
+  EXPECT_EQ(reg.counter("obs.telemetry.scrapes").value(), 1);
+  EXPECT_EQ(default_registry().counter("obs.telemetry.scrapes").value(),
+            default_before);
   server.stop();
 }
 

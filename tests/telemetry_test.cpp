@@ -474,6 +474,11 @@ TEST(SamplerTest, FinalSampleMatchesRegistryExitSnapshot) {
   EXPECT_EQ(last.counters, reg.counter_values());
   EXPECT_EQ(last.gauges, reg.gauge_values());
   EXPECT_EQ(last.counters.at("tests.sampler.work"), 30);
+  // The sample counter lives on the configured registry (not
+  // default_registry()), so the ring entry agrees with it exactly: one
+  // increment per take_sample, i.e. ring size plus evictions.
+  EXPECT_EQ(last.counters.at("obs.telemetry.samples"),
+            static_cast<std::int64_t>(ts.samples.size() + ts.dropped));
   // Monotone timestamps.
   for (std::size_t i = 1; i < ts.samples.size(); ++i) {
     EXPECT_GE(ts.samples[i].t_seconds, ts.samples[i - 1].t_seconds);
@@ -551,7 +556,9 @@ TEST(TelemetryConcurrency, SamplerWhileSolving) {
   TelemetrySamplerOptions opts;
   opts.cadence_ms = 1.0;
   opts.stall_after_seconds = 0.001;  // exercise the watchdog path too
-  opts.heartbeat_every_seconds = 0.0;
+  // Non-zero so the observer's sample_now() races the background thread
+  // through heartbeat()'s last-beat CAS, not just the ring.
+  opts.heartbeat_every_seconds = 0.05;
   ASSERT_TRUE(sampler.start(opts).is_ok());
 
   Counter& work = default_registry().counter("tests.telemetry.race");

@@ -304,8 +304,10 @@ StatusOr<std::string> http_get_local(int port, const std::string& path) {
                               "Connection: close\r\n\r\n";
   std::size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    // MSG_NOSIGNAL: a server that closes early must yield EPIPE, not kill
+    // the process with SIGPIPE.
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       ::close(fd);
       return Status::internal("send() failed");
