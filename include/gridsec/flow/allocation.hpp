@@ -42,6 +42,14 @@ struct AllocationOptions {
   /// the unattacked base model when sweeping attack targets). Takes
   /// precedence over welfare.simplex.warm_start when non-empty.
   lp::Basis warm_start;
+  /// Optional shared welfare model: when set, the base welfare solve
+  /// refreshes this model in place instead of rebuilding the LP (identical
+  /// results; see SocialWelfareModel). Sweep loops that call
+  /// allocate_profits per scenario on one topology point this at a model
+  /// that outlives the loop. The perturbation allocator's probe solves
+  /// never touch it (each probe is a different topology). Not owned; the
+  /// caller keeps it alive and does not share it across threads.
+  SocialWelfareModel* model = nullptr;
 };
 
 struct AllocationResult {

@@ -53,10 +53,59 @@ struct SocialWelfareOptions {
 /// Builds the Eq 1-7 LP for `net` (exposed for tests and the MILP layers).
 lp::Problem build_social_welfare_lp(const Network& net);
 
+/// A reusable social-welfare LP: the model that sweep loops (impact
+/// matrices, Monte Carlo trials, game rounds) re-solve hundreds of times
+/// against sibling networks that share one topology.
+///
+/// sync() points the model at a network. The first call — and any call
+/// where the topology (node kinds, edge endpoints, edge names) changed —
+/// builds the Eq 1-7 LP from scratch. Every other call refreshes the
+/// capacities, costs and loss coefficients of the cached Problem in place
+/// (zero heap allocations), exploiting the build's deterministic term
+/// layout: each conservation row lists its hub's out-edges first, then its
+/// in-edges. A refreshed model is value-identical to a fresh
+/// build_social_welfare_lp of the same network, so solve results are
+/// bit-identical either way.
+///
+/// Not thread-safe; give each worker its own model (see
+/// util::WorkerScratch::slot).
+class SocialWelfareModel {
+ public:
+  /// Builds or refreshes the cached LP for `net` (see class comment).
+  void sync(const Network& net);
+
+  /// The cached LP as of the last sync(). Empty before the first sync.
+  [[nodiscard]] const lp::Problem& problem() const { return problem_; }
+
+  /// Number of from-scratch builds performed (1 = refresh path has been
+  /// hit ever since; exposed for tests and the allocation bench).
+  [[nodiscard]] long rebuilds() const { return rebuilds_; }
+
+ private:
+  [[nodiscard]] bool topology_matches(const Network& net) const;
+  void refresh(const Network& net);
+
+  lp::Problem problem_;
+  // Topology fingerprint captured at build time; a mismatch on any entry
+  // forces a rebuild. Edge names are compared against the cached
+  // Problem's variable names directly (no copy here).
+  std::vector<int> edge_from_, edge_to_;
+  std::vector<unsigned char> node_is_hub_;
+  long rebuilds_ = 0;
+};
+
 /// Solves the social-welfare problem. status != kOptimal means the network
 /// data is inconsistent (the LP is always feasible at f = 0 for validated
 /// networks, so infeasibility indicates a modelling bug).
 FlowSolution solve_social_welfare(const Network& net,
+                                  const SocialWelfareOptions& options = {});
+
+/// Model-reusing variant: identical results, but the LP is refreshed in
+/// `model` instead of rebuilt — the per-solve model-construction
+/// allocations (the dominant heap traffic of sweep loops) collapse to
+/// zero once the model has seen the topology.
+FlowSolution solve_social_welfare(const Network& net,
+                                  SocialWelfareModel& model,
                                   const SocialWelfareOptions& options = {});
 
 }  // namespace gridsec::flow

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,6 +72,14 @@ void set_warm_start_enabled(bool enabled);
 /// update) — i.e. B_new = B_old * E where E is the identity with column p
 /// replaced by w. ftran/btran then solve against B_new without touching
 /// the LU factors.
+///
+/// Storage is workspace-grade: the eta chain lives in one flat pool
+/// (k·m doubles, cleared-not-freed at refactorize) and every solve's
+/// intermediates live in member scratch vectors that keep their capacity,
+/// so a factorization reused across solves of the same shape performs no
+/// heap allocation after its first cycle. The scratch makes even const
+/// solves non-reentrant: an instance belongs to one thread / one solver
+/// workspace and must not be shared.
 class BasisFactorization {
  public:
   /// Factorizes `b` (square). Discards any eta chain. Returns false when
@@ -81,10 +90,10 @@ class BasisFactorization {
   bool refactorize(const Matrix& b);
 
   /// x := B^{-1} x. Requires valid().
-  void ftran(std::vector<double>& x) const;
+  void ftran(std::span<double> x) const;
 
   /// y := B^{-T} y. Requires valid().
-  void btran(std::vector<double>& y) const;
+  void btran(std::span<double> y) const;
 
   /// x := B_new^{-1} x with iterative refinement: after the base solve the
   /// true residual r = rhs − B_new·x is formed against the stored copy of
@@ -93,22 +102,23 @@ class BasisFactorization {
   /// kMaxRefineSteps). Returns the number of correction steps taken; when
   /// `residual_out` is non-null it receives the final relative residual
   /// ‖r‖_∞ / (1 + ‖rhs‖_∞). Requires valid().
-  int ftran_refined(std::vector<double>& x,
+  int ftran_refined(std::span<double> x,
                     double* residual_out = nullptr) const;
 
   /// y := B_new^{-T} y with iterative refinement (see ftran_refined).
-  int btran_refined(std::vector<double>& y,
+  int btran_refined(std::span<double> y,
                     double* residual_out = nullptr) const;
 
   /// Appends the eta for a pivot in position `p` with direction `w`
-  /// (= B^{-1} a_entering). Returns false — and leaves the factorization
-  /// unchanged — when |w[p]| is too small to pivot on; the caller should
-  /// refactorize from the updated basis matrix instead.
-  bool update(int p, std::vector<double> w);
+  /// (= B^{-1} a_entering), copying it into the flat eta pool. Returns
+  /// false — and leaves the factorization unchanged — when |w[p]| is too
+  /// small to pivot on; the caller should refactorize from the updated
+  /// basis matrix instead.
+  bool update(int p, std::span<const double> w);
 
   [[nodiscard]] bool valid() const { return valid_; }
   [[nodiscard]] std::size_t size() const { return perm_.size(); }
-  [[nodiscard]] std::size_t eta_count() const { return etas_.size(); }
+  [[nodiscard]] std::size_t eta_count() const { return eta_rows_.size(); }
 
   /// Worst-case growth indicator for the current factorization: the max of
   /// the LU element growth observed at the last refactorize
@@ -139,26 +149,31 @@ class BasisFactorization {
   static constexpr double kGrowthRefactorLimit = 1e6;
 
  private:
-  struct Eta {
-    int row = -1;
-    std::vector<double> w;
-  };
-
   /// r := rhs − B_new·x (B_new = stored B · eta chain); returns ‖r‖_∞.
-  double residual_ftran(const std::vector<double>& x,
-                        const std::vector<double>& rhs,
+  double residual_ftran(std::span<const double> x,
+                        std::span<const double> rhs,
                         std::vector<double>& r) const;
   /// r := rhs − B_new^T·y; returns ‖r‖_∞.
-  double residual_btran(const std::vector<double>& y,
-                        const std::vector<double>& rhs,
+  double residual_btran(std::span<const double> y,
+                        std::span<const double> rhs,
                         std::vector<double>& r) const;
 
   Matrix lu_;              // L strictly below the diagonal (unit), U on/above
   Matrix b_;               // copy of B at the last refactorize (residuals)
   std::vector<int> perm_;  // row permutation: (P*B)[i] = B[perm_[i]]
-  std::vector<Eta> etas_;
+  /// Eta chain, contiguous: eta k is rows eta_rows_[k] and direction
+  /// eta_pool_[k*m .. (k+1)*m). Cleared (capacity kept) on refactorize.
+  std::vector<double> eta_pool_;
+  std::vector<int> eta_rows_;
   bool valid_ = false;
   double pivot_growth_ = 1.0;
+  // Per-solve scratch, capacity-reused across calls. Mutable because
+  // ftran/btran are logically const; this is what makes const calls
+  // non-reentrant (see class comment).
+  mutable std::vector<double> z_;        // permuted / triangular-solve image
+  mutable std::vector<double> resid_v_;  // residual_* intermediate product
+  mutable std::vector<double> refine_rhs_, refine_r_, refine_d_,
+      refine_cand_, refine_r2_;
 };
 
 }  // namespace gridsec::lp

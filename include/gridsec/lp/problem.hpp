@@ -84,6 +84,14 @@ class Problem {
   void set_bounds(int var, double lower, double upper);
   /// Overwrites an existing constraint's rhs.
   void set_rhs(int row, double rhs);
+  /// Overwrites the coefficient of one existing term of an existing
+  /// constraint. `term` indexes the row's term list in insertion order —
+  /// model builders with a deterministic term layout (e.g. the
+  /// social-welfare LP's [out-edges... | in-edges...] rows) refresh
+  /// coefficients in place through this instead of rebuilding the model.
+  /// The new coefficient must be nonzero: a zero would silently change the
+  /// sparsity pattern relative to a fresh build.
+  void set_constraint_coef(int row, int term, double coef);
   /// Multiplies every coefficient and the rhs of an existing constraint by
   /// `factor` (must be positive so the sense is preserved). The feasible
   /// set is unchanged; only the row's conditioning moves — this is what

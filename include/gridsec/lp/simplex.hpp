@@ -21,6 +21,8 @@
 
 namespace gridsec::lp {
 
+class SolverWorkspace;
+
 struct SimplexOptions {
   double feasibility_tol = 1e-7;   // bound/constraint violation tolerance
   double optimality_tol = 1e-9;    // reduced-cost threshold
@@ -50,6 +52,11 @@ struct SimplexOptions {
   /// always certificate-identical to a cold solve. Ignored when
   /// set_warm_start_enabled(false) is in effect.
   Basis warm_start;
+  /// Workspace carrying all per-solve solver state (see workspace.hpp).
+  /// nullptr (the default) uses the calling thread's workspace — the right
+  /// choice for every ordinary solve. Set it only when the solver state
+  /// must outlive the solve or live somewhere specific.
+  SolverWorkspace* workspace = nullptr;
 };
 
 class SimplexSolver {
@@ -73,6 +80,11 @@ class SimplexSolver {
 
 /// Convenience wrapper: one-shot solve with default options.
 Solution solve_lp(const Problem& problem);
+
+/// One-shot solve with explicit options. Equivalent to
+/// SimplexSolver(options).solve(problem) minus the options/basis copy —
+/// the form hot loops (B&B nodes, recovery rungs, model re-solves) use.
+Solution solve_lp(const Problem& problem, const SimplexOptions& options);
 
 /// A closed interval; ±infinity for unbounded sides.
 struct SensitivityRange {

@@ -1,0 +1,79 @@
+// Reusable solver workspace: all per-solve simplex state in one place.
+//
+// A SolverWorkspace owns the solver's entire mutable state — tableau
+// columns, bounds, costs, the current point, basis indices, pricing
+// vectors, warm-start repair scratch — carved from a single util::Arena
+// buffer, plus the BasisFactorization whose LU/eta storage is itself
+// contiguous and capacity-reused. The lifecycle is solve → reset → solve:
+// each solve re-binds the workspace to the problem's shape (one arena
+// rewind + pointer carving, no heap traffic once the arena has grown to
+// the high-water mark), so a caller that solves the same-shaped LP in a
+// loop — impact matrices, Monte Carlo trials, B&B nodes, game rounds —
+// performs zero steady-state allocations inside the solver.
+//
+// Ownership rules:
+//   - One workspace, one thread. Nothing here is synchronized.
+//   - Callers normally don't touch this type at all: every solve without
+//     an explicit SimplexOptions::workspace uses thread_solver_workspace(),
+//     which lives in the thread-pool worker's scratch slot (or a plain
+//     thread_local off-pool). Pass an explicit workspace only when the
+//     solver state must outlive the solve (analyze_sensitivity does this
+//     for its final-tableau views).
+//   - A workspace is reused, not shared: a nested solve that finds the
+//     workspace already in use (e.g. a solve inside a simplex observer)
+//     falls back to a heap-allocated impl for that solve, counted in
+//     lp.workspace.nested_fallbacks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace gridsec::util {
+class Arena;
+}
+
+namespace gridsec::lp {
+
+namespace detail {
+struct WorkspaceImpl;
+}
+
+class SolverWorkspace {
+ public:
+  SolverWorkspace();
+  ~SolverWorkspace();
+
+  SolverWorkspace(const SolverWorkspace&) = delete;
+  SolverWorkspace& operator=(const SolverWorkspace&) = delete;
+
+  /// Releases all carved state and frees the arena. The next solve
+  /// re-grows it; reset() is for reclaiming memory after an unusually
+  /// large problem, not part of the per-solve cycle (solves re-bind
+  /// automatically).
+  void reset();
+
+  struct Stats {
+    std::size_t arena_capacity = 0;   // bytes reserved by the arena
+    std::size_t arena_high_water = 0; // max bytes a single bind carved
+    std::size_t binds = 0;            // solve → reset → solve cycles
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// The arena backing this workspace (for diagnostics and tests).
+  [[nodiscard]] util::Arena& arena();
+
+  /// Internal: the solver-facing state block.
+  [[nodiscard]] detail::WorkspaceImpl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<detail::WorkspaceImpl> impl_;
+};
+
+/// The calling thread's default workspace. On a thread-pool worker this is
+/// the worker's WorkerScratch slot — born with the worker, reused by every
+/// task it runs, destroyed when the pool joins. Off-pool it is a plain
+/// thread_local. Either way: one instance per thread, valid for the
+/// thread's lifetime.
+SolverWorkspace& thread_solver_workspace();
+
+}  // namespace gridsec::lp

@@ -23,6 +23,16 @@ class Matrix {
 
   static Matrix identity(std::size_t n);
 
+  /// Reshapes to rows x cols with every element set to `fill`, reusing the
+  /// existing heap block when it is large enough (the workspace-reuse path:
+  /// a scratch matrix re-assigned to the same shape every solve allocates
+  /// only once).
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] bool empty() const { return data_.empty(); }

@@ -3,6 +3,14 @@
 // Determinism contract: callers must make each work item self-seeding
 // (e.g. Rng::derive_stream(trial_index)) so results do not depend on which
 // thread runs which item.
+//
+// Hot-path allocation contract: parallel_for keeps its whole control block
+// (claim cursor, failure latch, completion latch) on the caller's stack and
+// enqueues raw function-pointer tasks, so dispatching a sweep performs no
+// heap allocation beyond the queue's amortized deque storage. Per-worker
+// solver state (arenas, solver workspaces, warm bases) lives in the
+// worker's WorkerScratch slot — reused across every task the worker runs —
+// rather than being reallocated per trial.
 #pragma once
 
 #include <condition_variable>
@@ -15,7 +23,65 @@
 #include <thread>
 #include <vector>
 
+#include "gridsec/util/arena.hpp"
+
 namespace gridsec {
+
+namespace detail {
+int next_scratch_type_id();
+template <typename T>
+int scratch_type_id() {
+  static const int id = next_scratch_type_id();
+  return id;
+}
+}  // namespace detail
+
+/// Per-worker scratch state: a bump arena plus lazily-created typed slots
+/// (one instance of each requested T per worker). A WorkerScratch belongs
+/// to exactly one thread; nothing here is synchronized. Pool workers own
+/// one for their lifetime; code running on a worker reaches it through
+/// ThreadPool::current_scratch().
+class WorkerScratch {
+ public:
+  WorkerScratch() = default;
+  ~WorkerScratch() {
+    for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+      if (it->ptr != nullptr) it->destroy(it->ptr);
+    }
+  }
+
+  WorkerScratch(const WorkerScratch&) = delete;
+  WorkerScratch& operator=(const WorkerScratch&) = delete;
+
+  /// The worker's bump arena. Borrow for per-task scratch and reset()
+  /// between tasks; do not hold allocations across tasks.
+  [[nodiscard]] util::Arena& arena() { return arena_; }
+
+  /// Lazily default-constructs (once per worker) and returns this worker's
+  /// instance of T — e.g. a solver workspace that then persists across all
+  /// tasks the worker runs. Destroyed with the worker.
+  template <typename T>
+  T& slot() {
+    const auto id =
+        static_cast<std::size_t>(detail::scratch_type_id<T>());
+    if (id >= slots_.size()) slots_.resize(id + 1);
+    Slot& s = slots_[id];
+    if (s.ptr == nullptr) {
+      s.ptr = new T();
+      s.destroy = [](void* p) { delete static_cast<T*>(p); };
+    }
+    return *static_cast<T*>(s.ptr);
+  }
+
+ private:
+  struct Slot {
+    void* ptr = nullptr;
+    void (*destroy)(void*) = nullptr;
+  };
+
+  util::Arena arena_;
+  std::vector<Slot> slots_;
+};
 
 class ThreadPool {
  public:
@@ -45,6 +111,11 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
+  /// The scratch slot of the pool worker executing the current thread, or
+  /// nullptr when the calling thread is not a pool worker. Thread-local;
+  /// valid for the duration of the current task.
+  [[nodiscard]] static WorkerScratch* current_scratch();
+
   /// Snapshot of per-worker busy/idle totals, one entry per worker. The
   /// same totals flow into the util.threadpool.busy_ns / idle_ns registry
   /// counters (cumulative across every pool in the process).
@@ -58,10 +129,34 @@ class ThreadPool {
   stats_for_all_pools();
 
  private:
+  /// One queue entry: either a raw function-pointer task (the allocation-
+  /// free parallel_for path; must not throw) or a packaged_task from
+  /// submit() (exceptions land in its future).
+  struct Task {
+    void (*raw)(void*) = nullptr;
+    void* ctx = nullptr;
+    std::packaged_task<void()> packaged;
+
+    void run() {
+      if (raw != nullptr) {
+        raw(ctx);
+      } else {
+        packaged();
+      }
+    }
+  };
+
+  /// Enqueues `count` copies of a raw task. The callee owns all
+  /// completion/error signalling through `ctx`.
+  void submit_raw(void (*fn)(void*), void* ctx, std::size_t count);
+
   void worker_loop(std::size_t worker);
 
+  friend void parallel_for(ThreadPool* pool, std::size_t n,
+                           const std::function<void(std::size_t)>& fn);
+
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Task> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
@@ -73,7 +168,8 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [0, n), distributing chunks over `pool`. Blocks until
 /// all iterations complete. fn must be safe to call concurrently for
-/// distinct i. With a null pool, runs serially.
+/// distinct i. With a null pool, runs serially. Performs no heap allocation
+/// on the dispatch path (see the header comment).
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

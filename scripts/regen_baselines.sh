@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerates every committed bench baseline in bench/baselines/.
+#
+# Run this after a change that intentionally moves gated counters (pivot
+# counts, allocation totals, B&B nodes, ...). The bench settings below
+# MUST match the ones CI uses in .github/workflows/ci.yml — the gate
+# compares per-rep counter deltas, and trial counts are part of the
+# workload. Counters are seed-deterministic, so two runs of this script
+# on any machine produce identical tracked metrics (wall-time fields
+# differ; gridsec-benchdiff never gates on them).
+#
+# Usage: scripts/regen_baselines.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BASELINES="bench/baselines"
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "regen_baselines: '${BUILD_DIR}/bench' not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} && cmake --build ${BUILD_DIR}" >&2
+  exit 2
+fi
+
+run() {
+  local tool="$1"
+  shift
+  echo "regen_baselines: ${tool} $*"
+  "${BUILD_DIR}/bench/${tool}" "$@" \
+    --json="${BASELINES}/BENCH_${tool}.json" > /dev/null
+}
+
+# Keep in lockstep with the "Run benches" step in ci.yml.
+run micro_solvers --trials=5
+run fig2_interdependent --trials=5 --threads=2
+run fig6_collaboration --trials=3 --threads=2
+run fig4_impact_matrix --trials=5
+
+# Every regenerated report must parse as a valid harness-v2 report —
+# the same check CI applies before gating.
+for f in "${BASELINES}"/BENCH_*.json; do
+  "${BUILD_DIR}/tools/gridsec-benchdiff" --validate "$f"
+done
+
+echo "regen_baselines: done — review the diff and commit ${BASELINES}/."

@@ -442,6 +442,11 @@ StatusOr<double> realized_return_joint(const flow::Network& truth_net,
                                        const cps::ImpactOptions& options) {
   flow::AllocationOptions alloc = options.allocation;
   alloc.warm_start = options.warm_start;
+  // Base and attacked models share one topology (attacks only change edge
+  // data), so both welfare solves share one model: built at the base
+  // solve, refreshed in place for the attacked re-solve.
+  flow::SocialWelfareModel welfare_model;
+  if (alloc.model == nullptr) alloc.model = &welfare_model;
   flow::AllocationResult base = flow::allocate_profits(
       truth_net, ownership.owners(), ownership.num_actors(), alloc);
   if (!base.optimal()) {

@@ -23,10 +23,17 @@ StatusOr<DeceptionOutcome> evaluate_deception(
     std::span<const Misreport> misreports, const AdversaryConfig& adversary,
     const cps::ImpactOptions& impact_options) {
   const flow::Network published = apply_misreports(truth, misreports);
+  // Misreports only falsify capacities, so the believed and actual
+  // matrices share one topology — and one welfare model.
+  cps::ImpactOptions impact = impact_options;
+  flow::SocialWelfareModel shared_model;
+  if (impact.allocation.model == nullptr) {
+    impact.allocation.model = &shared_model;
+  }
   auto believed =
-      cps::compute_impact_matrix(published, ownership, impact_options);
+      cps::compute_impact_matrix(published, ownership, impact);
   if (!believed.is_ok()) return believed.status();
-  auto actual = cps::compute_impact_matrix(truth, ownership, impact_options);
+  auto actual = cps::compute_impact_matrix(truth, ownership, impact);
   if (!actual.is_ok()) return actual.status();
 
   StrategicAdversary sa(adversary);

@@ -61,8 +61,14 @@ StatusOr<GameOutcome> play_defense_game(const flow::Network& truth,
 
   // One warm-start chain through the whole round: every impact matrix in a
   // game is computed over a (noisy) view of the same topology, so each
-  // solve's base basis seeds the next phase's base solve.
+  // solve's base basis seeds the next phase's base solve — and one welfare
+  // model serves every solve in the round (perturb_knowledge never changes
+  // topology, so after the first build each sync is an in-place refresh).
   cps::ImpactOptions impact = config.impact;
+  flow::SocialWelfareModel round_model;
+  if (impact.allocation.model == nullptr) {
+    impact.allocation.model = &round_model;
+  }
 
   {  // Defender phase (steps 1-3); the span closes before the SA plans.
   GRIDSEC_TRACE_SPAN("core.game.defender_phase");

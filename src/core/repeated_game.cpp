@@ -25,7 +25,15 @@ StatusOr<RepeatedGameResult> play_repeated_game(
   GRIDSEC_ASSERT(config.learning_rate >= 0.0 && config.learning_rate <= 1.0);
   const GameConfig& game = config.game;
 
-  auto truth_im = cps::compute_impact_matrix(truth, ownership, game.impact);
+  // One welfare model serves every impact compute across all rounds: the
+  // views are data perturbations of one topology (see play_defense_game).
+  cps::ImpactOptions impact = game.impact;
+  flow::SocialWelfareModel series_model;
+  if (impact.allocation.model == nullptr) {
+    impact.allocation.model = &series_model;
+  }
+
+  auto truth_im = cps::compute_impact_matrix(truth, ownership, impact);
   if (!truth_im.is_ok()) return truth_im.status();
 
   // Round 0 beliefs: the defender's one-shot model-based estimate, from its
@@ -33,11 +41,11 @@ StatusOr<RepeatedGameResult> play_repeated_game(
   flow::Network defender_view =
       cps::perturb_knowledge(truth, game.defender_noise, rng);
   auto defender_im =
-      cps::compute_impact_matrix(defender_view, ownership, game.impact);
+      cps::compute_impact_matrix(defender_view, ownership, impact);
   if (!defender_im.is_ok()) return defender_im.status();
   auto pa0 = estimate_attack_probabilities(
       defender_view, ownership, game.adversary,
-      game.speculated_adversary_noise, game.pa_samples, rng, game.impact);
+      game.speculated_adversary_noise, game.pa_samples, rng, impact);
   if (!pa0.is_ok()) return pa0.status();
 
   RepeatedGameResult out;
@@ -62,7 +70,7 @@ StatusOr<RepeatedGameResult> play_repeated_game(
     // Adversary strikes from a fresh noisy view.
     flow::Network adv_view =
         cps::perturb_knowledge(truth, game.adversary_noise, rng);
-    auto adv_im = cps::compute_impact_matrix(adv_view, ownership, game.impact);
+    auto adv_im = cps::compute_impact_matrix(adv_view, ownership, impact);
     if (!adv_im.is_ok()) return adv_im.status();
     ro.attack = sa.plan(adv_im->matrix);
     if (ro.attack.status == lp::SolveStatus::kInfeasible ||

@@ -68,6 +68,11 @@ StatusOr<ImpactResult> compute_impact_matrix(const flow::Network& net,
 
   flow::AllocationOptions alloc = options.allocation;
   alloc.warm_start = options.warm_start;
+  // Every solve in this sweep — the base model and each single-edge attack
+  // scenario — shares one topology, so one welfare model serves them all:
+  // built once at the base solve, refreshed in place per target.
+  flow::SocialWelfareModel welfare_model;
+  if (alloc.model == nullptr) alloc.model = &welfare_model;
   flow::AllocationResult base = [&] {
     GRIDSEC_TRACE_SPAN("cps.impact.base_solve");
     return flow::allocate_profits(net, ownership.owners(), n_actors, alloc);

@@ -86,16 +86,22 @@ AllocationResult allocate_profits(const Network& net,
   if (!options.warm_start.empty()) {
     welfare_options.simplex.warm_start = options.warm_start;
   }
-  FlowSolution base = solve_social_welfare(net, welfare_options);
+  FlowSolution base =
+      options.model != nullptr
+          ? solve_social_welfare(net, *options.model, welfare_options)
+          : solve_social_welfare(net, welfare_options);
   out.status = base.status;
   out.recovered = base.recovered;
   if (!base.optimal()) return out;
   out.welfare = base.welfare;
-  out.basis = base.basis;
 
   if (options.kind == AllocatorKind::kLmp) {
-    out.node_price = base.node_price;
+    out.basis = std::move(base.basis);
+    out.node_price = std::move(base.node_price);
   } else {
+    // The probe solves below warm-start from base.basis, so it must stay
+    // put; copy rather than move.
+    out.basis = base.basis;
     auto probed =
         probe_node_prices(net, base, options.probe_fraction, options.welfare);
     if (!probed.is_ok()) {

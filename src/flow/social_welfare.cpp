@@ -7,42 +7,13 @@
 
 namespace gridsec::flow {
 
-lp::Problem build_social_welfare_lp(const Network& net) {
-  lp::Problem p(lp::Objective::kMinimize);
-  // One variable per edge: delivered flow in [0, capacity] (Eq 2) with the
-  // per-unit cost a(u,v) as objective coefficient (Eq 1).
-  for (int e = 0; e < net.num_edges(); ++e) {
-    const Edge& edge = net.edge(e);
-    p.add_variable(edge.name, 0.0, edge.capacity, edge.cost);
-  }
-  // Lossy conservation at each hub (Eq 7): what the hub sends (grossed up
-  // by each outgoing edge's loss) equals what it receives.
-  for (int n = 0; n < net.num_nodes(); ++n) {
-    if (net.node(n).kind != NodeKind::kHub) continue;
-    lp::LinearExpr expr;
-    for (EdgeId e : net.out_edges(n)) {
-      expr.add(e, 1.0 / (1.0 - net.edge(e).loss));
-    }
-    for (EdgeId e : net.in_edges(n)) {
-      expr.add(e, -1.0);
-    }
-    if (expr.empty()) continue;  // isolated hub
-    p.add_constraint("conserve." + net.node(n).name, std::move(expr),
-                     lp::Sense::kEqual, 0.0);
-  }
-  return p;
-}
+namespace {
 
-FlowSolution solve_social_welfare(const Network& net,
-                                  const SocialWelfareOptions& options) {
-  GRIDSEC_TRACE_SPAN("flow.social_welfare.solve");
-  static obs::Counter& c_solves =
-      obs::default_registry().counter("flow.social_welfare.solves");
-  c_solves.add();
-  // Guardrail: perturbations may have driven edge data out of domain
-  // (negative capacity, NaN cost, loss >= 1). Building the LP from such
-  // data would trip Problem's bound invariants, so gate here and report a
-  // typed verdict instead.
+// Guardrail: perturbations may have driven edge data out of domain
+// (negative capacity, NaN cost, loss >= 1). Building the LP from such
+// data would trip Problem's bound invariants, so gate here and report a
+// typed verdict instead.
+bool edge_data_valid(const Network& net) {
   for (int e = 0; e < net.num_edges(); ++e) {
     const Edge& edge = net.edge(e);
     if (!std::isfinite(edge.cost) || std::isnan(edge.capacity) ||
@@ -50,15 +21,15 @@ FlowSolution solve_social_welfare(const Network& net,
       static obs::Counter& c_bad = obs::default_registry().counter(
           "flow.social_welfare.invalid_data");
       c_bad.add();
-      FlowSolution bad;
-      bad.status = lp::SolveStatus::kNumericalError;
-      return bad;
+      return false;
     }
   }
-  lp::Problem p = build_social_welfare_lp(net);
-  lp::SimplexSolver solver(options.simplex);
-  lp::Solution lp_sol = solver.solve(p);
+  return true;
+}
 
+// Maps the LP answer back into flow terms (shared by the one-shot and the
+// model-reusing entry points, which must stay result-identical).
+FlowSolution finish_solution(const Network& net, lp::Solution&& lp_sol) {
   FlowSolution out;
   out.status = lp_sol.status;
   out.recovered = !lp_sol.recovery_trail.empty();
@@ -87,6 +58,133 @@ FlowSolution solve_social_welfare(const Network& net,
   out.edge_reduced_cost = std::move(lp_sol.reduced_costs);
   out.basis = std::move(lp_sol.basis);
   return out;
+}
+
+obs::Counter& solves_counter() {
+  static obs::Counter& c =
+      obs::default_registry().counter("flow.social_welfare.solves");
+  return c;
+}
+
+}  // namespace
+
+lp::Problem build_social_welfare_lp(const Network& net) {
+  lp::Problem p(lp::Objective::kMinimize);
+  // One variable per edge: delivered flow in [0, capacity] (Eq 2) with the
+  // per-unit cost a(u,v) as objective coefficient (Eq 1).
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    p.add_variable(edge.name, 0.0, edge.capacity, edge.cost);
+  }
+  // Lossy conservation at each hub (Eq 7): what the hub sends (grossed up
+  // by each outgoing edge's loss) equals what it receives.
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != NodeKind::kHub) continue;
+    lp::LinearExpr expr;
+    for (EdgeId e : net.out_edges(n)) {
+      expr.add(e, 1.0 / (1.0 - net.edge(e).loss));
+    }
+    for (EdgeId e : net.in_edges(n)) {
+      expr.add(e, -1.0);
+    }
+    if (expr.empty()) continue;  // isolated hub
+    p.add_constraint("conserve." + net.node(n).name, std::move(expr),
+                     lp::Sense::kEqual, 0.0);
+  }
+  return p;
+}
+
+bool SocialWelfareModel::topology_matches(const Network& net) const {
+  if (rebuilds_ == 0) return false;
+  const auto ne = static_cast<std::size_t>(net.num_edges());
+  const auto nn = static_cast<std::size_t>(net.num_nodes());
+  if (edge_from_.size() != ne || node_is_hub_.size() != nn) return false;
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const auto es = static_cast<std::size_t>(e);
+    const Edge& edge = net.edge(e);
+    if (edge.from != edge_from_[es] || edge.to != edge_to_[es]) return false;
+    // Variable names mirror edge names; a rename means dumps/audits of the
+    // cached Problem would lie, so treat it as a topology change.
+    if (edge.name != problem_.variable(e).name) return false;
+  }
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    const bool hub = net.node(n).kind == NodeKind::kHub;
+    if (hub != (node_is_hub_[static_cast<std::size_t>(n)] != 0)) return false;
+  }
+  return true;
+}
+
+void SocialWelfareModel::refresh(const Network& net) {
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& edge = net.edge(e);
+    problem_.set_bounds(e, 0.0, edge.capacity);
+    problem_.set_objective_coef(e, edge.cost);
+  }
+  // Replay build_social_welfare_lp's row walk. Only the out-edge
+  // coefficients (1/(1-loss), never zero) carry mutable data; in-edge
+  // terms are the constant -1 and the rhs is the constant 0.
+  int row = 0;
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    if (net.node(n).kind != NodeKind::kHub) continue;
+    const auto& out = net.out_edges(n);
+    if (out.empty() && net.in_edges(n).empty()) continue;  // isolated hub
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      problem_.set_constraint_coef(
+          row, static_cast<int>(k),
+          1.0 / (1.0 - net.edge(out[k]).loss));
+    }
+    ++row;
+  }
+}
+
+void SocialWelfareModel::sync(const Network& net) {
+  if (topology_matches(net)) {
+    refresh(net);
+    return;
+  }
+  problem_ = build_social_welfare_lp(net);
+  ++rebuilds_;
+  const auto ne = static_cast<std::size_t>(net.num_edges());
+  const auto nn = static_cast<std::size_t>(net.num_nodes());
+  edge_from_.resize(ne);
+  edge_to_.resize(ne);
+  node_is_hub_.resize(nn);
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const auto es = static_cast<std::size_t>(e);
+    edge_from_[es] = net.edge(e).from;
+    edge_to_[es] = net.edge(e).to;
+  }
+  for (int n = 0; n < net.num_nodes(); ++n) {
+    node_is_hub_[static_cast<std::size_t>(n)] =
+        net.node(n).kind == NodeKind::kHub ? 1 : 0;
+  }
+}
+
+FlowSolution solve_social_welfare(const Network& net,
+                                  const SocialWelfareOptions& options) {
+  GRIDSEC_TRACE_SPAN("flow.social_welfare.solve");
+  solves_counter().add();
+  if (!edge_data_valid(net)) {
+    FlowSolution bad;
+    bad.status = lp::SolveStatus::kNumericalError;
+    return bad;
+  }
+  lp::Problem p = build_social_welfare_lp(net);
+  return finish_solution(net, lp::solve_lp(p, options.simplex));
+}
+
+FlowSolution solve_social_welfare(const Network& net,
+                                  SocialWelfareModel& model,
+                                  const SocialWelfareOptions& options) {
+  GRIDSEC_TRACE_SPAN("flow.social_welfare.solve");
+  solves_counter().add();
+  if (!edge_data_valid(net)) {
+    FlowSolution bad;
+    bad.status = lp::SolveStatus::kNumericalError;
+    return bad;
+  }
+  model.sync(net);
+  return finish_solution(net, lp::solve_lp(model.problem(), options.simplex));
 }
 
 }  // namespace gridsec::flow

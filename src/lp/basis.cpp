@@ -1,5 +1,6 @@
 #include "gridsec/lp/basis.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -85,10 +86,11 @@ bool BasisFactorization::refactorize(const Matrix& b) {
   GRIDSEC_TRACE_SPAN("lp.simplex.refactorize");
   GRIDSEC_ASSERT(b.rows() == b.cols());
   const std::size_t m = b.rows();
-  lu_ = b;
+  lu_ = b;  // copy-assign reuses lu_'s heap block when shapes repeat
   perm_.resize(m);
   for (std::size_t i = 0; i < m; ++i) perm_[i] = static_cast<int>(i);
-  etas_.clear();
+  eta_pool_.clear();  // capacity kept for the next chain
+  eta_rows_.clear();
   valid_ = false;
   pivot_growth_ = 1.0;
 
@@ -149,11 +151,12 @@ bool BasisFactorization::refactorize(const Matrix& b) {
   return true;
 }
 
-void BasisFactorization::ftran(std::vector<double>& x) const {
+void BasisFactorization::ftran(std::span<double> x) const {
   GRIDSEC_ASSERT(valid_ && x.size() == perm_.size());
   const std::size_t m = perm_.size();
   // P*B = L*U, so B z = x  =>  L U z = P x.
-  std::vector<double> z(m);
+  std::vector<double>& z = z_;
+  z.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     z[i] = x[static_cast<std::size_t>(perm_[i])];
   }
@@ -171,33 +174,35 @@ void BasisFactorization::ftran(std::vector<double>& x) const {
   }
   // Eta chain in application order: B_new = B * E_1 * ... * E_k, so
   // B_new^{-1} v = E_k^{-1} ... E_1^{-1} (B^{-1} v).
-  for (const Eta& e : etas_) {
-    const auto p = static_cast<std::size_t>(e.row);
-    const double t = z[p] / e.w[p];
-    for (std::size_t i = 0; i < m; ++i) z[i] -= e.w[i] * t;
+  for (std::size_t k = 0; k < eta_rows_.size(); ++k) {
+    const double* w = eta_pool_.data() + k * m;
+    const auto p = static_cast<std::size_t>(eta_rows_[k]);
+    const double t = z[p] / w[p];
+    for (std::size_t i = 0; i < m; ++i) z[i] -= w[i] * t;
     z[p] = t;
   }
-  x = std::move(z);
+  for (std::size_t i = 0; i < m; ++i) x[i] = z[i];
 }
 
-void BasisFactorization::btran(std::vector<double>& y) const {
+void BasisFactorization::btran(std::span<double> y) const {
   GRIDSEC_ASSERT(valid_ && y.size() == perm_.size());
   const std::size_t m = perm_.size();
   // B_new^{-T} v = B^{-T} E_1^{-T} ... E_k^{-T} v: etas in reverse order
   // first, then the LU transpose solve.
-  for (std::size_t k = etas_.size(); k-- > 0;) {
+  for (std::size_t k = eta_rows_.size(); k-- > 0;) {
     // Solve E^T u = v in place: row p of E^T is w^T, other rows identity.
-    const Eta& e = etas_[k];
-    const auto p = static_cast<std::size_t>(e.row);
+    const double* w = eta_pool_.data() + k * m;
+    const auto p = static_cast<std::size_t>(eta_rows_[k]);
     double dot_rest = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
-      if (i != p) dot_rest += e.w[i] * y[i];
+      if (i != p) dot_rest += w[i] * y[i];
     }
-    y[p] = (y[p] - dot_rest) / e.w[p];
+    y[p] = (y[p] - dot_rest) / w[p];
   }
   // B^T q = v with B = P^T L U: U^T L^T P q = v.
   // Forward: U^T (lower triangular with U's diagonal).
-  std::vector<double> z(m);
+  std::vector<double>& z = z_;
+  z.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
     double acc = y[i];
     for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
@@ -215,7 +220,7 @@ void BasisFactorization::btran(std::vector<double>& y) const {
   }
 }
 
-bool BasisFactorization::update(int p, std::vector<double> w) {
+bool BasisFactorization::update(int p, std::span<const double> w) {
   GRIDSEC_ASSERT(valid_ && p >= 0 &&
                  static_cast<std::size_t>(p) < perm_.size() &&
                  w.size() == perm_.size());
@@ -231,27 +236,29 @@ bool BasisFactorization::update(int p, std::vector<double> w) {
   // Accepted — but remember how much this eta can amplify rounding
   // (each ftran/btran application divides by w[p]).
   if (wmax > 0.0) pivot_growth_ = std::max(pivot_growth_, wmax / pivot);
-  etas_.push_back({p, std::move(w)});
+  eta_pool_.insert(eta_pool_.end(), w.begin(), w.end());
+  eta_rows_.push_back(p);
   return true;
 }
 
-double BasisFactorization::residual_ftran(const std::vector<double>& x,
-                                          const std::vector<double>& rhs,
+double BasisFactorization::residual_ftran(std::span<const double> x,
+                                          std::span<const double> rhs,
                                           std::vector<double>& r) const {
   const std::size_t m = perm_.size();
   // B_new = B · E_1 · … · E_k, so B_new·x = B·(E_1·(…·(E_k·x))).
   // Apply etas innermost-first (reverse append order). Multiplying by
   // E = I + (w − e_p)e_pᵀ: v_i += w_i·v_p for i ≠ p, v_p = w_p·v_p.
-  std::vector<double> v = x;
-  for (std::size_t k = etas_.size(); k-- > 0;) {
-    const Eta& e = etas_[k];
-    const auto p = static_cast<std::size_t>(e.row);
+  std::vector<double>& v = resid_v_;
+  v.assign(x.begin(), x.end());
+  for (std::size_t k = eta_rows_.size(); k-- > 0;) {
+    const double* w = eta_pool_.data() + k * m;
+    const auto p = static_cast<std::size_t>(eta_rows_[k]);
     const double vp = v[p];
     if (vp != 0.0) {
       for (std::size_t i = 0; i < m; ++i) {
-        if (i != p) v[i] += e.w[i] * vp;
+        if (i != p) v[i] += w[i] * vp;
       }
-      v[p] = e.w[p] * vp;
+      v[p] = w[p] * vp;
     }
   }
   r.assign(m, 0.0);
@@ -265,23 +272,25 @@ double BasisFactorization::residual_ftran(const std::vector<double>& x,
   return norm;
 }
 
-double BasisFactorization::residual_btran(const std::vector<double>& y,
-                                          const std::vector<double>& rhs,
+double BasisFactorization::residual_btran(std::span<const double> y,
+                                          std::span<const double> rhs,
                                           std::vector<double>& r) const {
   const std::size_t m = perm_.size();
   // B_newᵀ = E_kᵀ·…·E_1ᵀ·Bᵀ, so B_newᵀ·y = E_kᵀ(…(E_1ᵀ(Bᵀ·y))):
   // Bᵀ first, then etas in append order. (Eᵀv)_p = Σ_j w_j v_j, others
   // unchanged.
-  std::vector<double> v(m, 0.0);
+  std::vector<double>& v = resid_v_;
+  v.assign(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
     double acc = 0.0;
     for (std::size_t i = 0; i < m; ++i) acc += b_(i, j) * y[i];
     v[j] = acc;
   }
-  for (const Eta& e : etas_) {
-    const auto p = static_cast<std::size_t>(e.row);
+  for (std::size_t k = 0; k < eta_rows_.size(); ++k) {
+    const double* w = eta_pool_.data() + k * m;
+    const auto p = static_cast<std::size_t>(eta_rows_[k]);
     double dot = 0.0;
-    for (std::size_t j = 0; j < m; ++j) dot += e.w[j] * v[j];
+    for (std::size_t j = 0; j < m; ++j) dot += w[j] * v[j];
     v[p] = dot;
   }
   r.assign(m, 0.0);
@@ -294,27 +303,30 @@ double BasisFactorization::residual_btran(const std::vector<double>& y,
   return norm;
 }
 
-int BasisFactorization::ftran_refined(std::vector<double>& x,
+int BasisFactorization::ftran_refined(std::span<double> x,
                                       double* residual_out) const {
   GRIDSEC_ASSERT(valid_ && x.size() == perm_.size());
-  const std::vector<double> rhs = x;
+  std::vector<double>& rhs = refine_rhs_;
+  rhs.assign(x.begin(), x.end());
   ftran(x);
   double rhs_norm = 0.0;
   for (const double v : rhs) rhs_norm = std::max(rhs_norm, std::fabs(v));
   const double scale = 1.0 + rhs_norm;
-  std::vector<double> r;
+  std::vector<double>& r = refine_r_;
   double rel = residual_ftran(x, rhs, r) / scale;
   int steps = 0;
   while (rel > kRefineTol && steps < kMaxRefineSteps) {
-    std::vector<double> d = r;
+    std::vector<double>& d = refine_d_;
+    d.assign(r.begin(), r.end());
     ftran(d);
-    std::vector<double> candidate = x;
+    std::vector<double>& candidate = refine_cand_;
+    candidate.assign(x.begin(), x.end());
     for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += d[i];
-    std::vector<double> r2;
+    std::vector<double>& r2 = refine_r2_;
     const double rel2 = residual_ftran(candidate, rhs, r2) / scale;
     if (rel2 >= rel) break;  // correction no longer improves; stop
-    x = std::move(candidate);
-    r = std::move(r2);
+    std::copy(candidate.begin(), candidate.end(), x.begin());
+    r.swap(r2);
     rel = rel2;
     ++steps;
   }
@@ -322,27 +334,30 @@ int BasisFactorization::ftran_refined(std::vector<double>& x,
   return steps;
 }
 
-int BasisFactorization::btran_refined(std::vector<double>& y,
+int BasisFactorization::btran_refined(std::span<double> y,
                                       double* residual_out) const {
   GRIDSEC_ASSERT(valid_ && y.size() == perm_.size());
-  const std::vector<double> rhs = y;
+  std::vector<double>& rhs = refine_rhs_;
+  rhs.assign(y.begin(), y.end());
   btran(y);
   double rhs_norm = 0.0;
   for (const double v : rhs) rhs_norm = std::max(rhs_norm, std::fabs(v));
   const double scale = 1.0 + rhs_norm;
-  std::vector<double> r;
+  std::vector<double>& r = refine_r_;
   double rel = residual_btran(y, rhs, r) / scale;
   int steps = 0;
   while (rel > kRefineTol && steps < kMaxRefineSteps) {
-    std::vector<double> d = r;
+    std::vector<double>& d = refine_d_;
+    d.assign(r.begin(), r.end());
     btran(d);
-    std::vector<double> candidate = y;
+    std::vector<double>& candidate = refine_cand_;
+    candidate.assign(y.begin(), y.end());
     for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += d[i];
-    std::vector<double> r2;
+    std::vector<double>& r2 = refine_r2_;
     const double rel2 = residual_btran(candidate, rhs, r2) / scale;
     if (rel2 >= rel) break;
-    y = std::move(candidate);
-    r = std::move(r2);
+    std::copy(candidate.begin(), candidate.end(), y.begin());
+    r.swap(r2);
     rel = rel2;
     ++steps;
   }

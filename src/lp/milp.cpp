@@ -170,11 +170,14 @@ Solution BranchAndBoundSolver::solve_search(const Problem& problem) const {
   Problem work = problem;
   // Per-node LP solves warm-start from the parent node's optimal basis
   // (one bound change away); the root and any node without a recorded
-  // basis fall back to the ordinary cold start.
+  // basis fall back to the ordinary cold start. The options copy is
+  // hoisted out of the node loop: per node only the warm basis is
+  // assigned (capacity-reusing) and solve_lp avoids the options copy a
+  // SimplexSolver construction would add.
+  SimplexOptions node_options = options_.lp_options;
   const auto solve_relaxation = [&](const Basis& warm) {
-    SimplexOptions opt = options_.lp_options;
-    opt.warm_start = warm;
-    return SimplexSolver(opt).solve(work);
+    node_options.warm_start = warm;
+    return solve_lp(work, node_options);
   };
   std::vector<std::pair<double, double>> root_bounds;
   root_bounds.reserve(static_cast<std::size_t>(problem.num_variables()));
@@ -423,8 +426,7 @@ Solution solve_milp_with_duals(const Problem& problem,
   // the bound fixings, so the dual re-solve is typically pivot-free.
   SimplexOptions lp_options = options.lp_options;
   lp_options.warm_start = incumbent.basis;
-  SimplexSolver lp(lp_options);
-  Solution refined = lp.solve(fixed);
+  Solution refined = solve_lp(fixed, lp_options);
   if (refined.status != SolveStatus::kOptimal) return incumbent;
   refined.status = incumbent.status;  // keep the proof status of the search
   refined.bnb = incumbent.bnb;        // and the search counters

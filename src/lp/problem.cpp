@@ -83,6 +83,15 @@ void Problem::set_rhs(int row, double rhs) {
   constraints_[static_cast<std::size_t>(row)].rhs = rhs;
 }
 
+void Problem::set_constraint_coef(int row, int term, double coef) {
+  GRIDSEC_ASSERT(row >= 0 && row < num_constraints());
+  auto& con = constraints_[static_cast<std::size_t>(row)];
+  GRIDSEC_ASSERT(term >= 0 &&
+                 term < static_cast<int>(con.terms.size()));
+  GRIDSEC_ASSERT_MSG(coef != 0.0, "zero coef would change sparsity");
+  con.terms[static_cast<std::size_t>(term)].coef = coef;
+}
+
 void Problem::scale_constraint(int row, double factor) {
   GRIDSEC_ASSERT(row >= 0 && row < num_constraints());
   GRIDSEC_ASSERT_MSG(factor > 0.0 && std::isfinite(factor),

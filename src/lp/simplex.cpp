@@ -2,35 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "gridsec/lp/basis.hpp"
+#include "gridsec/lp/workspace.hpp"
 #include "gridsec/obs/log.hpp"
 #include "gridsec/obs/metrics.hpp"
 #include "gridsec/obs/trace.hpp"
 #include "gridsec/util/deadline.hpp"
 #include "gridsec/util/matrix.hpp"
+#include "workspace_internal.hpp"
 
 namespace gridsec::lp {
 namespace {
 
-enum class VarState { kBasic, kAtLower, kAtUpper };
-
-/// The working standard-form tableau: A x = b with per-column bounds,
-/// columns ordered [structural | slack | artificial].
-struct Tableau {
-  Matrix a;                    // m x ncols
-  std::vector<double> b;       // m
-  std::vector<double> lower;   // ncols
-  std::vector<double> upper;   // ncols
-  std::vector<double> cost;    // ncols, phase-dependent
-  std::vector<double> x;       // ncols, current point
-  std::vector<int> basis;      // m, column basic in each row
-  std::vector<VarState> state; // ncols
-  int n_struct = 0;
-  int n_total = 0;
-  int m = 0;
-};
+// The working Tableau and all per-solve scratch live in a SolverWorkspace
+// (see workspace.hpp / workspace_internal.hpp): spans carved from one
+// arena, re-bound per solve, zero steady-state heap traffic.
+using detail::copy_tableau;
+using detail::Tableau;
+using detail::VarState;
+using detail::WorkspaceImpl;
+using detail::WorkspaceLease;
 
 struct IterationOutcome {
   SolveStatus status = SolveStatus::kOptimal;
@@ -49,81 +43,81 @@ struct IterationOutcome {
   double pivot_growth = 0.0;  // max BasisFactorization::pivot_growth() seen
 };
 
-/// Extracts the basis matrix B (m x m) from the tableau.
-Matrix basis_matrix(const Tableau& t) {
-  Matrix b(static_cast<std::size_t>(t.m), static_cast<std::size_t>(t.m));
+/// Extracts the basis matrix B (m x m) from the tableau into `out`
+/// (capacity-reused across calls).
+void build_basis_matrix(const Tableau& t, Matrix& out) {
+  out.assign(static_cast<std::size_t>(t.m), static_cast<std::size_t>(t.m));
   for (int i = 0; i < t.m; ++i) {
     const int col = t.basis[static_cast<std::size_t>(i)];
     for (int r = 0; r < t.m; ++r) {
-      b(static_cast<std::size_t>(r), static_cast<std::size_t>(i)) =
+      out(static_cast<std::size_t>(r), static_cast<std::size_t>(i)) =
           t.a(static_cast<std::size_t>(r), static_cast<std::size_t>(col));
     }
   }
-  return b;
 }
 
-/// Computes x_B = B^{-1} (b - A_N x_N) via the factorization's refined
-/// ftran (residual-checked iterative refinement) without writing into the
-/// tableau. Correction steps accumulate into *refine_steps; the final
-/// relative residual lands in *residual_out (both optional).
-std::vector<double> basic_values(const Tableau& t,
-                                 const BasisFactorization& factor,
-                                 long* refine_steps, double* residual_out) {
-  std::vector<double> rhs(static_cast<std::size_t>(t.m));
+/// Computes x_B = B^{-1} (b - A_N x_N) into `out` (size m) via the
+/// factorization's refined ftran (residual-checked iterative refinement)
+/// without writing into the tableau. Correction steps accumulate into
+/// *refine_steps; the final relative residual lands in *residual_out
+/// (both optional).
+void compute_basic_values(const Tableau& t, const BasisFactorization& factor,
+                          std::span<double> out, long* refine_steps,
+                          double* residual_out) {
   for (int i = 0; i < t.m; ++i) {
-    rhs[static_cast<std::size_t>(i)] = t.b[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = t.b[static_cast<std::size_t>(i)];
   }
   for (int j = 0; j < t.n_total; ++j) {
     if (t.state[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
     const double xj = t.x[static_cast<std::size_t>(j)];
     if (xj == 0.0) continue;
     for (int i = 0; i < t.m; ++i) {
-      rhs[static_cast<std::size_t>(i)] -=
+      out[static_cast<std::size_t>(i)] -=
           t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) * xj;
     }
   }
-  const int steps = factor.ftran_refined(rhs, residual_out);
+  const int steps = factor.ftran_refined(out, residual_out);
   if (refine_steps != nullptr) *refine_steps += steps;
-  return rhs;
 }
 
 /// Recomputes the values of the basic variables from the nonbasic point
 /// with iterative refinement, so ill-conditioned bases still yield
-/// certificate-grade residuals. `factor` must be current for t's basis.
+/// certificate-grade residuals. `factor` must be current for t's basis;
+/// `xb` is m-sized scratch.
 void recompute_basics(Tableau& t, const BasisFactorization& factor,
-                      long* refine_steps = nullptr,
+                      std::span<double> xb, long* refine_steps = nullptr,
                       double* residual_out = nullptr) {
-  const std::vector<double> xb =
-      basic_values(t, factor, refine_steps, residual_out);
+  compute_basic_values(t, factor, xb, refine_steps, residual_out);
   for (int i = 0; i < t.m; ++i) {
     const auto is = static_cast<std::size_t>(i);
     t.x[static_cast<std::size_t>(t.basis[is])] = xb[is];
   }
 }
 
-/// Solves B^T y = c_B for the simplex multipliers via btran.
-std::vector<double> multipliers(const Tableau& t,
-                                const BasisFactorization& factor) {
-  std::vector<double> cb(static_cast<std::size_t>(t.m));
+/// Solves B^T y = c_B for the simplex multipliers via btran, into `y`.
+void compute_multipliers(const Tableau& t, const BasisFactorization& factor,
+                         std::span<double> y) {
   for (int i = 0; i < t.m; ++i) {
-    cb[static_cast<std::size_t>(i)] =
+    y[static_cast<std::size_t>(i)] =
         t.cost[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])];
   }
-  factor.btran(cb);
-  return cb;
+  factor.btran(y);
 }
 
-/// Runs primal simplex pivots on `t` with the current cost vector until
-/// optimal / unbounded / iteration budget exhausted. `factor` must be
-/// current for t's basis on entry and is kept current across pivots with
-/// eta updates (refactorized on the update-count or accuracy trigger).
-/// `phase` and `iter_base` only label observer events (cumulative ids).
-IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
+/// Runs primal simplex pivots on `t` (= ws.t) with the current cost vector
+/// until optimal / unbounded / iteration budget exhausted. ws.factor must
+/// be current for t's basis on entry and is kept current across pivots
+/// with eta updates (refactorized on the update-count or accuracy
+/// trigger). Pricing/direction vectors live in the workspace — zero heap
+/// traffic per pivot. `phase` and `iter_base` only label observer events
+/// (cumulative ids).
+IterationOutcome iterate(Tableau& t, WorkspaceImpl& ws,
                          const SimplexOptions& opt,
                          long max_iters, long bland_after,
                          const Deadline& deadline, int phase,
                          long iter_base) {
   IterationOutcome out;
+  BasisFactorization& factor = ws.factor;
   const double dtol = opt.optimality_tol;
   const double eps = 1e-11;
   const bool observed = static_cast<bool>(opt.observer);
@@ -143,7 +137,8 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
       return out;
     }
     const bool bland = forced_bland || iter >= bland_after;
-    const std::vector<double> y = multipliers(t, factor);
+    compute_multipliers(t, factor, ws.y);
+    const std::span<const double> y = ws.y;
 
     // Pricing: pick an entering column.
     int entering = -1;
@@ -188,7 +183,7 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
 
     // Direction of basic variables: w = B^{-1} A_q; moving the entering
     // variable by t changes x_B by -enter_dir * w * t.
-    std::vector<double> w(static_cast<std::size_t>(t.m));
+    const std::span<double> w = ws.w;
     for (int i = 0; i < t.m; ++i) {
       w[static_cast<std::size_t>(i)] =
           t.a(static_cast<std::size_t>(i), static_cast<std::size_t>(entering));
@@ -292,7 +287,7 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
     bool need_refactor = chain_full;
     bool stability_event = false;
     if (!need_refactor) {
-      if (!factor.update(leaving_row, std::move(w))) {
+      if (!factor.update(leaving_row, w)) {
         need_refactor = true;  // refused: pivot too small to trust
         stability_event = true;
       } else if (factor.pivot_growth() >
@@ -306,7 +301,8 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
     if (need_refactor) {
       ++out.refactorizations;
       out.pivot_growth = std::max(out.pivot_growth, factor.pivot_growth());
-      if (!factor.refactorize(basis_matrix(t))) {
+      build_basis_matrix(t, ws.bmat);
+      if (!factor.refactorize(ws.bmat)) {
         out.status = SolveStatus::kNumericalError;
         out.iterations = iter + 1;
         return out;
@@ -316,8 +312,8 @@ IterationOutcome iterate(Tableau& t, BasisFactorization& factor,
       // x_B = B^{-1}(b - A_N x_N). Adopt the recomputed values only when
       // they moved measurably — clean solves keep bit-identical paths.
       double residual = 0.0;
-      const std::vector<double> xb =
-          basic_values(t, factor, &out.refine_steps, &residual);
+      compute_basic_values(t, ws.factor, ws.xb, &out.refine_steps, &residual);
+      const std::span<const double> xb = ws.xb;
       constexpr double kDriftRepairTol = 1e-9;
       double drift = 0.0;
       for (int i = 0; i < t.m; ++i) {
@@ -440,21 +436,21 @@ struct SimplexMetricsGuard {
 /// Demotes a would-be basic column to a nonbasic bound during crash
 /// repair. Artificial columns are retired outright (fixed at zero).
 void demote_candidate(Tableau& t, int col, int art_base,
-                      std::vector<bool>& artificial_used) {
+                      std::span<unsigned char> artificial_used) {
   const auto cs = static_cast<std::size_t>(col);
   t.state[cs] = VarState::kAtLower;
   t.x[cs] = t.lower[cs];
   if (col >= art_base) {
     t.upper[cs] = 0.0;
     t.x[cs] = 0.0;
-    artificial_used[static_cast<std::size_t>(col - art_base)] = false;
+    artificial_used[static_cast<std::size_t>(col - art_base)] = 0;
   }
 }
 
 /// Installs row i's artificial column as basic (bounds [0, inf), unit
 /// coefficient; phase 1 prices it at 1 and drives it out).
 void install_artificial(Tableau& t, int i, int art_base,
-                        std::vector<bool>& artificial_used) {
+                        std::span<unsigned char> artificial_used) {
   const int art = art_base + i;
   const auto is = static_cast<std::size_t>(i);
   const auto as = static_cast<std::size_t>(art);
@@ -464,7 +460,7 @@ void install_artificial(Tableau& t, int i, int art_base,
   t.x[as] = 0.0;
   t.state[as] = VarState::kBasic;
   t.basis[is] = art;
-  artificial_used[is] = true;
+  artificial_used[is] = 1;
 }
 
 /// Applies SimplexOptions::warm_start to a freshly built tableau (states
@@ -480,12 +476,15 @@ void install_artificial(Tableau& t, int i, int art_base,
 ///      the ordinary phase 1 removes the remaining infeasibility.
 /// Every demotion/clamp/fill counts as one repair. Returns false when
 /// the basis is unusable (singular after repair, or the feasibility pass
-/// fails to settle) — the caller then rebuilds and solves cold.
-bool apply_warm_start(Tableau& t, const SimplexOptions& options,
-                      const std::vector<int>& slack_of_row, int art_base,
-                      std::vector<bool>& artificial_used,
-                      BasisFactorization& factor, long& repairs,
-                      long& refactorizations) {
+/// fails to settle) — the caller then restores the pre-warm snapshot and
+/// solves cold. All scratch (row/column maps, the crash-elimination
+/// matrix) comes from the workspace.
+bool apply_warm_start(Tableau& t, WorkspaceImpl& ws,
+                      const SimplexOptions& options, int art_base,
+                      long& repairs, long& refactorizations) {
+  const std::span<const int> slack_of_row = ws.slack_of_row;
+  const std::span<unsigned char> artificial_used = ws.artificial_used;
+  BasisFactorization& factor = ws.factor;
   const Basis& warm = options.warm_start;
   const double tol = options.feasibility_tol;
   const int m = t.m;
@@ -518,7 +517,8 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
   // Row statuses: a kBasic row contributes its slack — or, for an
   // equality row, its artificial — to the basic set. Nonbasic rows keep
   // the slack at its (lower) bound, which the cold defaults already are.
-  std::vector<int> row_basic_col(static_cast<std::size_t>(m), -1);
+  const std::span<int> row_basic_col = ws.row_basic_col;
+  std::fill(row_basic_col.begin(), row_basic_col.end(), -1);
   for (int i = 0; i < m; ++i) {
     const auto is = static_cast<std::size_t>(i);
     if (warm.rows[is] != VarStatus::kBasic) continue;
@@ -529,7 +529,7 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
       t.a(is, as) = 1.0;
       t.lower[as] = 0.0;
       t.upper[as] = kInfinity;
-      artificial_used[is] = true;
+      artificial_used[is] = 1;
     }
     t.state[static_cast<std::size_t>(col)] = VarState::kBasic;
     row_basic_col[is] = col;
@@ -537,18 +537,19 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
 
   // Stage 2: crash selection. Eliminate over the candidate columns,
   // assigning each independent one a pivot row.
-  std::vector<int> candidates;
+  const std::span<int> candidates = ws.candidates;
+  std::size_t k = 0;
   for (int j = 0; j < n_warm; ++j) {
     if (t.state[static_cast<std::size_t>(j)] == VarState::kBasic) {
-      candidates.push_back(j);
+      candidates[k++] = j;
     }
   }
   for (int i = 0; i < m; ++i) {
     const int col = row_basic_col[static_cast<std::size_t>(i)];
-    if (col >= 0) candidates.push_back(col);
+    if (col >= 0) candidates[k++] = col;
   }
-  const std::size_t k = candidates.size();
-  Matrix work(static_cast<std::size_t>(m), k);
+  Matrix& work = ws.crash_work;
+  work.assign(static_cast<std::size_t>(m), k);
   for (std::size_t c = 0; c < k; ++c) {
     const auto col = static_cast<std::size_t>(candidates[c]);
     for (int r = 0; r < m; ++r) {
@@ -556,8 +557,9 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
           t.a(static_cast<std::size_t>(r), col);
     }
   }
-  std::vector<bool> used_row(static_cast<std::size_t>(m), false);
-  t.basis.assign(static_cast<std::size_t>(m), -1);
+  const std::span<unsigned char> used_row = ws.used_row;
+  std::fill(used_row.begin(), used_row.end(), static_cast<unsigned char>(0));
+  std::fill(t.basis.begin(), t.basis.end(), -1);
   constexpr double kCrashPivotTol = 1e-9;
   for (std::size_t c = 0; c < k; ++c) {
     int best_row = -1;
@@ -579,7 +581,7 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
     }
     const auto ps = static_cast<std::size_t>(best_row);
     t.basis[ps] = candidates[c];
-    used_row[ps] = true;
+    used_row[ps] = 1;
     const double diag = work(ps, c);
     for (int r = 0; r < m; ++r) {
       const auto rs = static_cast<std::size_t>(r);
@@ -600,8 +602,9 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
   // demotes at least one basic, so m+2 passes always suffice.
   for (int pass = 0; pass <= m + 1; ++pass) {
     ++refactorizations;
-    if (!factor.refactorize(basis_matrix(t))) return false;
-    recompute_basics(t, factor);
+    build_basis_matrix(t, ws.bmat);
+    if (!factor.refactorize(ws.bmat)) return false;
+    recompute_basics(t, factor, ws.xb);
     bool changed = false;
     for (int r = 0; r < m; ++r) {
       const auto rs = static_cast<std::size_t>(r);
@@ -635,11 +638,14 @@ bool apply_warm_start(Tableau& t, const SimplexOptions& options,
 }
 
 /// Full solve; when `final_tableau` is non-null and the solve is optimal,
-/// the cleaned final tableau is copied out for post-optimal analysis.
+/// the final tableau *view* is copied out for post-optimal analysis — it
+/// stays valid only while `ws` remains bound (analyze_sensitivity passes
+/// a function-local workspace for exactly this reason).
 Solution solve_impl_inner(const Problem& problem,
                           const SimplexOptions& options,
                           Tableau* final_tableau,
-                          SimplexMetricsGuard& metrics) {
+                          SimplexMetricsGuard& metrics,
+                          WorkspaceImpl& ws) {
   Solution sol;
   if (!validate_problem(problem).is_ok()) {
     sol.status = SolveStatus::kNumericalError;
@@ -656,18 +662,12 @@ Solution solve_impl_inner(const Problem& problem,
     if (con.sense != Sense::kEqual) ++n_slack;
   }
 
-  Tableau t;
-  t.m = m;
-  t.n_struct = n;
-  t.n_total = n + n_slack + m;  // artificials allocated per row, used lazily
-  t.a = Matrix(static_cast<std::size_t>(m), static_cast<std::size_t>(t.n_total));
-  t.b.resize(static_cast<std::size_t>(m));
-  t.lower.assign(static_cast<std::size_t>(t.n_total), 0.0);
-  t.upper.assign(static_cast<std::size_t>(t.n_total), 0.0);
-  t.cost.assign(static_cast<std::size_t>(t.n_total), 0.0);
-  t.x.assign(static_cast<std::size_t>(t.n_total), 0.0);
-  t.state.assign(static_cast<std::size_t>(t.n_total), VarState::kAtLower);
-  t.basis.assign(static_cast<std::size_t>(m), -1);
+  // Bind the workspace to this problem's shape: one arena rewind, spans
+  // carved, cold defaults installed (artificials allocated per row, used
+  // lazily).
+  ws.bind(m, n, n + n_slack + m);
+  Tableau& t = ws.t;
+  BasisFactorization& factor = ws.factor;
 
   // Structural columns.
   for (int j = 0; j < n; ++j) {
@@ -680,7 +680,7 @@ Solution solve_impl_inner(const Problem& problem,
   }
   // Rows + slack columns.
   int slack_cursor = n;
-  std::vector<int> slack_of_row(static_cast<std::size_t>(m), -1);
+  const std::span<int> slack_of_row = ws.slack_of_row;
   for (int i = 0; i < m; ++i) {
     const auto& con = problem.constraint(i);
     const auto is = static_cast<std::size_t>(i);
@@ -700,8 +700,7 @@ Solution solve_impl_inner(const Problem& problem,
   }
 
   const int art_base = n + n_slack;
-  std::vector<bool> artificial_used(static_cast<std::size_t>(m), false);
-  BasisFactorization factor;
+  const std::span<unsigned char> artificial_used = ws.artificial_used;
 
   // Warm start: adopt the caller's basis when it is dimensionally
   // compatible, crash-repairing whatever does not fit. Any failure falls
@@ -711,19 +710,19 @@ Solution solve_impl_inner(const Problem& problem,
   if (warm_start_enabled() && !options.warm_start.empty()) {
     if (static_cast<int>(options.warm_start.rows.size()) == m &&
         static_cast<int>(options.warm_start.variables.size()) <= n) {
-      Tableau backup = t;
+      copy_tableau(ws.backup, t);
       long repairs = 0;
       long refactorizations = 0;
-      if (apply_warm_start(t, options, slack_of_row, art_base,
-                           artificial_used, factor, repairs,
+      if (apply_warm_start(t, ws, options, art_base, repairs,
                            refactorizations)) {
         warm_applied = true;
         metrics.warm_started = true;
         metrics.basis_repairs += repairs;
         metrics.refactorizations += refactorizations;
       } else {
-        t = std::move(backup);
-        artificial_used.assign(static_cast<std::size_t>(m), false);
+        copy_tableau(t, ws.backup);
+        std::fill(artificial_used.begin(), artificial_used.end(),
+                  static_cast<unsigned char>(0));
         metrics.warm_rejected = true;
         metrics.refactorizations += refactorizations;
       }
@@ -763,11 +762,12 @@ Solution solve_impl_inner(const Problem& problem,
       t.x[as] = std::fabs(residual);
       t.basis[is] = art;
       t.state[as] = VarState::kBasic;
-      artificial_used[is] = true;
+      artificial_used[is] = 1;
     }
     // The slack/artificial start basis is diagonal; factorize it once.
     ++metrics.refactorizations;
-    if (!factor.refactorize(basis_matrix(t))) {
+    build_basis_matrix(t, ws.bmat);
+    if (!factor.refactorize(ws.bmat)) {
       sol.status = SolveStatus::kNumericalError;
       return sol;
     }
@@ -803,7 +803,7 @@ Solution solve_impl_inner(const Problem& problem,
         t.cost[static_cast<std::size_t>(art_base + i)] = 1.0;
       }
     }
-    auto outcome = iterate(t, factor, options, max_iters, bland_after,
+    auto outcome = iterate(t, ws, options, max_iters, bland_after,
                            deadline, /*phase=*/1, /*iter_base=*/0);
     total_iters += outcome.iterations;
     metrics.absorb(outcome);
@@ -850,7 +850,7 @@ Solution solve_impl_inner(const Problem& problem,
     const double c = problem.variable(j).objective;
     t.cost[static_cast<std::size_t>(j)] = maximize ? -c : c;
   }
-  auto outcome = iterate(t, factor, options, max_iters, bland_after,
+  auto outcome = iterate(t, ws, options, max_iters, bland_after,
                          deadline, /*phase=*/2, /*iter_base=*/total_iters);
   total_iters += outcome.iterations;
   metrics.absorb(outcome);
@@ -873,11 +873,12 @@ Solution solve_impl_inner(const Problem& problem,
   constexpr int kMaxOptimalityResumes = 3;
   for (int resume = 0;; ++resume) {
     ++metrics.refactorizations;
-    if (!factor.refactorize(basis_matrix(t))) {
+    build_basis_matrix(t, ws.bmat);
+    if (!factor.refactorize(ws.bmat)) {
       sol.status = SolveStatus::kNumericalError;
       return sol;
     }
-    recompute_basics(t, factor, &metrics.refine_steps);
+    recompute_basics(t, factor, ws.xb, &metrics.refine_steps);
     metrics.pivot_growth_max =
         std::max(metrics.pivot_growth_max, factor.pivot_growth());
     if (resume >= kMaxOptimalityResumes || max_iters <= total_iters) break;
@@ -887,7 +888,7 @@ Solution solve_impl_inner(const Problem& problem,
     // iteration allowance.
     const long resume_budget =
         std::min(max_iters - total_iters, 4L * (m + n) + 16);
-    outcome = iterate(t, factor, options, resume_budget, bland_after,
+    outcome = iterate(t, ws, options, resume_budget, bland_after,
                       deadline, /*phase=*/2, /*iter_base=*/total_iters);
     total_iters += outcome.iterations;
     metrics.absorb(outcome);
@@ -945,7 +946,7 @@ Solution solve_impl_inner(const Problem& problem,
   // Duals from the final basis; convert to the problem's own sense.
   // Residual-checked iterative refinement keeps the reduced-cost
   // residuals certificate-grade on ill-conditioned bases.
-  std::vector<double> y(static_cast<std::size_t>(m));
+  const std::span<double> y = ws.y;
   for (int i = 0; i < m; ++i) {
     y[static_cast<std::size_t>(i)] =
         t.cost[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(i)])];
@@ -1048,29 +1049,38 @@ Solution solve_impl(const Problem& problem, const SimplexOptions& options,
   GRIDSEC_TRACE_SPAN("lp.simplex.solve");
   Solution sol;
   {
-    SimplexMetricsGuard metrics;
-    sol = solve_impl_inner(problem, options, final_tableau, metrics);
-    metrics.status = sol.status;
-    if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
-      metrics.warm_rejected = true;
+    // Lease the workspace for the solve (plus the built-in warm→cold
+    // retry, which re-binds the same workspace). Released before the
+    // recovery ladder below runs, so rung re-solves reuse the same
+    // thread workspace instead of falling back to the heap.
+    WorkspaceLease lease(options.workspace);
+    {
+      SimplexMetricsGuard metrics;
+      sol = solve_impl_inner(problem, options, final_tableau, metrics,
+                             lease.impl());
+      metrics.status = sol.status;
+      if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
+        metrics.warm_rejected = true;
+      }
     }
-  }
-  if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
-    // The warm basis steered the pivot sequence into numerical breakdown.
-    // A warm start must never fail a solve that succeeds cold, so rerun
-    // from the ordinary slack/artificial basis.
-    GRIDSEC_LOG(kWarn, "lp.simplex")
-        .field("vars", problem.num_variables())
-        .field("rows", problem.num_constraints())
-        .message("warm-started solve wedged; retrying cold");
-    static obs::Counter& c_warm_cold_retries =
-        obs::default_registry().counter("lp.simplex.warm_cold_retries");
-    c_warm_cold_retries.add();
-    SimplexOptions cold = options;
-    cold.warm_start = Basis{};
-    SimplexMetricsGuard metrics;
-    sol = solve_impl_inner(problem, cold, final_tableau, metrics);
-    metrics.status = sol.status;
+    if (sol.warm_started && sol.status == SolveStatus::kNumericalError) {
+      // The warm basis steered the pivot sequence into numerical breakdown.
+      // A warm start must never fail a solve that succeeds cold, so rerun
+      // from the ordinary slack/artificial basis.
+      GRIDSEC_LOG(kWarn, "lp.simplex")
+          .field("vars", problem.num_variables())
+          .field("rows", problem.num_constraints())
+          .message("warm-started solve wedged; retrying cold");
+      static obs::Counter& c_warm_cold_retries =
+          obs::default_registry().counter("lp.simplex.warm_cold_retries");
+      c_warm_cold_retries.add();
+      SimplexOptions cold = options;
+      cold.warm_start = Basis{};
+      SimplexMetricsGuard metrics;
+      sol = solve_impl_inner(problem, cold, final_tableau, metrics,
+                             lease.impl());
+      metrics.status = sol.status;
+    }
   }
   // Numerical-recovery ladder (robust::recovery, when installed): a last
   // line of defense after the built-in warm→cold retry. Skipped on the
@@ -1125,8 +1135,15 @@ double reduced_cost(const Tableau& t, const std::vector<double>& y, int j) {
 SensitivityReport analyze_sensitivity(const Problem& problem,
                                       const SimplexOptions& options) {
   SensitivityReport report;
+  // The final tableau is a *view* into solver-workspace memory; ranging
+  // reads it long after the solve returns, so back it with a local
+  // workspace whose lifetime covers this whole function (the thread
+  // workspace could be re-bound underneath us by any nested solve).
+  SolverWorkspace sensitivity_ws;
+  SimplexOptions opt = options;
+  opt.workspace = &sensitivity_ws;
   Tableau t;
-  report.solution = solve_impl(problem, options, &t);
+  report.solution = solve_impl(problem, opt, &t);
   if (report.solution.status != SolveStatus::kOptimal) return report;
 
   const bool maximize = problem.objective() == Objective::kMaximize;
@@ -1135,10 +1152,13 @@ SensitivityReport analyze_sensitivity(const Problem& problem,
 
   // One factorization of the final basis serves every ranging query.
   BasisFactorization factor;
-  if (!factor.refactorize(basis_matrix(t))) {
+  Matrix bmat;
+  build_basis_matrix(t, bmat);
+  if (!factor.refactorize(bmat)) {
     return report;  // numerically wedged: no ranges
   }
-  const std::vector<double> y = multipliers(t, factor);
+  std::vector<double> y(static_cast<std::size_t>(m));
+  compute_multipliers(t, factor, y);
 
   // Map basic structural columns to their basis row.
   std::vector<int> row_of_col(static_cast<std::size_t>(t.n_total), -1);
@@ -1246,7 +1266,11 @@ Solution SimplexSolver::solve(const Problem& problem) const {
 }
 
 Solution solve_lp(const Problem& problem) {
-  return SimplexSolver().solve(problem);
+  return solve_impl(problem, SimplexOptions{}, nullptr);
+}
+
+Solution solve_lp(const Problem& problem, const SimplexOptions& options) {
+  return solve_impl(problem, options, nullptr);
 }
 
 }  // namespace gridsec::lp

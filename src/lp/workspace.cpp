@@ -1,0 +1,109 @@
+#include "gridsec/lp/workspace.hpp"
+
+#include <algorithm>
+
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/util/thread_pool.hpp"
+#include "workspace_internal.hpp"
+
+namespace gridsec::lp {
+
+namespace detail {
+
+void WorkspaceImpl::bind(int m, int n_struct, int n_total) {
+  arena.reset();
+  ++binds;
+  const auto ms = static_cast<std::size_t>(m);
+  const auto ns = static_cast<std::size_t>(n_total);
+
+  auto carve_tableau = [&](Tableau& tab) {
+    tab.a = MatrixView{arena.allocate_span<double>(ms * ns).data(), ms, ns};
+    tab.b = arena.allocate_span<double>(ms);
+    tab.lower = arena.allocate_span<double>(ns);
+    tab.upper = arena.allocate_span<double>(ns);
+    tab.cost = arena.allocate_span<double>(ns);
+    tab.x = arena.allocate_span<double>(ns);
+    tab.basis = arena.allocate_span<int>(ms);
+    tab.state = arena.allocate_span<VarState>(ns);
+    tab.m = m;
+    tab.n_struct = n_struct;
+    tab.n_total = n_total;
+  };
+  carve_tableau(t);
+  carve_tableau(backup);  // filled only when a warm start snapshots
+
+  y = arena.allocate_span<double>(ms);
+  w = arena.allocate_span<double>(ms);
+  xb = arena.allocate_span<double>(ms);
+  slack_of_row = arena.allocate_span<int>(ms);
+  row_basic_col = arena.allocate_span<int>(ms);
+  candidates = arena.allocate_span<int>(ns + ms);
+  artificial_used = arena.allocate_span<unsigned char>(ms);
+  used_row = arena.allocate_span<unsigned char>(ms);
+
+  // Cold-start defaults, identical to the values the solver historically
+  // built its per-solve vectors with.
+  std::fill(t.a.data, t.a.data + ms * ns, 0.0);
+  std::fill(t.b.begin(), t.b.end(), 0.0);
+  std::fill(t.lower.begin(), t.lower.end(), 0.0);
+  std::fill(t.upper.begin(), t.upper.end(), 0.0);
+  std::fill(t.cost.begin(), t.cost.end(), 0.0);
+  std::fill(t.x.begin(), t.x.end(), 0.0);
+  std::fill(t.basis.begin(), t.basis.end(), -1);
+  std::fill(t.state.begin(), t.state.end(), VarState::kAtLower);
+  std::fill(slack_of_row.begin(), slack_of_row.end(), -1);
+  std::fill(artificial_used.begin(), artificial_used.end(),
+            static_cast<unsigned char>(0));
+}
+
+WorkspaceLease::WorkspaceLease(SolverWorkspace* requested) {
+  SolverWorkspace& ws =
+      requested != nullptr ? *requested : thread_solver_workspace();
+  if (ws.impl().in_use) {
+    static obs::Counter& c_nested =
+        obs::default_registry().counter("lp.workspace.nested_fallbacks");
+    c_nested.add();
+    owned_ = std::make_unique<WorkspaceImpl>();
+    impl_ = owned_.get();
+    impl_->in_use = true;
+    return;
+  }
+  impl_ = &ws.impl();
+  impl_->in_use = true;
+}
+
+WorkspaceLease::~WorkspaceLease() { impl_->in_use = false; }
+
+}  // namespace detail
+
+SolverWorkspace::SolverWorkspace()
+    : impl_(std::make_unique<detail::WorkspaceImpl>()) {}
+
+SolverWorkspace::~SolverWorkspace() = default;
+
+void SolverWorkspace::reset() {
+  GRIDSEC_ASSERT_MSG(!impl_->in_use, "reset during an active solve");
+  const std::size_t binds = impl_->binds;
+  impl_ = std::make_unique<detail::WorkspaceImpl>();
+  impl_->binds = binds;
+}
+
+SolverWorkspace::Stats SolverWorkspace::stats() const {
+  const util::Arena::Stats a = impl_->arena.stats();
+  return Stats{a.capacity, a.high_water, impl_->binds};
+}
+
+util::Arena& SolverWorkspace::arena() { return impl_->arena; }
+
+SolverWorkspace& thread_solver_workspace() {
+  // On a pool worker the workspace must die with the worker (its arena may
+  // be large), so it lives in the worker's scratch slot. Off-pool threads
+  // get an ordinary thread_local.
+  if (WorkerScratch* scratch = ThreadPool::current_scratch()) {
+    return scratch->slot<SolverWorkspace>();
+  }
+  thread_local SolverWorkspace ws;
+  return ws;
+}
+
+}  // namespace gridsec::lp

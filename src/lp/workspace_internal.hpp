@@ -1,0 +1,121 @@
+// Internal solver-facing view of lp::SolverWorkspace (see workspace.hpp
+// for the ownership rules). Everything here is carved from the workspace
+// arena at bind() time: the simplex works on spans into one contiguous
+// buffer, and a re-bind is an arena rewind plus pointer carving — no heap
+// traffic once the arena has grown to the problem's high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "gridsec/lp/basis.hpp"
+#include "gridsec/lp/workspace.hpp"
+#include "gridsec/util/arena.hpp"
+#include "gridsec/util/error.hpp"
+#include "gridsec/util/matrix.hpp"
+
+namespace gridsec::lp::detail {
+
+enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// Row-major dense view over arena memory; the tableau's A matrix.
+struct MatrixView {
+  double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  double& operator()(std::size_t r, std::size_t c) {
+    GRIDSEC_ASSERT(r < rows && c < cols);
+    return data[r * cols + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    GRIDSEC_ASSERT(r < rows && c < cols);
+    return data[r * cols + c];
+  }
+};
+
+/// The working standard-form tableau: A x = b with per-column bounds,
+/// columns ordered [structural | slack | artificial]. All storage is
+/// arena-backed; copying a Tableau copies the *view*, not the data (see
+/// copy_tableau for a deep copy into a second carved tableau).
+struct Tableau {
+  MatrixView a;                 // m x n_total
+  std::span<double> b;          // m
+  std::span<double> lower;      // n_total
+  std::span<double> upper;      // n_total
+  std::span<double> cost;       // n_total, phase-dependent
+  std::span<double> x;          // n_total, current point
+  std::span<int> basis;         // m, column basic in each row
+  std::span<VarState> state;    // n_total
+  int n_struct = 0;
+  int n_total = 0;
+  int m = 0;
+};
+
+/// Deep copy between two tableaus carved with identical shapes.
+inline void copy_tableau(Tableau& dst, const Tableau& src) {
+  GRIDSEC_ASSERT(dst.m == src.m && dst.n_total == src.n_total);
+  const std::size_t cells = src.a.rows * src.a.cols;
+  std::copy(src.a.data, src.a.data + cells, dst.a.data);
+  std::copy(src.b.begin(), src.b.end(), dst.b.begin());
+  std::copy(src.lower.begin(), src.lower.end(), dst.lower.begin());
+  std::copy(src.upper.begin(), src.upper.end(), dst.upper.begin());
+  std::copy(src.cost.begin(), src.cost.end(), dst.cost.begin());
+  std::copy(src.x.begin(), src.x.end(), dst.x.begin());
+  std::copy(src.basis.begin(), src.basis.end(), dst.basis.begin());
+  std::copy(src.state.begin(), src.state.end(), dst.state.begin());
+  dst.n_struct = src.n_struct;
+}
+
+/// The whole per-solve state block. bind() carves every span below from
+/// the arena and installs the solver's cold-start defaults; the simplex
+/// then mutates in place. `factor`, `bmat`, and `crash_work` sit outside
+/// the arena but reuse their own heap capacity across binds.
+struct WorkspaceImpl {
+  util::Arena arena;
+  BasisFactorization factor;
+  Matrix bmat;        // refactorization scratch: B extracted from the tableau
+  Matrix crash_work;  // warm-start crash-selection elimination scratch
+
+  Tableau t;
+  Tableau backup;  // pre-warm-start snapshot for the cold fallback
+
+  std::span<double> y;   // simplex multipliers (pricing)
+  std::span<double> w;   // entering-column ftran image (ratio test)
+  std::span<double> xb;  // recomputed basic values (drift repair)
+  std::span<int> slack_of_row;    // m; -1 = equality row
+  std::span<int> row_basic_col;   // warm start: basic column chosen per row
+  std::span<int> candidates;      // warm start: crash candidate columns
+  std::span<unsigned char> artificial_used;  // m flags
+  std::span<unsigned char> used_row;         // warm start: crash row flags
+
+  bool in_use = false;     // guards against nested-solve aliasing
+  std::size_t binds = 0;
+
+  /// Rewinds the arena and carves + cold-initializes all of the above for
+  /// an m-row problem with n_struct structural and n_total total columns.
+  void bind(int m, int n_struct, int n_total);
+};
+
+/// Resolves which workspace a solve uses: the one in SimplexOptions if
+/// given, else the thread default — unless that one is already mid-solve
+/// (a nested solve from an observer/hook), in which case a private heap
+/// impl carries this solve and the counter lp.workspace.nested_fallbacks
+/// records it.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(SolverWorkspace* requested);
+  ~WorkspaceLease();
+
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  [[nodiscard]] WorkspaceImpl& impl() { return *impl_; }
+
+ private:
+  WorkspaceImpl* impl_ = nullptr;
+  std::unique_ptr<WorkspaceImpl> owned_;  // nested-solve fallback only
+};
+
+}  // namespace gridsec::lp::detail

@@ -41,7 +41,10 @@ RecoveryPolicy current_policy() {
 
 lp::Solution plain_solve(const lp::Problem& problem,
                          const lp::SimplexOptions& options) {
-  return lp::SimplexSolver(options).solve(problem);
+  // solve_lp skips the options/basis copy a SimplexSolver construction
+  // adds; each rung reuses the calling thread's solver workspace (the
+  // rungs run sequentially, after the failing solve's lease is released).
+  return lp::solve_lp(problem, options);
 }
 
 /// Certification tiers. kStrict (1e-9 tolerances) is the acceptance bar

@@ -9,6 +9,14 @@
 #include "gridsec/util/error.hpp"
 
 namespace gridsec {
+
+namespace detail {
+int next_scratch_type_id() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
 namespace {
 
 /// Pool gauges live in the default registry. Queue depth and active-worker
@@ -58,7 +66,11 @@ PoolRegistry& pool_registry() {
   return *r;
 }
 
+thread_local WorkerScratch* t_worker_scratch = nullptr;
+
 }  // namespace
+
+WorkerScratch* ThreadPool::current_scratch() { return t_worker_scratch; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -110,12 +122,25 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     GRIDSEC_ASSERT_MSG(!stop_, "submit after shutdown");
-    queue_.push_back(std::move(pt));
+    queue_.push_back(Task{nullptr, nullptr, std::move(pt)});
     pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
     pool_metrics().submitted.add();
   }
   cv_.notify_one();
   return fut;
+}
+
+void ThreadPool::submit_raw(void (*fn)(void*), void* ctx, std::size_t count) {
+  {
+    std::lock_guard lock(mutex_);
+    GRIDSEC_ASSERT_MSG(!stop_, "submit after shutdown");
+    for (std::size_t i = 0; i < count; ++i) {
+      queue_.push_back(Task{fn, ctx, {}});
+    }
+    pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+    pool_metrics().submitted.add(static_cast<double>(count));
+  }
+  cv_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
@@ -138,8 +163,13 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  // The worker's scratch (arena + typed slots, e.g. its solver workspace)
+  // lives on this stack frame: born before the first task, destroyed only
+  // when the pool joins, reused by every task in between.
+  WorkerScratch scratch;
+  t_worker_scratch = &scratch;
   for (;;) {
-    std::packaged_task<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       const std::uint64_t wait_start = mono_ns();
@@ -149,7 +179,10 @@ void ThreadPool::worker_loop(std::size_t worker) {
       const auto idle = static_cast<std::int64_t>(mono_ns() - wait_start);
       stats_[worker].idle_ns += idle;
       pool_metrics().idle_ns.add(idle);
-      if (stop_ && queue_.empty()) return;
+      if (stop_ && queue_.empty()) {
+        t_worker_scratch = nullptr;
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
@@ -157,7 +190,9 @@ void ThreadPool::worker_loop(std::size_t worker) {
       pool_metrics().active.set(static_cast<double>(active_));
     }
     const std::uint64_t busy_start = mono_ns();
-    task();  // exceptions are captured in the packaged_task's future
+    // Raw tasks own their error signalling; packaged tasks capture
+    // exceptions in their future.
+    task.run();
     const auto busy = static_cast<std::int64_t>(mono_ns() - busy_start);
     // Fold this worker's allocation counts into the process totals at the
     // task boundary — the hooks themselves only touch thread_locals.
@@ -175,6 +210,47 @@ void ThreadPool::worker_loop(std::size_t worker) {
   }
 }
 
+namespace {
+
+/// parallel_for's whole control block lives on the caller's stack; workers
+/// only touch it through the ctx pointer, and the caller blocks on done_cv
+/// until every enqueued task has decremented `pending`, so the block always
+/// outlives its last reader.
+struct ParallelForCtl {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;  // tasks not yet finished, under mutex
+  std::exception_ptr first_error;
+};
+
+void parallel_for_task(void* p) {
+  auto* ctl = static_cast<ParallelForCtl*>(p);
+  for (;;) {
+    // Once any worker threw, stop claiming items: the caller is about to
+    // rethrow and there is no point burning through the rest.
+    if (ctl->failed.load(std::memory_order_relaxed)) break;
+    const std::size_t i = ctl->cursor.fetch_add(1);
+    if (i >= ctl->n) break;
+    try {
+      (*ctl->fn)(i);
+    } catch (...) {
+      ctl->failed.store(true, std::memory_order_relaxed);
+      std::lock_guard lock(ctl->mutex);
+      if (!ctl->first_error) ctl->first_error = std::current_exception();
+    }
+  }
+  // Signal under the mutex so the caller cannot observe pending == 0 and
+  // destroy the control block while this thread still holds a reference.
+  std::lock_guard lock(ctl->mutex);
+  if (--ctl->pending == 0) ctl->done_cv.notify_all();
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -182,44 +258,22 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Static chunking with an atomic cursor: chunks keep per-item overhead low;
-  // the shared cursor keeps load balanced when item costs vary (MILPs do).
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  auto failed = std::make_shared<std::atomic<bool>>(false);
+  // Item claiming uses an atomic cursor so load stays balanced when item
+  // costs vary (MILPs do). The control block — cursor, failure latch,
+  // completion latch — is a single stack object shared by every worker via
+  // the raw-task ctx pointer: no shared_ptr, no futures, no per-dispatch
+  // heap traffic.
+  ParallelForCtl ctl;
+  ctl.fn = &fn;
+  ctl.n = n;
   const std::size_t workers = std::min(pool->size(), n);
-  std::vector<std::future<void>> futs;
-  futs.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    futs.push_back(pool->submit([cursor, failed, n, &fn] {
-      for (;;) {
-        // Once any worker threw, stop claiming items: the caller is about
-        // to rethrow and there is no point burning through the rest.
-        if (failed->load(std::memory_order_relaxed)) return;
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          failed->store(true, std::memory_order_relaxed);
-          throw;  // lands in this worker's future
-        }
-      }
-    }));
-  }
-  // Drain every future before surfacing any error. Rethrowing on the first
-  // get() would return to the caller (and potentially destroy fn and the
-  // cursor) while other workers are still executing iterations — a
-  // use-after-free. Only after all workers have finished is it safe to
-  // propagate the first exception.
-  std::exception_ptr first_error;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  ctl.pending = workers;
+  pool->submit_raw(&parallel_for_task, &ctl, workers);
+  std::unique_lock lock(ctl.mutex);
+  ctl.done_cv.wait(lock, [&ctl] { return ctl.pending == 0; });
+  // Every worker has finished fn before pending hits zero, so propagating
+  // the first exception (and letting fn/ctl die) is safe here.
+  if (ctl.first_error) std::rethrow_exception(ctl.first_error);
 }
 
 }  // namespace gridsec

@@ -1,0 +1,424 @@
+// Tests for the allocation-free hot path: util::Arena (bump allocation,
+// high-water recycling, GRIDSEC_ARENA_POISON), lp::SolverWorkspace
+// (solve → reset → solve bit-identical reuse across the simplex, MILP
+// branch-and-bound, and the numerical-recovery ladder), and per-worker
+// workspace isolation on the thread pool.
+//
+// The WorkspaceConcurrency suite runs under TSan in CI: thread-pool
+// workers each own a scratch-slot workspace, and concurrent solves must
+// never share one.
+#include "gridsec/lp/workspace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gridsec/lp/lp_io.hpp"
+#include "gridsec/lp/milp.hpp"
+#include "gridsec/lp/problem.hpp"
+#include "gridsec/lp/simplex.hpp"
+#include "gridsec/obs/metrics.hpp"
+#include "gridsec/obs/solver_events.hpp"
+#include "gridsec/robust/recovery.hpp"
+#include "gridsec/util/arena.hpp"
+#include "gridsec/util/thread_pool.hpp"
+
+#ifndef GRIDSEC_ILLCOND_DIR
+#define GRIDSEC_ILLCOND_DIR "tests/data/illcond"
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GRIDSEC_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRIDSEC_TEST_ASAN 1
+#endif
+#endif
+
+namespace gridsec {
+namespace {
+
+// Arm the poison mode before main() — the flag is read once per process,
+// on the first arena operation, so a static initializer is early enough.
+const bool g_poison_armed = [] {
+#ifdef _WIN32
+  _putenv_s("GRIDSEC_ARENA_POISON", "1");
+#else
+  setenv("GRIDSEC_ARENA_POISON", "1", 1);
+#endif
+  return true;
+}();
+
+// ---------------------------------------------------------------------------
+// Arena
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  util::Arena arena;
+  auto* a = arena.allocate(3, 1);
+  auto* b = arena.allocate(8, 8);
+  auto* c = arena.allocate(64, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  const auto s = arena.stats();
+  EXPECT_GE(s.used, 3u + 8u + 64u);
+  EXPECT_GE(s.capacity, s.used);
+}
+
+TEST(ArenaTest, ResetConsolidatesToOneHighWaterBlock) {
+  util::Arena arena;
+  // Force several growth blocks.
+  for (int i = 0; i < 40; ++i) arena.allocate(1024);
+  const auto grown = arena.stats();
+  EXPECT_GE(grown.blocks, 2u);
+  EXPECT_EQ(grown.high_water, grown.used);
+
+  arena.reset();
+  const auto recycled = arena.stats();
+  EXPECT_EQ(recycled.blocks, 1u);
+  EXPECT_EQ(recycled.used, 0u);
+  EXPECT_GE(recycled.capacity, grown.high_water);
+
+  // Steady state: the same allocation pattern fits the one block — no new
+  // heap blocks, ever again.
+  const std::size_t block_allocs = recycled.block_allocations;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 40; ++i) arena.allocate(1024);
+    arena.reset();
+  }
+  const auto steady = arena.stats();
+  EXPECT_EQ(steady.block_allocations, block_allocs);
+  EXPECT_EQ(steady.blocks, 1u);
+}
+
+TEST(ArenaTest, ReleaseDropsAllCapacity) {
+  util::Arena arena;
+  arena.allocate(4096);
+  arena.release();
+  const auto s = arena.stats();
+  EXPECT_EQ(s.capacity, 0u);
+  EXPECT_EQ(s.blocks, 0u);
+  // And the arena is reusable afterwards.
+  EXPECT_NE(arena.allocate(16), nullptr);
+}
+
+TEST(ArenaTest, AllocateSpanCarvesTypedElements) {
+  util::Arena arena;
+  auto ints = arena.allocate_span<int>(100);
+  ASSERT_EQ(ints.size(), 100u);
+  for (std::size_t i = 0; i < ints.size(); ++i) {
+    ints[i] = static_cast<int>(i);
+  }
+  auto doubles = arena.allocate_span<double>(50);
+  ASSERT_EQ(doubles.size(), 50u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) %
+                alignof(double),
+            0u);
+  // The int span is untouched by the later carve.
+  for (std::size_t i = 0; i < ints.size(); ++i) {
+    EXPECT_EQ(ints[i], static_cast<int>(i));
+  }
+  EXPECT_TRUE(arena.allocate_span<char>(0).empty());
+}
+
+TEST(ArenaTest, ArenaAllocatorBacksStlContainers) {
+  util::Arena arena;
+  std::vector<int, util::ArenaAllocator<int>> v{
+      util::ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+  EXPECT_GE(arena.stats().used, 1000u * sizeof(int));
+}
+
+TEST(ArenaTest, PoisonModeFillsRecycledMemory) {
+  ASSERT_TRUE(g_poison_armed);
+  ASSERT_TRUE(util::Arena::poison_enabled());
+  util::Arena arena;
+  auto span = arena.allocate_span<unsigned char>(64);
+  std::memset(span.data(), 0xFF, span.size());
+  arena.reset();
+#ifndef GRIDSEC_TEST_ASAN
+  // Without ASan the recycled bytes are readable and must carry the 0xA5
+  // fill; under ASan the region is poisoned and reading it would (rightly)
+  // abort, which is the stronger version of this assertion.
+  auto again = arena.allocate_span<unsigned char>(64);
+  for (const unsigned char b : again) {
+    ASSERT_EQ(b, 0xA5);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse: solve → reset → solve must be bit-identical to a fresh
+// workspace (the determinism contract of the arena refactor).
+
+// Dense-enough LP to force a non-trivial pivot sequence.
+lp::Problem pivoty_lp() {
+  lp::Problem p(lp::Objective::kMinimize);
+  for (int j = 0; j < 8; ++j) {
+    p.add_variable("x" + std::to_string(j), 0.0, 10.0 + j,
+                   (j % 3 == 0 ? -1.0 : 1.0) * (1.0 + 0.25 * j));
+  }
+  for (int i = 0; i < 6; ++i) {
+    lp::LinearExpr row;
+    for (int j = 0; j < 8; ++j) {
+      row.add(j, ((i + j) % 4) - 1.5);
+    }
+    p.add_constraint("r" + std::to_string(i), std::move(row),
+                     i % 2 == 0 ? lp::Sense::kLessEqual
+                                : lp::Sense::kGreaterEqual,
+                     i % 2 == 0 ? 20.0 + i : -5.0 - i);
+  }
+  return p;
+}
+
+void expect_bit_identical(const lp::Solution& a, const lp::Solution& b) {
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.objective, b.objective);  // exact, not NEAR: bit-identical
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  ASSERT_EQ(a.duals.size(), b.duals.size());
+  for (std::size_t i = 0; i < a.duals.size(); ++i) {
+    EXPECT_EQ(a.duals[i], b.duals[i]);
+  }
+  ASSERT_EQ(a.reduced_costs.size(), b.reduced_costs.size());
+  for (std::size_t i = 0; i < a.reduced_costs.size(); ++i) {
+    EXPECT_EQ(a.reduced_costs[i], b.reduced_costs[i]);
+  }
+  EXPECT_EQ(lp::to_string(a.basis), lp::to_string(b.basis));
+}
+
+TEST(SolverWorkspaceTest, SolveResetSolveBitIdenticalToFreshWorkspace) {
+  const lp::Problem p = pivoty_lp();
+
+  lp::SolverWorkspace fresh;
+  lp::SimplexOptions opt;
+  opt.workspace = &fresh;
+  const lp::Solution reference = lp::solve_lp(p, opt);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  lp::SolverWorkspace reused;
+  opt.workspace = &reused;
+  const lp::Solution first = lp::solve_lp(p, opt);
+  reused.reset();
+  const lp::Solution after_reset = lp::solve_lp(p, opt);
+  const lp::Solution warm_reuse = lp::solve_lp(p, opt);  // no reset at all
+
+  expect_bit_identical(reference, first);
+  expect_bit_identical(reference, after_reset);
+  expect_bit_identical(reference, warm_reuse);
+}
+
+TEST(SolverWorkspaceTest, EventStreamIdenticalAcrossReuse) {
+  const lp::Problem p = pivoty_lp();
+  struct Ev {
+    long iteration;
+    int phase, entering, leaving;
+    double step;
+    bool bound_flip, degenerate;
+  };
+  const auto run = [&](lp::SolverWorkspace* ws) {
+    std::vector<Ev> events;
+    lp::SimplexOptions opt;
+    opt.workspace = ws;
+    opt.observer = [&events](const obs::SimplexIterationEvent& e) {
+      events.push_back({e.iteration, e.phase, e.entering, e.leaving, e.step,
+                        e.bound_flip, e.degenerate});
+    };
+    const lp::Solution sol = lp::solve_lp(p, opt);
+    EXPECT_EQ(sol.status, lp::SolveStatus::kOptimal);
+    return events;
+  };
+
+  lp::SolverWorkspace fresh;
+  const std::vector<Ev> reference = run(&fresh);
+  ASSERT_FALSE(reference.empty());
+
+  lp::SolverWorkspace reused;
+  (void)run(&reused);
+  reused.reset();
+  const std::vector<Ev> replay = run(&reused);
+
+  ASSERT_EQ(reference.size(), replay.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].iteration, replay[i].iteration);
+    EXPECT_EQ(reference[i].phase, replay[i].phase);
+    EXPECT_EQ(reference[i].entering, replay[i].entering);
+    EXPECT_EQ(reference[i].leaving, replay[i].leaving);
+    EXPECT_EQ(reference[i].step, replay[i].step);
+    EXPECT_EQ(reference[i].bound_flip, replay[i].bound_flip);
+    EXPECT_EQ(reference[i].degenerate, replay[i].degenerate);
+  }
+}
+
+TEST(SolverWorkspaceTest, SteadyStateBindsWithoutGrowingTheArena) {
+  const lp::Problem p = pivoty_lp();
+  lp::SolverWorkspace ws;
+  lp::SimplexOptions opt;
+  opt.workspace = &ws;
+
+  ASSERT_EQ(lp::solve_lp(p, opt).status, lp::SolveStatus::kOptimal);
+  const auto s1 = ws.stats();
+  ASSERT_EQ(lp::solve_lp(p, opt).status, lp::SolveStatus::kOptimal);
+  const auto warm = ws.stats();
+  const long binds_per_solve = warm.binds - s1.binds;
+  EXPECT_GT(binds_per_solve, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(lp::solve_lp(p, opt).status, lp::SolveStatus::kOptimal);
+  }
+  const auto steady = ws.stats();
+  EXPECT_EQ(steady.binds, warm.binds + 5 * binds_per_solve);
+  // The arena stopped growing once it saw the problem shape.
+  EXPECT_EQ(steady.arena_capacity, warm.arena_capacity);
+  EXPECT_EQ(steady.arena_high_water, warm.arena_high_water);
+}
+
+TEST(SolverWorkspaceTest, MilpReuseBitIdenticalAcrossReset) {
+  // Small knapsack-style MILP: enough branching for dozens of node
+  // relaxations through one workspace.
+  lp::Problem p(lp::Objective::kMaximize);
+  const double values[] = {5.0, 7.0, 3.0, 9.0, 4.0, 6.0};
+  const double weights[] = {2.0, 3.0, 1.0, 4.0, 2.0, 3.0};
+  lp::LinearExpr knap;
+  for (int j = 0; j < 6; ++j) {
+    p.add_binary("b" + std::to_string(j), values[j]);
+    knap.add(j, weights[j]);
+  }
+  p.add_constraint("capacity", std::move(knap), lp::Sense::kLessEqual, 7.5);
+
+  lp::BranchAndBoundOptions options;
+  lp::SolverWorkspace ws;
+  options.lp_options.workspace = &ws;
+
+  const lp::Solution reference = lp::BranchAndBoundSolver(options).solve(p);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  ASSERT_GT(reference.bnb.lp_solves, 1);
+
+  ws.reset();
+  const lp::Solution replay = lp::BranchAndBoundSolver(options).solve(p);
+  ASSERT_EQ(replay.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(reference.objective, replay.objective);
+  EXPECT_EQ(reference.bnb.nodes_explored, replay.bnb.nodes_explored);
+  EXPECT_EQ(reference.bnb.lp_solves, replay.bnb.lp_solves);
+  ASSERT_EQ(reference.x.size(), replay.x.size());
+  for (std::size_t i = 0; i < reference.x.size(); ++i) {
+    EXPECT_EQ(reference.x[i], replay.x[i]);
+  }
+}
+
+TEST(SolverWorkspaceTest, RecoveryLadderReuseBitIdentical) {
+  // An ill-conditioned corpus LP drives the full ladder (all rungs run
+  // through the same thread workspace, sequentially). Two engagements
+  // must produce identical certified answers and identical trails.
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GRIDSEC_ILLCOND_DIR)) {
+    if (entry.path().extension() == ".lp") {
+      files.push_back(entry.path().string());
+    }
+  }
+  ASSERT_FALSE(files.empty());
+  std::sort(files.begin(), files.end());
+  auto parsed = lp::read_lp_file(files.front());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+
+  const robust::RecoveryPolicy policy = robust::RecoveryPolicy::ladder();
+  const lp::Solution a = robust::solve_with_recovery(parsed.value(), {},
+                                                     policy);
+  const lp::Solution b = robust::solve_with_recovery(parsed.value(), {},
+                                                     policy);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.objective, b.objective);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  ASSERT_EQ(a.recovery_trail.size(), b.recovery_trail.size());
+  for (std::size_t i = 0; i < a.recovery_trail.size(); ++i) {
+    EXPECT_EQ(a.recovery_trail[i].rung, b.recovery_trail[i].rung);
+    EXPECT_EQ(a.recovery_trail[i].status, b.recovery_trail[i].status);
+    EXPECT_EQ(a.recovery_trail[i].certified, b.recovery_trail[i].certified);
+  }
+}
+
+TEST(SolverWorkspaceTest, NestedSolveFallsBackInsteadOfAliasing) {
+  const lp::Problem outer = pivoty_lp();
+  lp::Problem inner(lp::Objective::kMinimize);
+  inner.add_variable("x", 0.0, 5.0, 1.0);
+  lp::LinearExpr row;
+  row.add(0, 1.0);
+  inner.add_constraint("c", std::move(row), lp::Sense::kGreaterEqual, 1.0);
+
+  obs::Counter& fallbacks =
+      obs::default_registry().counter("lp.workspace.nested_fallbacks");
+  const std::int64_t before = fallbacks.value();
+
+  const lp::Solution inner_reference = lp::solve_lp(inner);
+  bool nested_ran = false;
+  lp::SimplexOptions opt;
+  opt.observer = [&](const obs::SimplexIterationEvent&) {
+    if (nested_ran) return;
+    nested_ran = true;
+    // This solve starts while the outer solve holds the thread workspace:
+    // it must fall back to a private impl, not corrupt the outer tableau.
+    const lp::Solution nested = lp::solve_lp(inner);
+    EXPECT_EQ(nested.status, lp::SolveStatus::kOptimal);
+    EXPECT_EQ(nested.objective, inner_reference.objective);
+  };
+  const lp::Solution sol = lp::solve_lp(outer, opt);
+  EXPECT_EQ(sol.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(nested_ran);
+  EXPECT_GT(fallbacks.value(), before);
+
+  // And the outer answer is unaffected by the nested solve.
+  lp::SimplexOptions plain;
+  expect_bit_identical(lp::solve_lp(outer, plain), sol);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (TSan-covered in CI): per-worker workspaces never alias.
+
+TEST(WorkspaceConcurrency, PoolWorkersSolveOnPrivateWorkspaces) {
+  const lp::Problem p = pivoty_lp();
+  const lp::Solution reference = lp::solve_lp(p);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  ThreadPool pool(4);
+  std::vector<lp::Solution> results(64);
+  parallel_for(&pool, results.size(), [&](std::size_t i) {
+    // Workers resolve thread_solver_workspace() to their scratch slot;
+    // the off-pool caller (serial fallback) uses its thread_local.
+    results[i] = lp::solve_lp(p);
+  });
+  for (const lp::Solution& sol : results) {
+    expect_bit_identical(reference, sol);
+  }
+}
+
+TEST(WorkspaceConcurrency, ExplicitWorkspacesSolveConcurrently) {
+  const lp::Problem p = pivoty_lp();
+  const lp::Solution reference = lp::solve_lp(p);
+
+  ThreadPool pool(4);
+  constexpr std::size_t kThreads = 8;
+  std::vector<lp::SolverWorkspace> workspaces(kThreads);
+  std::vector<lp::Solution> results(kThreads);
+  parallel_for(&pool, kThreads, [&](std::size_t i) {
+    lp::SimplexOptions opt;
+    opt.workspace = &workspaces[i];
+    for (int rep = 0; rep < 4; ++rep) {
+      results[i] = lp::solve_lp(p, opt);
+      workspaces[i].reset();
+    }
+  });
+  for (const lp::Solution& sol : results) {
+    expect_bit_identical(reference, sol);
+  }
+}
+
+}  // namespace
+}  // namespace gridsec

@@ -85,6 +85,32 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+/// True for metrics whose values are byte totals (obs.alloc.bytes,
+/// obs.alloc.peak_bytes, and any future *.bytes counter).
+bool is_byte_metric(const std::string& quantity) {
+  const std::string suffix = "bytes";
+  return quantity.size() >= suffix.size() &&
+         quantity.compare(quantity.size() - suffix.size(), suffix.size(),
+                          suffix) == 0;
+}
+
+/// Renders a byte count human-readably: "512 B", "4.0 KiB", "16.2 MiB".
+std::string format_bytes(double v) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f B", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
 const char* verdict_name(obs::DiffVerdict v) {
   switch (v) {
     case obs::DiffVerdict::kOk: return "ok";
@@ -183,8 +209,13 @@ int main(int argc, char** argv) {
             : format_double(100.0 * row.rel_change, 1);
     std::string verdict = verdict_name(row.verdict);
     if (!row.note.empty()) verdict += " (" + row.note + ")";
-    t.add_row({row.case_name, row.quantity, format_double(row.baseline, 4),
-               format_double(row.current, 4), change, verdict});
+    const bool bytes = is_byte_metric(row.quantity);
+    t.add_row({row.case_name, row.quantity,
+               bytes ? format_bytes(row.baseline)
+                     : format_double(row.baseline, 4),
+               bytes ? format_bytes(row.current)
+                     : format_double(row.current, 4),
+               change, verdict});
   }
   t.print(std::cout);
   std::printf(
